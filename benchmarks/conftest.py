@@ -1,0 +1,34 @@
+"""Benchmark fixtures: result directory and report sink.
+
+Every benchmark regenerates one figure of the paper and both prints the
+resulting table(s) and persists them under ``benchmarks/results/`` so a
+run leaves an inspectable artifact trail.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Callable that prints a report and writes it to results/<test>.txt."""
+
+    def _report(text: str) -> None:
+        name = request.node.name.replace("[", "_").replace("]", "")
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _report

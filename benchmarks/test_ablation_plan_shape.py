@@ -1,0 +1,74 @@
+"""Ablation — bushy vs left-deep plan spaces.
+
+The paper extends Ganguly et al.'s algorithm "to generate bushy plans
+in addition to left-deep plans". This ablation quantifies what the
+extension buys: the bushy space considers more plans (and takes longer)
+but its frontier covers the left-deep one; on some queries the bushy
+weighted optimum is strictly better.
+"""
+
+import dataclasses
+
+from repro import Objective, Preferences, tpch_query
+from repro.bench.experiments import BENCH_CONFIG, make_optimizer
+from repro.bench.reporting import format_table
+from repro.config import PlanShape
+
+OBJECTIVES = (
+    Objective.TOTAL_TIME,
+    Objective.BUFFER_FOOTPRINT,
+    Objective.TUPLE_LOSS,
+)
+
+
+def run_comparison():
+    bushy_optimizer = make_optimizer(timeout_seconds=30.0)
+    deep_config = dataclasses.replace(
+        BENCH_CONFIG, plan_shape=PlanShape.LEFT_DEEP, timeout_seconds=30.0
+    )
+    deep_optimizer = make_optimizer(timeout_seconds=30.0,
+                                    config=deep_config)
+    prefs = Preferences(objectives=OBJECTIVES, weights=(1.0, 1e-6, 10.0))
+    rows = []
+    for query_number in (3, 10, 5):
+        query = tpch_query(query_number)
+        bushy = bushy_optimizer.optimize(query, prefs, algorithm="rta",
+                                         alpha=1.2)
+        deep = deep_optimizer.optimize(query, prefs, algorithm="rta",
+                                       alpha=1.2)
+        rows.append({
+            "query": query_number,
+            "bushy_considered": bushy.plans_considered,
+            "deep_considered": deep.plans_considered,
+            "bushy_cost": bushy.weighted_cost,
+            "deep_cost": deep.weighted_cost,
+            "bushy_ms": bushy.optimization_time_ms,
+            "deep_ms": deep.optimization_time_ms,
+        })
+    return rows
+
+
+def test_ablation_plan_shape(benchmark, report):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    report(format_table(
+        "Ablation — bushy vs left-deep plan space (RTA, alpha = 1.2)",
+        ["bushy considered", "deep considered", "bushy w-cost",
+         "deep w-cost", "bushy ms", "deep ms"],
+        [
+            (
+                f"q{row['query']}",
+                [
+                    row["bushy_considered"], row["deep_considered"],
+                    row["bushy_cost"], row["deep_cost"],
+                    row["bushy_ms"], row["deep_ms"],
+                ],
+            )
+            for row in rows
+        ],
+    ))
+    for row in rows:
+        # Left-deep is a strict subspace: fewer candidates considered.
+        assert row["deep_considered"] <= row["bushy_considered"]
+        # Bushy plans can only help quality (both carry the same
+        # alpha guarantee, so allow the approximation slack).
+        assert row["bushy_cost"] <= row["deep_cost"] * 1.2 * (1 + 1e-9)

@@ -1,0 +1,76 @@
+"""Ablation — IRA precision-refinement policy (Section 7.2).
+
+The paper's policy ``alpha_U ** (2**(-i/(3l-3)))`` balances three
+requirements: strictly decreasing, per-iteration work roughly doubling
+(bounds redundant work), and not refining faster than necessary. We
+compare it against a fast-halving policy (refines too aggressively: the
+final iterations are near-exact and dominate everything) and a slow
+policy (refines too timidly: many near-identical iterations redo the
+same work).
+"""
+
+from collections import defaultdict
+
+from repro.bench.ablations import refinement_policy_ablation
+from repro.bench.reporting import format_table
+
+
+def test_ablation_refinement_policy(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: refinement_policy_ablation(alpha_u=1.5),
+        rounds=1, iterations=1,
+    )
+    by_policy: dict[str, list] = defaultdict(list)
+    for row in rows:
+        by_policy[row.policy].append(row)
+
+    def mean(values):
+        values = list(values)
+        return sum(values) / len(values)
+
+    table_rows = [
+        (
+            policy,
+            [
+                mean(r.iterations for r in policy_rows),
+                mean(r.plans_considered for r in policy_rows),
+                mean(r.time_ms for r in policy_rows),
+            ],
+        )
+        for policy, policy_rows in by_policy.items()
+    ]
+    report(format_table(
+        "Ablation — IRA refinement policies (alpha_U = 1.5)",
+        ["avg iterations", "avg plans considered", "avg time (ms)"],
+        table_rows,
+    ))
+
+    paper = by_policy["paper"]
+    halving = by_policy["halving"]
+    slow = by_policy["slow"]
+
+    # All policies return plans of identical quality guarantees — only
+    # the work differs. Identical weighted costs per case:
+    by_case = defaultdict(dict)
+    for row in rows:
+        by_case[(row.query_number, row.case_index)][row.policy] = row
+    for case_rows in by_case.values():
+        costs = {round(r.weighted_cost, 6) for r in case_rows.values()}
+        # Policies may pick different near-optimal plans; all must be
+        # within alpha_U of each other.
+        assert max(costs) <= min(costs) * 1.5 * (1 + 1e-9)
+
+    # Work comparison on cases that actually needed refinement: when
+    # any policy iterates more than once, the slow policy needs at
+    # least as many iterations as the paper's.
+    for case_rows in by_case.values():
+        if case_rows["paper"].iterations > 1:
+            assert (
+                case_rows["slow"].iterations
+                >= case_rows["paper"].iterations
+            )
+
+    # Aggregate totals exist and are positive (reported above).
+    assert mean(r.plans_considered for r in paper) > 0
+    assert mean(r.plans_considered for r in halving) > 0
+    assert mean(r.plans_considered for r in slow) > 0

@@ -1,0 +1,94 @@
+"""Figure 10 — EXA vs IRA(1.15/1.5/2) on bounded MOQO.
+
+All nine objectives are optimized; the number of bounded objectives
+varies over 3/6/9 (the paper's setup). Paper shape: the EXA's
+performance is insensitive to the number of bounds and keeps timing
+out; the IRA rarely times out and is much faster in aggregate; IRA
+iteration counts can exceed one (and do not correlate simply with the
+user precision).
+
+Scale note: reduced operator space, cases per cell and timeout (see
+``repro.bench.experiments``); scale up via REPRO_BENCH_* env vars.
+"""
+
+from repro.bench.experiments import figure10_experiment
+from repro.bench.reporting import FIGURE10_METRICS, format_figure
+
+
+def test_fig10_bounded_moqo(benchmark, report):
+    cells = benchmark.pedantic(
+        lambda: figure10_experiment(bound_counts=(3, 6, 9)),
+        rounds=1, iterations=1,
+    )
+    report(format_figure(
+        "Figure 10 — bounded MOQO: EXA vs IRA", cells, FIGURE10_METRICS,
+        parameter_label="b",
+    ))
+
+    ira_labels = ("IRA(1.15)", "IRA(1.5)", "IRA(2)")
+
+    # Aggregate timeout picture: every IRA variant times out less than
+    # the EXA overall (paper, at 2h scale: 464 EXA timeouts vs <= 4 per
+    # IRA; at this seconds-scale stand-in the IRA still exceeds the
+    # budget on the largest queries, and occasionally on small ones
+    # when tight bounds force many refinement iterations).
+    exa_timeouts = sum(c.aggregates["EXA"].timeout_pct for c in cells)
+    assert exa_timeouts > 0, "expected EXA timeouts in the workload"
+    for label in ira_labels:
+        ira_timeouts = sum(c.aggregates[label].timeout_pct for c in cells)
+        assert ira_timeouts < exa_timeouts
+
+    # Total optimization time, on the cells each IRA variant finished:
+    # the IRA undercuts the EXA there (comparing over all cells would
+    # be distorted by the timeout cap truncating the EXA's real cost).
+    for label in ira_labels:
+        finished = [
+            c for c in cells if c.aggregates[label].timeout_pct == 0.0
+        ]
+        assert finished
+        ira_total = sum(c.aggregates[label].avg_time_ms for c in finished)
+        exa_total = sum(c.aggregates["EXA"].avg_time_ms for c in finished)
+        assert ira_total < exa_total
+
+    # Iteration counts: at least one everywhere; the refinement
+    # mechanism fires somewhere (the paper reports up to ~100
+    # iterations, and more iterations for *larger* user alpha — check
+    # the aggregate direction over all cells).
+    for cell in cells:
+        for label in ira_labels:
+            assert cell.aggregates[label].avg_iterations >= 1.0
+    total_iterations = {
+        label: sum(c.aggregates[label].avg_iterations for c in cells)
+        for label in ira_labels
+    }
+    assert max(total_iterations.values()) > len(cells), (
+        "no cell ever refined beyond the first iteration"
+    )
+    # Paper: "in some cases, the number of iterations of the IRA
+    # increases with the user-defined approximation factor" — check the
+    # aggregate direction with slack (timeout-truncated cells add noise).
+    assert total_iterations["IRA(2)"] >= 0.8 * total_iterations["IRA(1.15)"]
+
+    # Bound satisfaction: random bounds can be *jointly* infeasible
+    # (each is anchored at a different objective's optimum), in which
+    # case Definition 2's fallback makes violating plans correct. The
+    # meaningful check: whenever the finished EXA found a
+    # bound-respecting plan for a case, the finished IRA found one too
+    # (guaranteed by the stopping condition).
+    for cell in cells:
+        exa_records = {
+            r.case_index: r for r in cell.aggregates["EXA"].records
+        }
+        for label in ira_labels:
+            for record in cell.aggregates[label].records:
+                if record.timed_out:
+                    continue
+                exa_record = exa_records[record.case_index]
+                if exa_record.timed_out:
+                    continue
+                if exa_record.respects_bounds:
+                    assert record.respects_bounds, (
+                        f"{label} q{cell.query_number}/b={cell.parameter} "
+                        f"case {record.case_index}: EXA found a feasible "
+                        "plan but the IRA returned an infeasible one"
+                    )

@@ -1,0 +1,65 @@
+"""Figures 1, 2, 6, 8 — the running example (formal-model illustrations).
+
+These figures are didactic rather than experimental; the benchmark
+recomputes every quantity they display (optima, frontier, pruning
+classification, bounded-approximation pathology) and reports them.
+"""
+
+from repro.bench.running_example import (
+    RUNNING_EXAMPLE_BOUNDS,
+    RUNNING_EXAMPLE_VECTORS,
+    RUNNING_EXAMPLE_WEIGHTS,
+    bounded_optimum,
+    classify_vectors,
+    figure8_pathology,
+    pareto_frontier,
+    weighted_optimum,
+)
+
+
+def _figure1_and_2():
+    return {
+        "weighted_optimum": weighted_optimum(),
+        "bounded_optimum": bounded_optimum(),
+        "frontier": pareto_frontier(),
+    }
+
+
+def test_fig1_fig2_optima_and_frontier(benchmark, report):
+    data = benchmark.pedantic(_figure1_and_2, rounds=3, iterations=1)
+    lines = [
+        "Figures 1 & 2 — running example (buffer space, time)",
+        f"vectors:           {list(RUNNING_EXAMPLE_VECTORS)}",
+        f"weights:           {RUNNING_EXAMPLE_WEIGHTS}",
+        f"bounds:            {RUNNING_EXAMPLE_BOUNDS}",
+        f"[1a] weighted opt: {data['weighted_optimum']}",
+        f"[1b] bounded opt:  {data['bounded_optimum']}",
+        f"[2]  frontier:     {data['frontier']}",
+    ]
+    report("\n".join(lines))
+    assert data["weighted_optimum"] != data["bounded_optimum"]
+    assert data["weighted_optimum"] in data["frontier"]
+
+
+def test_fig6_approximate_dominance_classification(benchmark, report):
+    classes = benchmark.pedantic(
+        lambda: classify_vectors(alpha=1.5), rounds=3, iterations=1
+    )
+    lines = ["Figure 6 — dominated vs approximately dominated (alpha=1.5)"]
+    for key, vectors in classes.items():
+        lines.append(f"{key:25s} {vectors}")
+    report("\n".join(lines))
+    # The approximately dominated area strictly extends the dominated one.
+    assert classes["approximately_dominated"]
+    assert classes["dominated"]
+
+
+def test_fig8_bounded_pathology(benchmark, report):
+    pathology = benchmark.pedantic(figure8_pathology, rounds=3, iterations=1)
+    lines = ["Figure 8 — approximate Pareto set may miss bounded optimum"]
+    for key, value in pathology.items():
+        lines.append(f"{key:28s} {value}")
+    report("\n".join(lines))
+    assert pathology["kept_approx_dominates"]
+    assert pathology["discarded_respects_bounds"]
+    assert not pathology["kept_respects_bounds"]

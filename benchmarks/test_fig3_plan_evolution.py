@@ -1,0 +1,29 @@
+"""Figure 3 — evolution of the optimal plan for TPC-H Q3.
+
+Paper shape: (a) the time-optimal plan under a zero tuple-loss bound
+uses hash joins; (b) weighting buffer space replaces them with
+sort-merge / index-nested-loop joins; (c) bounding startup time leaves
+only (pipelined) index-nested-loop joins.
+"""
+
+from repro.bench.experiments import figure3_experiment
+
+
+def test_fig3_preference_evolution(benchmark, report):
+    outcome = benchmark.pedantic(figure3_experiment, rounds=1, iterations=1)
+    lines = ["Figure 3 — optimal plan for Q3 under changing preferences"]
+    for label, info in outcome.items():
+        lines.append(f"--- {label} ---")
+        lines.append(info["plan"].describe())
+    report("\n".join(lines))
+
+    joins = {
+        label: [op for op in info["operators"] if "Join" in op]
+        for label, info in outcome.items()
+    }
+    # (a) time-optimal: hash joins only.
+    assert all("HashJoin" in op for op in joins["a_time_optimal"])
+    # (b) buffer weight: no hash joins anymore.
+    assert not any("HashJoin" in op for op in joins["b_buffer_weight"])
+    # (c) startup bound: only index-nested-loop joins.
+    assert all("IdxNL" in op for op in joins["c_startup_bound"])

@@ -1,0 +1,36 @@
+"""Figure 4 — 3-D approximate Pareto frontiers for TPC-H Q5.
+
+Paper shape: the alpha = 1.25 run yields a denser frontier (more cost
+vectors) than the coarse alpha = 2 run over the objectives tuple loss,
+buffer footprint and total time.
+"""
+
+from repro.bench.experiments import figure4_experiment
+
+
+def test_fig4_frontier_granularity(benchmark, report):
+    frontiers = benchmark.pedantic(
+        lambda: figure4_experiment(alphas=(2.0, 1.25)),
+        rounds=1, iterations=1,
+    )
+    lines = ["Figure 4 — approximate Pareto frontiers for Q5 "
+             "(tuple loss, buffer bytes, total time)"]
+    for alpha, points in frontiers.items():
+        lines.append(f"alpha = {alpha}: {len(points)} frontier plans")
+        for loss, buffer_bytes, total in points[:12]:
+            lines.append(
+                f"    loss={loss:6.3f}  buffer={buffer_bytes:14.0f}  "
+                f"time={total:14.4g}"
+            )
+        if len(points) > 12:
+            lines.append(f"    ... ({len(points) - 12} more)")
+    report("\n".join(lines))
+
+    coarse = frontiers[2.0]
+    fine = frontiers[1.25]
+    # Finer precision keeps at least as many representative tradeoffs.
+    assert len(fine) >= len(coarse)
+    assert len(coarse) >= 3
+    # The frontier spans the tuple-loss axis (sampling tradeoffs).
+    losses = {round(p[0], 2) for p in fine}
+    assert len(losses) >= 3

@@ -1,0 +1,39 @@
+"""Figure 7 — analytic worst-case complexity curves.
+
+Paper setting: j = 6 operators, l = 3 objectives, m = 1e5 tuples.
+Shape: Selinger lowest; RTA curves polynomially above Selinger (finer
+alpha higher); EXA grows super-exponentially and overtakes both RTA
+curves around n ~ 5 (alpha = 1.5) / n ~ 7 (alpha = 1.05).
+"""
+
+from repro.bench.experiments import figure7_data
+from repro.bench.reporting import format_series
+
+
+def test_fig7_complexity_curves(benchmark, report):
+    data = benchmark.pedantic(figure7_data, rounds=10, iterations=1)
+    report(format_series(
+        "Figure 7 — time complexity (j=6, l=3, m=1e5)", data
+    ))
+
+    n_values = data["n"]
+    exa = data["EXA"]
+    fine = data["RTA(1.05)"]
+    coarse = data["RTA(1.5)"]
+    selinger = data["Selinger"]
+
+    for i in range(len(n_values)):
+        # Selinger is the lower envelope.
+        assert selinger[i] <= coarse[i]
+        # Finer precision never cheaper than coarser.
+        assert coarse[i] <= fine[i]
+
+    # EXA overtakes both approximation schemes for large n (the
+    # crossover the paper's Figure 7 shows).
+    assert exa[0] < fine[0]  # small n: EXA cheaper than fine RTA
+    assert exa[-1] > fine[-1]  # large n: EXA explodes past it
+    assert exa[-1] > coarse[-1]
+
+    # EXA growth is doubly exponential-ish: ratio increases.
+    ratios = [exa[i + 1] / exa[i] for i in range(len(exa) - 1)]
+    assert all(r2 > r1 for r1, r2 in zip(ratios, ratios[1:]))

@@ -1,0 +1,81 @@
+"""Extension — optimizer behavior across TPC-H scale factors.
+
+The algorithms never touch data, but the catalog statistics shape the
+plan space: at larger scale factors intermediate results outgrow
+work_mem (spills appear), hash tables get expensive in buffer space,
+and sampling buys more absolute time. This benchmark sweeps the scale
+factor and reports how the chosen plan and the frontier react — a
+sanity check that the cost substrate responds to statistics the way a
+real optimizer does. Optimization *time* should stay roughly flat (the
+paper's complexity depends on log(m), Lemma 2).
+"""
+
+from repro import Objective, Preferences, tpch_query, tpch_schema
+from repro.bench.experiments import BENCH_CONFIG
+from repro.bench.reporting import format_table
+from repro.core.optimizer import MultiObjectiveOptimizer
+
+SCALE_FACTORS = (0.01, 0.1, 1.0, 10.0)
+
+OBJECTIVES = (
+    Objective.TOTAL_TIME,
+    Objective.BUFFER_FOOTPRINT,
+    Objective.TUPLE_LOSS,
+)
+
+
+def run_sweep():
+    from repro.core.selinger import minimum_cost
+
+    prefs = Preferences(objectives=OBJECTIVES, weights=(1.0, 1e-6, 1e5))
+    rows = []
+    for scale_factor in SCALE_FACTORS:
+        optimizer = MultiObjectiveOptimizer(
+            tpch_schema(scale_factor),
+            config=BENCH_CONFIG.with_timeout(30.0),
+        )
+        result = optimizer.optimize(
+            tpch_query(3), prefs, algorithm="rta", alpha=1.2
+        )
+        lossless_minimum = minimum_cost(
+            tpch_query(3).main_block, optimizer.cost_model,
+            Objective.TOTAL_TIME, optimizer.config,
+        )
+        rows.append({
+            "scale_factor": scale_factor,
+            "time_cost": result.cost_of(Objective.TOTAL_TIME),
+            "loss": result.cost_of(Objective.TUPLE_LOSS),
+            "lossless_minimum": lossless_minimum,
+            "opt_ms": result.optimization_time_ms,
+            "frontier": len(result.frontier),
+        })
+    return rows
+
+
+def test_scale_factor_sweep(benchmark, report):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(format_table(
+        "Scale-factor sweep (TPC-H Q3, RTA alpha = 1.2, loss weight 1e5)",
+        ["chosen time", "chosen loss", "lossless min time", "opt ms",
+         "frontier size"],
+        [
+            (
+                f"sf={row['scale_factor']:g}",
+                [row["time_cost"], row["loss"], row["lossless_minimum"],
+                 row["opt_ms"], row["frontier"]],
+            )
+            for row in rows
+        ],
+    ))
+    # The *lossless* minimum execution time grows monotonically with
+    # the data size (the substrate responds to statistics).
+    minima = [row["lossless_minimum"] for row in rows]
+    assert minima == sorted(minima)
+    # The fixed tuple-loss penalty buys ever more absolute time as data
+    # grows: at some scale factor the optimizer switches to sampling.
+    assert rows[0]["loss"] == 0.0
+    assert rows[-1]["loss"] > 0.0
+    # Optimization effort stays within one order of magnitude across
+    # three decades of data size (complexity depends on log m).
+    opt_times = [row["opt_ms"] for row in rows]
+    assert max(opt_times) < 60 * min(opt_times) + 50.0

@@ -1,0 +1,99 @@
+"""Scenario 2 of the paper: a multi-tenant server rationing resources.
+
+"A powerful server processes queries of multiple users concurrently.
+Minimizing the amount of system resources (such as buffer space, hard
+disk space, I/O bandwidth, and number of cores) that are dedicated for
+processing one specific query and minimizing that query's execution
+time are conflicting objectives."
+
+The administrator defines weights and bounds per tenant class; each
+incoming query is optimized with the IRA. This example shows how the
+chosen plan shifts as resource limits tighten — and prints the Pareto
+frontier so the administrator can inspect available tradeoffs before
+adjusting the limits.
+
+Run:  python examples/multi_tenant_server.py
+"""
+
+from repro import (
+    FAST_CONFIG,
+    MultiObjectiveOptimizer,
+    Objective,
+    Preferences,
+    tpch_query,
+    tpch_schema,
+)
+
+#: Resource objectives of the server scenario (one objective per
+#: system resource, plus execution time).
+OBJECTIVES = (
+    Objective.TOTAL_TIME,
+    Objective.IO_LOAD,
+    Objective.CORES,
+    Objective.BUFFER_FOOTPRINT,
+    Objective.DISK_FOOTPRINT,
+)
+
+TENANT_CLASSES = {
+    "premium (fast, resources allowed)": dict(
+        weights={Objective.TOTAL_TIME: 1.0},
+        bounds={},
+    ),
+    "standard (capped memory + cores)": dict(
+        weights={Objective.TOTAL_TIME: 1.0, Objective.BUFFER_FOOTPRINT: 1e-4},
+        bounds={
+            Objective.BUFFER_FOOTPRINT: 32 * 1024 * 1024.0,  # 32 MB
+            Objective.CORES: 2.0,
+        },
+    ),
+    "background (minimal footprint)": dict(
+        weights={
+            Objective.IO_LOAD: 1.0,
+            Objective.BUFFER_FOOTPRINT: 1e-3,
+            Objective.TOTAL_TIME: 0.01,
+        },
+        bounds={
+            Objective.BUFFER_FOOTPRINT: 8 * 1024 * 1024.0,  # 8 MB
+            Objective.CORES: 1.0,
+        },
+    ),
+}
+
+
+def main() -> None:
+    optimizer = MultiObjectiveOptimizer(tpch_schema(), config=FAST_CONFIG)
+    query = tpch_query(5)
+    print(f"query: {query.name} ({query.main_block.num_tables} joined tables)")
+    print()
+    for tenant, policy in TENANT_CLASSES.items():
+        preferences = Preferences.from_maps(
+            OBJECTIVES, weights=policy["weights"], bounds=policy["bounds"]
+        )
+        result = optimizer.optimize(
+            query, preferences, algorithm="ira", alpha=1.5
+        )
+        print(f"--- {tenant} ---")
+        print(result.plan.describe())
+        for objective in OBJECTIVES:
+            print(f"  {objective.name.lower():18s} = "
+                  f"{result.cost_of(objective):.4g} {objective.unit}")
+        print(f"  respects bounds: {result.respects_bounds}, "
+              f"opt time: {result.optimization_time_ms:.0f} ms")
+        print()
+
+    # The frontier lets an administrator see what relaxing a bound buys
+    # (Section 4: "a user might want to relax the bound on one objective,
+    # knowing that this allows significant savings in another").
+    preferences = Preferences.from_maps(
+        (Objective.TOTAL_TIME, Objective.BUFFER_FOOTPRINT),
+        weights={Objective.TOTAL_TIME: 1.0},
+    )
+    result = optimizer.optimize(query, preferences, algorithm="rta", alpha=1.2)
+    print("=== time / buffer tradeoffs (approximate Pareto frontier) ===")
+    print(f"{'total time':>14s}  {'buffer (MB)':>12s}")
+    for time_cost, buffer_cost in sorted(result.frontier_costs):
+        print(f"{time_cost:14.4g}  {buffer_cost / 1048576.0:12.2f}")
+
+
+if __name__ == "__main__":
+    main()

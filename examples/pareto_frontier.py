@@ -1,0 +1,37 @@
+"""Figure 4 of the paper: approximate Pareto frontiers for TPC-H Q5.
+
+All of the paper's MOQO algorithms produce an approximate Pareto
+frontier as a by-product of optimization; the prototype visualizes 2-D
+and 3-D projections so users can pick sensible weights and bounds. This
+example regenerates the Figure 4 data: the 3-D frontier over tuple
+loss, buffer footprint and total time, once coarse-grained (alpha = 2)
+and once fine-grained (alpha = 1.25) — the finer precision yields more
+frontier points.
+
+Run:  python examples/pareto_frontier.py
+"""
+
+from repro.bench.experiments import figure4_experiment
+
+
+def main() -> None:
+    frontiers = figure4_experiment(alphas=(2.0, 1.25))
+    for alpha, points in frontiers.items():
+        grain = "coarse" if alpha >= 2 else "fine"
+        print(f"=== alpha = {alpha} ({grain}-grained): "
+              f"{len(points)} frontier plans ===")
+        print(f"{'tuple loss':>12s}  {'buffer (MB)':>12s}  {'total time':>14s}")
+        for loss, buffer_bytes, total_time in points[:30]:
+            print(f"{loss:12.3f}  {buffer_bytes / 1048576.0:12.2f}  "
+                  f"{total_time:14.4g}")
+        if len(points) > 30:
+            print(f"... ({len(points) - 30} more)")
+        print()
+    coarse = len(frontiers[2.0])
+    fine = len(frontiers[1.25])
+    print(f"fine-grained frontier has {fine} plans vs {coarse} "
+          f"coarse-grained — refining alpha reveals more tradeoffs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Figure 3 of the paper: how Q3's optimal plan evolves with preferences.
+
+Three preference settings for TPC-H query 3:
+
+(a) tuple loss bounded to 0, weight only on total time
+    -> the time-optimal plan uses hash joins;
+(b) additional weight on buffer footprint
+    -> the memory-hungry hash joins give way to sort-merge and
+       index-nested-loop joins;
+(c) an additional bound on startup time
+    -> only pipelined index-nested-loop joins remain.
+
+Run:  python examples/preference_evolution.py
+"""
+
+from repro import INFINITY
+from repro.bench.experiments import figure3_experiment
+
+CAPTIONS = {
+    "a_time_optimal": "(a) time-optimal plan for bounded tuple loss (= 0)",
+    "b_buffer_weight": "(b) additional weight on buffer space",
+    "c_startup_bound": "(c) additional bound on startup time",
+}
+
+
+def main() -> None:
+    outcome = figure3_experiment()
+    for label, caption in CAPTIONS.items():
+        info = outcome[label]
+        preferences = info["preferences"]
+        print(f"=== {caption} ===")
+        weights = ", ".join(
+            f"{o.name.lower()}={w:g}"
+            for o, w in zip(preferences.objectives, preferences.weights)
+            if w > 0
+        )
+        bounds = ", ".join(
+            f"{o.name.lower()}<={b:g}"
+            for o, b in zip(preferences.objectives, preferences.bounds)
+            if b != INFINITY
+        )
+        print(f"weights: {weights}")
+        print(f"bounds:  {bounds if bounds else '(none)'}")
+        print(info["plan"].describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs where the `wheel`
+package is unavailable (offline environments)."""
+
+from setuptools import setup
+
+setup()

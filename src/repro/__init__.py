@@ -1,0 +1,145 @@
+"""repro — Approximation schemes for many-objective query optimization.
+
+A self-contained reproduction of Trummer & Koch, "Approximation Schemes
+for Many-Objective Query Optimization" (SIGMOD 2014 / arXiv:1404.0046):
+
+* a statistics-driven query-optimizer substrate (catalog, TPC-H schema
+  and queries, cardinality estimation, Postgres-style plan space with
+  sampling scans and parallel joins, nine-objective cost model);
+* the paper's algorithms — the exact multi-objective algorithm (EXA),
+  the representative-tradeoffs approximation scheme (RTA) and the
+  iterative-refinement approximation scheme (IRA) — plus a
+  single-objective Selinger baseline;
+* a benchmark harness regenerating every figure of the paper's
+  evaluation.
+
+Quickstart::
+
+    from repro import (
+        MultiObjectiveOptimizer, Objective, Preferences, tpch_schema,
+        tpch_query,
+    )
+
+    optimizer = MultiObjectiveOptimizer(tpch_schema())
+    prefs = Preferences.from_maps(
+        objectives=(Objective.TOTAL_TIME, Objective.BUFFER_FOOTPRINT,
+                    Objective.TUPLE_LOSS),
+        weights={Objective.TOTAL_TIME: 1.0, Objective.BUFFER_FOOTPRINT: 0.5,
+                 Objective.TUPLE_LOSS: 2.0},
+    )
+    result = optimizer.optimize(tpch_query(3), prefs, algorithm="rta",
+                                alpha=1.5)
+    print(result.plan.describe())
+"""
+
+from repro.catalog import (
+    Column,
+    DataType,
+    Index,
+    Schema,
+    Table,
+    build_schema,
+    tpch_schema,
+)
+from repro.config import (
+    DEFAULT_CONFIG,
+    FAST_CONFIG,
+    SERIAL_CONFIG,
+    OptimizerConfig,
+)
+from repro.core import (
+    INFINITY,
+    MultiObjectiveOptimizer,
+    OptimizationResult,
+    Preferences,
+    exact_moqo,
+    ira,
+    minimum_cost,
+    relative_cost,
+    rta,
+    select_best,
+    selinger,
+)
+from repro.cost import (
+    ALL_OBJECTIVES,
+    CostModel,
+    CostParams,
+    DEFAULT_PARAMS,
+    Objective,
+    parse_objective,
+)
+from repro.exceptions import (
+    CatalogError,
+    CostModelError,
+    InvalidPrecisionError,
+    OptimizerError,
+    QueryModelError,
+    ReproError,
+)
+from repro.plans import JoinMethod, JoinPlan, Plan, ScanMethod, ScanPlan
+from repro.query import (
+    FilterPredicate,
+    JoinPredicate,
+    MultiBlockQuery,
+    PAPER_QUERY_ORDER,
+    Query,
+    TableRef,
+    single_block,
+    tpch_query,
+)
+from repro.workload import TestCase, WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_OBJECTIVES",
+    "CatalogError",
+    "Column",
+    "CostModel",
+    "CostModelError",
+    "CostParams",
+    "DataType",
+    "DEFAULT_CONFIG",
+    "DEFAULT_PARAMS",
+    "FAST_CONFIG",
+    "FilterPredicate",
+    "INFINITY",
+    "Index",
+    "InvalidPrecisionError",
+    "JoinMethod",
+    "JoinPlan",
+    "JoinPredicate",
+    "MultiBlockQuery",
+    "MultiObjectiveOptimizer",
+    "Objective",
+    "OptimizationResult",
+    "OptimizerConfig",
+    "OptimizerError",
+    "PAPER_QUERY_ORDER",
+    "Plan",
+    "Preferences",
+    "Query",
+    "QueryModelError",
+    "ReproError",
+    "SERIAL_CONFIG",
+    "Schema",
+    "ScanMethod",
+    "ScanPlan",
+    "Table",
+    "TableRef",
+    "TestCase",
+    "WorkloadGenerator",
+    "build_schema",
+    "exact_moqo",
+    "ira",
+    "minimum_cost",
+    "parse_objective",
+    "relative_cost",
+    "rta",
+    "select_best",
+    "selinger",
+    "single_block",
+    "tpch_query",
+    "tpch_schema",
+    "__version__",
+]

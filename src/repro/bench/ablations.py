@@ -1,0 +1,245 @@
+"""Ablation studies for design choices the paper calls out.
+
+Three ablations, each corresponding to an explicit design argument in
+the paper:
+
+1. **Pruning variant** (Section 6.2): "It seems tempting to reduce the
+   number of stored plans further by discarding all plans that a newly
+   inserted plan approximately dominates. [...] the additional change
+   would destroy near-optimality guarantees." We run the RTA with both
+   pruning variants and measure the worst observed approximation factor
+   against the EXA optimum.
+2. **Internal precision** (Theorem 3): the RTA derives its internal
+   pruning precision as ``alpha_U ** (1/|Q|)``. Pruning directly with
+   ``alpha_U`` per level compounds to ``alpha_U^|Q|`` — faster but the
+   guarantee degrades with query size.
+3. **Refinement policy** (Section 7.2): the paper's
+   ``alpha_U ** (2**(-i/(3l-3)))`` schedule against a fast-halving and
+   a slow schedule, measuring iterations and total generated plans
+   (redundant-work proxy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bench.experiments import BENCH_CONFIG, make_optimizer
+from repro.core.exa import exact_moqo
+from repro.core.ira import (
+    PrecisionPolicy,
+    halving_policy,
+    ira,
+    iteration_precision,
+    slow_policy,
+)
+from repro.core.pruning import AggressivePlanSet, PlanSet
+from repro.core.rta import rta
+from repro.workload import TestCase, WorkloadGenerator
+
+
+@dataclass
+class PruningAblationRow:
+    """Observed quality of one pruning variant on one test case."""
+
+    variant: str
+    query_number: int
+    case_index: int
+    approximation_factor: float
+    frontier_size: int
+    plans_considered: int
+
+
+def pruning_variant_ablation(
+    query_numbers: Sequence[int] = (3, 10),
+    alpha_u: float = 2.0,
+    cases: int = 3,
+    seed: int = 7,
+    timeout_seconds: float = 30.0,
+) -> list[PruningAblationRow]:
+    """RTA vs the guarantee-destroying aggressive pruning variant.
+
+    The approximation factor is the plan's weighted cost divided by the
+    EXA optimum for the same case; for the sound variant it must stay
+    at or below ``alpha_u``.
+    """
+    optimizer = make_optimizer(timeout_seconds=timeout_seconds)
+    generator = WorkloadGenerator(
+        optimizer.schema, config=BENCH_CONFIG, seed=seed
+    )
+    rows: list[PruningAblationRow] = []
+    for query_number in query_numbers:
+        for case in generator.weighted_cases(query_number, 3, cases):
+            rows.extend(
+                _run_pruning_case(optimizer, case, alpha_u)
+            )
+    return rows
+
+
+def _run_pruning_case(optimizer, case: TestCase, alpha_u: float):
+    block = case.query.main_block
+    exact = exact_moqo(
+        block, optimizer.cost_model, case.preferences, optimizer.config
+    )
+    optimum = exact.weighted_cost
+    rows = []
+    for variant, factory_cls in (
+        ("standard", PlanSet),
+        ("aggressive", AggressivePlanSet),
+    ):
+        alpha_internal = alpha_u ** (1.0 / block.num_tables)
+        result = rta(
+            block,
+            optimizer.cost_model,
+            case.preferences.without_bounds(),
+            alpha_u,
+            optimizer.config,
+            plan_set_factory=lambda: factory_cls(alpha=alpha_internal),
+            _algorithm_label=f"rta-{variant}",
+        )
+        factor = (
+            result.weighted_cost / optimum if optimum > 0 else 1.0
+        )
+        rows.append(
+            PruningAblationRow(
+                variant=variant,
+                query_number=case.query_number,
+                case_index=case.case_index,
+                approximation_factor=factor,
+                frontier_size=len(result.frontier),
+                plans_considered=result.plans_considered,
+            )
+        )
+    return rows
+
+
+@dataclass
+class PrecisionAblationRow:
+    """One internal-precision variant on one test case."""
+
+    variant: str
+    query_number: int
+    case_index: int
+    approximation_factor: float
+    plans_considered: int
+    time_ms: float
+
+
+def internal_precision_ablation(
+    query_numbers: Sequence[int] = (3, 10),
+    alpha_u: float = 2.0,
+    cases: int = 3,
+    seed: int = 11,
+    timeout_seconds: float = 30.0,
+) -> list[PrecisionAblationRow]:
+    """``alpha_U ** (1/n)`` (sound) vs pruning directly with ``alpha_U``."""
+    optimizer = make_optimizer(timeout_seconds=timeout_seconds)
+    generator = WorkloadGenerator(
+        optimizer.schema, config=BENCH_CONFIG, seed=seed
+    )
+    rows: list[PrecisionAblationRow] = []
+    for query_number in query_numbers:
+        for case in generator.weighted_cases(query_number, 3, cases):
+            block = case.query.main_block
+            exact = exact_moqo(
+                block, optimizer.cost_model, case.preferences,
+                optimizer.config,
+            )
+            optimum = exact.weighted_cost
+            for variant, internal in (
+                ("nth_root", alpha_u ** (1.0 / block.num_tables)),
+                ("direct", alpha_u),
+            ):
+                result = rta(
+                    block,
+                    optimizer.cost_model,
+                    case.preferences.without_bounds(),
+                    alpha_u,
+                    optimizer.config,
+                    plan_set_factory=lambda: PlanSet(alpha=internal),
+                    _algorithm_label=f"rta-{variant}",
+                )
+                rows.append(
+                    PrecisionAblationRow(
+                        variant=variant,
+                        query_number=case.query_number,
+                        case_index=case.case_index,
+                        approximation_factor=(
+                            result.weighted_cost / optimum
+                            if optimum > 0
+                            else 1.0
+                        ),
+                        plans_considered=result.plans_considered,
+                        time_ms=result.optimization_time_ms,
+                    )
+                )
+    return rows
+
+
+@dataclass
+class PolicyAblationRow:
+    """One refinement policy on one bounded test case."""
+
+    policy: str
+    query_number: int
+    case_index: int
+    iterations: int
+    plans_considered: int
+    time_ms: float
+    weighted_cost: float
+
+REFINEMENT_POLICIES: dict[str, PrecisionPolicy] = {
+    "paper": iteration_precision,
+    "halving": halving_policy,
+    "slow": slow_policy,
+}
+
+
+def refinement_policy_ablation(
+    query_numbers: Sequence[int] = (3, 10),
+    alpha_u: float = 1.5,
+    cases: int = 3,
+    num_bounds: int = 3,
+    num_objectives: int = 3,
+    seed: int = 13,
+    timeout_seconds: float = 30.0,
+) -> list[PolicyAblationRow]:
+    """Compare refinement policies on bounded MOQO instances.
+
+    Total ``plans_considered`` is the redundant-work proxy: a policy
+    that refines too slowly re-generates nearly identical plan sets in
+    many iterations.
+    """
+    optimizer = make_optimizer(timeout_seconds=timeout_seconds)
+    generator = WorkloadGenerator(
+        optimizer.schema, config=BENCH_CONFIG, seed=seed
+    )
+    rows: list[PolicyAblationRow] = []
+    for query_number in query_numbers:
+        test_cases = generator.bounded_cases(
+            query_number, num_bounds=num_bounds, count=cases,
+            num_objectives=num_objectives,
+        )
+        for case in test_cases:
+            block = case.query.main_block
+            for name, policy in REFINEMENT_POLICIES.items():
+                result = ira(
+                    block,
+                    optimizer.cost_model,
+                    case.preferences,
+                    alpha_u,
+                    optimizer.config,
+                    precision_policy=policy,
+                )
+                rows.append(
+                    PolicyAblationRow(
+                        policy=name,
+                        query_number=case.query_number,
+                        case_index=case.case_index,
+                        iterations=result.iterations,
+                        plans_considered=result.plans_considered,
+                        time_ms=result.optimization_time_ms,
+                        weighted_cost=result.weighted_cost,
+                    )
+                )
+    return rows

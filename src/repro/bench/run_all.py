@@ -1,0 +1,137 @@
+"""One-command reproduction runner: ``python -m repro.bench.run_all``.
+
+Runs every figure experiment in sequence at the configured scale,
+prints the tables and writes them into a results directory. The same
+experiments also run under pytest-benchmark (``pytest benchmarks/
+--benchmark-only``) with shape assertions; this runner is for producing
+the tables without the test harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.experiments import (
+    figure3_experiment,
+    figure4_experiment,
+    figure5_experiment,
+    figure7_data,
+    figure9_experiment,
+    figure10_experiment,
+)
+from repro.bench.reporting import (
+    FIGURE5_METRICS,
+    FIGURE9_METRICS,
+    FIGURE10_METRICS,
+    format_figure,
+    format_series,
+)
+from repro.bench.running_example import (
+    bounded_optimum,
+    classify_vectors,
+    figure8_pathology,
+    pareto_frontier,
+    weighted_optimum,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.run_all",
+        description="Regenerate every figure of the paper's evaluation",
+    )
+    parser.add_argument(
+        "--output", default="benchmarks/results", metavar="DIR",
+        help="directory for the result tables",
+    )
+    parser.add_argument(
+        "--cases", type=int, default=None,
+        help="test cases per cell (paper: 20; default from env/3)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-query timeout (paper: 7200; default from env/2)",
+    )
+    parser.add_argument(
+        "--figures", default="1,3,4,5,7,9,10", metavar="LIST",
+        help="comma-separated figure numbers to run",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    output_dir = pathlib.Path(args.output)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    wanted = {part.strip() for part in args.figures.split(",") if part.strip()}
+
+    def emit(name: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{text}")
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+
+    def progress(message: str) -> None:
+        print(f"  ... {message}", flush=True)
+
+    started = time.perf_counter()
+    if "1" in wanted:
+        lines = [
+            "Figures 1/2/6/8 — running example",
+            f"[1a] weighted optimum:  {weighted_optimum()}",
+            f"[1b] bounded optimum:   {bounded_optimum()}",
+            f"[2]  Pareto frontier:   {pareto_frontier()}",
+            f"[6]  classification:    "
+            f"{ {k: len(v) for k, v in classify_vectors().items()} }",
+            f"[8]  pathology:         {figure8_pathology()}",
+        ]
+        emit("run_all_fig1", "\n".join(lines))
+    if "3" in wanted:
+        outcome = figure3_experiment()
+        lines = ["Figure 3 — plan evolution for TPC-H Q3"]
+        for label, info in outcome.items():
+            lines.append(f"--- {label} ---")
+            lines.append(info["plan"].describe())
+        emit("run_all_fig3", "\n".join(lines))
+    if "4" in wanted:
+        frontiers = figure4_experiment()
+        lines = ["Figure 4 — approximate Pareto frontiers for Q5"]
+        for alpha, points in frontiers.items():
+            lines.append(f"alpha = {alpha}: {len(points)} frontier plans")
+        emit("run_all_fig4", "\n".join(lines))
+    if "5" in wanted:
+        cells = figure5_experiment(
+            cases=args.cases, timeout_seconds=args.timeout,
+            progress=progress,
+        )
+        emit("run_all_fig5",
+             format_figure("Figure 5 — EXA on TPC-H", cells,
+                           FIGURE5_METRICS))
+    if "7" in wanted:
+        emit("run_all_fig7",
+             format_series("Figure 7 — complexity curves", figure7_data()))
+    if "9" in wanted:
+        cells = figure9_experiment(
+            cases=args.cases, timeout_seconds=args.timeout,
+            progress=progress,
+        )
+        emit("run_all_fig9",
+             format_figure("Figure 9 — weighted MOQO", cells,
+                           FIGURE9_METRICS))
+    if "10" in wanted:
+        cells = figure10_experiment(
+            cases=args.cases, timeout_seconds=args.timeout,
+            progress=progress,
+        )
+        emit("run_all_fig10",
+             format_figure("Figure 10 — bounded MOQO", cells,
+                           FIGURE10_METRICS, parameter_label="b"))
+    elapsed = time.perf_counter() - started
+    print(f"\nall requested figures regenerated in {elapsed:.1f}s "
+          f"-> {output_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""The paper's running example (Figures 1, 2, 6 and 8).
+
+The paper uses one fixed set of two-dimensional cost vectors (buffer
+space, time) throughout Sections 3-7 to illustrate weighted MOQO,
+bounded-weighted MOQO, the Pareto frontier, approximate dominance and
+the bounded-approximation pathology. The exact coordinates are only
+shown graphically; the vectors below are read off Figure 1 and chosen
+so that every statement the paper makes about the example holds:
+
+* with weights ``(1, 1)`` the weighted optimum is ``WEIGHTED_OPTIMUM``;
+* adding the bounds makes a *different* plan optimal (Figure 1b);
+* with ``alpha = 1.5`` several non-Pareto vectors fall into the
+  approximately dominated area but not the dominated area (Figure 6);
+* an ``alpha``-approximate Pareto set exists that contains no
+  near-optimal plan once the bounds are applied (Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.core.pareto import (
+    approximately_dominated_by_set,
+    dominated_by_set,
+    pareto_filter,
+)
+from repro.cost.vector import respects_bounds, weighted_cost
+
+#: (buffer space, time) cost vectors of the running example's plans.
+#: ``(2.6, 0.7)`` is Pareto-optimal but approximately dominated (with
+#: alpha = 1.5) by ``(3.0, 0.5)`` — the Figure 6 distinction between the
+#: dominated and the approximately dominated area.
+RUNNING_EXAMPLE_VECTORS: tuple[tuple[float, float], ...] = (
+    (0.5, 2.5),
+    (1.0, 1.5),
+    (1.5, 2.75),
+    (2.0, 1.0),
+    (2.5, 2.0),
+    (2.6, 0.7),
+    (3.0, 0.5),
+    (4.0, 2.25),
+)
+
+#: Weights of the weighted-MOQO illustration (Figure 1a).
+RUNNING_EXAMPLE_WEIGHTS: tuple[float, float] = (1.0, 1.0)
+
+#: Bounds of the bounded-weighted illustration (Figure 1b): the
+#: weighted optimum violates the time bound, so a different plan wins.
+RUNNING_EXAMPLE_BOUNDS: tuple[float, float] = (3.25, 1.3)
+
+
+def weighted_optimum(
+    vectors=RUNNING_EXAMPLE_VECTORS, weights=RUNNING_EXAMPLE_WEIGHTS
+) -> tuple[float, float]:
+    """Optimal cost vector under weights only (Figure 1a)."""
+    return min(vectors, key=lambda c: weighted_cost(c, weights))
+
+
+def bounded_optimum(
+    vectors=RUNNING_EXAMPLE_VECTORS,
+    weights=RUNNING_EXAMPLE_WEIGHTS,
+    bounds=RUNNING_EXAMPLE_BOUNDS,
+) -> tuple[float, float]:
+    """Optimal cost vector under weights and bounds (Figure 1b)."""
+    respecting = [c for c in vectors if respects_bounds(c, bounds)]
+    pool = respecting if respecting else list(vectors)
+    return min(pool, key=lambda c: weighted_cost(c, weights))
+
+
+def pareto_frontier(vectors=RUNNING_EXAMPLE_VECTORS) -> list[tuple[float, ...]]:
+    """Pareto frontier of the running example (Figure 2)."""
+    return pareto_filter(vectors)
+
+
+def classify_vectors(
+    vectors=RUNNING_EXAMPLE_VECTORS, alpha: float = 1.5
+) -> dict[str, list[tuple[float, ...]]]:
+    """Partition vectors for the Figure 6 illustration.
+
+    Every vector is compared against all *other* vectors (the EXA keeps
+    a plan unless another plan dominates it; the RTA additionally drops
+    plans another plan approximately dominates):
+
+    * ``dominated`` — pruned by the EXA and the RTA;
+    * ``approximately_dominated`` — kept by the EXA, prunable by the RTA
+      with precision ``alpha`` (the area between the two frontiers of
+      Figure 6);
+    * ``kept`` — survives both pruning rules.
+    """
+    normalized = [tuple(float(x) for x in v) for v in vectors]
+    frontier = pareto_filter(normalized)
+    dominated: list[tuple[float, ...]] = []
+    approximately: list[tuple[float, ...]] = []
+    kept: list[tuple[float, ...]] = []
+    for vector in normalized:
+        others = [v for v in normalized if v != vector]
+        if dominated_by_set(vector, others):
+            dominated.append(vector)
+        elif approximately_dominated_by_set(vector, others, alpha):
+            approximately.append(vector)
+        else:
+            kept.append(vector)
+    return {
+        "pareto": frontier,
+        "dominated": dominated,
+        "approximately_dominated": approximately,
+        "kept": kept,
+    }
+
+
+def figure8_pathology(alpha: float = 1.5) -> dict[str, object]:
+    """A concrete instance of the Figure 8 pathology.
+
+    Constructs a 2-vector example: ``kept`` approximately dominates
+    ``discarded`` (so an alpha-approximate Pareto set may contain only
+    ``kept``), yet only ``discarded`` respects the bounds — the
+    approximate set then contains no bound-respecting plan at all,
+    which is why the RTA alone cannot solve bounded MOQO and the IRA's
+    iterative refinement is needed.
+    """
+    discarded = (2.0, 1.0)
+    kept = (1.5, 1.2)
+    bounds = (3.0, 1.05)
+    return {
+        "alpha": alpha,
+        "kept": kept,
+        "discarded": discarded,
+        "bounds": bounds,
+        "kept_approx_dominates": all(
+            k <= d * alpha for k, d in zip(kept, discarded)
+        ),
+        "discarded_respects_bounds": respects_bounds(discarded, bounds),
+        "kept_respects_bounds": respects_bounds(kept, bounds),
+    }

@@ -1,0 +1,27 @@
+"""Catalog substrate: schema, table/column/index statistics, TPC-H."""
+
+from repro.catalog.column import Column, DataType
+from repro.catalog.index import Index
+from repro.catalog.schema import Schema, build_schema
+from repro.catalog.statistics import (
+    Histogram,
+    equality_predicate,
+    range_predicate,
+)
+from repro.catalog.table import PAGE_SIZE, Table
+from repro.catalog.tpch import SF1_ROW_COUNTS, tpch_schema
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Histogram",
+    "Index",
+    "PAGE_SIZE",
+    "Schema",
+    "SF1_ROW_COUNTS",
+    "Table",
+    "build_schema",
+    "equality_predicate",
+    "range_predicate",
+    "tpch_schema",
+]

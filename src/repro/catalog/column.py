@@ -1,0 +1,88 @@
+"""Column metadata used by the statistics-driven cost model.
+
+The optimizer never touches actual data; it reasons about columns through
+the statistics stored here (average byte width, number of distinct values,
+null fraction), exactly like the statistics a production optimizer reads
+from the system catalog.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DataType(enum.Enum):
+    """Logical column types (width defaults derive from these)."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DECIMAL = "decimal"
+    CHAR = "char"
+    VARCHAR = "varchar"
+    DATE = "date"
+
+    @property
+    def default_width(self) -> int:
+        """Average stored width in bytes for the type."""
+        return _DEFAULT_WIDTHS[self]
+
+
+_DEFAULT_WIDTHS = {
+    DataType.INTEGER: 4,
+    DataType.BIGINT: 8,
+    DataType.DECIMAL: 8,
+    DataType.CHAR: 12,
+    DataType.VARCHAR: 24,
+    DataType.DATE: 4,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """Statistics for one column of a base table.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    data_type:
+        Logical type; determines the default byte width.
+    n_distinct:
+        Estimated number of distinct values. Used for join selectivity
+        estimation (``1 / max(ndv_left, ndv_right)``).
+    byte_width:
+        Average width in bytes; defaults to the type's default width.
+    null_fraction:
+        Fraction of NULL values in ``[0, 1]``.
+    """
+
+    name: str
+    data_type: DataType
+    n_distinct: int
+    byte_width: int = field(default=0)
+    null_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+        if self.n_distinct < 1:
+            raise ValueError(f"n_distinct must be >= 1, got {self.n_distinct}")
+        if not 0.0 <= self.null_fraction <= 1.0:
+            raise ValueError(
+                f"null_fraction must be in [0, 1], got {self.null_fraction}"
+            )
+        if self.byte_width == 0:
+            object.__setattr__(self, "byte_width", self.data_type.default_width)
+        if self.byte_width < 1:
+            raise ValueError(f"byte_width must be >= 1, got {self.byte_width}")
+
+    def scaled(self, factor: float) -> "Column":
+        """Return a copy with ``n_distinct`` scaled by ``factor`` (>= 1)."""
+        return Column(
+            name=self.name,
+            data_type=self.data_type,
+            n_distinct=max(1, int(self.n_distinct * factor)),
+            byte_width=self.byte_width,
+            null_fraction=self.null_fraction,
+        )

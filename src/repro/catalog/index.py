@@ -1,0 +1,57 @@
+"""Index metadata (B-tree style) used for index-scan costing."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import CatalogError
+
+#: Fan-out assumed for B-tree height estimation.
+BTREE_FANOUT = 256
+
+#: Entries per leaf page (key + pointer packing).
+LEAF_ENTRIES_PER_PAGE = 350
+
+
+@dataclass(frozen=True)
+class Index:
+    """A B-tree index over one or more columns of a base table.
+
+    Only statistics needed by the cost model are kept: the table, the key
+    columns (lookup uses the leading column), uniqueness, and the indexed
+    row count from which height and leaf page counts are derived.
+    """
+
+    name: str
+    table_name: str
+    column_names: tuple[str, ...]
+    row_count: int
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.column_names:
+            raise CatalogError(f"index {self.name!r} must cover >= 1 column")
+        if self.row_count < 0:
+            raise CatalogError("index row_count must be >= 0")
+
+    @property
+    def leading_column(self) -> str:
+        """First key column — the one usable for single-column lookups."""
+        return self.column_names[0]
+
+    @property
+    def leaf_pages(self) -> int:
+        """Estimated number of leaf pages."""
+        return max(1, math.ceil(self.row_count / LEAF_ENTRIES_PER_PAGE))
+
+    @property
+    def height(self) -> int:
+        """Estimated number of inner levels above the leaves (>= 1)."""
+        if self.row_count <= LEAF_ENTRIES_PER_PAGE:
+            return 1
+        return max(1, math.ceil(math.log(self.leaf_pages, BTREE_FANOUT)) + 1)
+
+    def covers(self, column_name: str) -> bool:
+        """Whether ``column_name`` is the leading key of this index."""
+        return self.leading_column == column_name

@@ -1,0 +1,124 @@
+"""Schema container: tables plus their indexes."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.index import Index
+from repro.catalog.table import Table
+from repro.exceptions import CatalogError, UnknownTableError
+
+
+class Schema:
+    """A named collection of tables and indexes.
+
+    The schema is the root object the optimizer is constructed over; it
+    plays the role of the database catalog.
+    """
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, Index] = {}
+        self._indexes_by_table: dict[str, list[Index]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        """Register ``table``; raises on duplicate names."""
+        if table.name in self._tables:
+            raise CatalogError(f"duplicate table {table.name!r}")
+        self._tables[table.name] = table
+        self._indexes_by_table.setdefault(table.name, [])
+        return table
+
+    def add_index(self, index: Index) -> Index:
+        """Register ``index``; the indexed table and columns must exist."""
+        if index.name in self._indexes:
+            raise CatalogError(f"duplicate index {index.name!r}")
+        table = self.table(index.table_name)
+        for column_name in index.column_names:
+            if not table.has_column(column_name):
+                raise CatalogError(
+                    f"index {index.name!r} references unknown column "
+                    f"{index.table_name}.{column_name}"
+                )
+        self._indexes[index.name] = index
+        self._indexes_by_table.setdefault(index.table_name, []).append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        """Return the table named ``name`` or raise ``UnknownTableError``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table named ``name`` exists."""
+        return name in self._tables
+
+    @property
+    def tables(self) -> tuple[Table, ...]:
+        """All tables in registration order."""
+        return tuple(self._tables.values())
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all tables in registration order."""
+        return tuple(self._tables)
+
+    @property
+    def indexes(self) -> tuple[Index, ...]:
+        """All indexes in registration order."""
+        return tuple(self._indexes.values())
+
+    def indexes_on(self, table_name: str) -> tuple[Index, ...]:
+        """All indexes on ``table_name`` (may be empty)."""
+        self.table(table_name)
+        return tuple(self._indexes_by_table.get(table_name, ()))
+
+    def index_on_column(self, table_name: str, column_name: str) -> Index | None:
+        """An index whose leading key is ``column_name``, if any."""
+        for index in self.indexes_on(table_name):
+            if index.covers(column_name):
+                return index
+        return None
+
+    def scaled(self, factor: float) -> "Schema":
+        """Return a new schema with all tables scaled by ``factor``."""
+        scaled = Schema(name=f"{self.name}@x{factor:g}")
+        for table in self.tables:
+            scaled.add_table(table.scaled(factor))
+        for index in self.indexes:
+            scaled.add_index(
+                Index(
+                    name=index.name,
+                    table_name=index.table_name,
+                    column_names=index.column_names,
+                    row_count=scaled.table(index.table_name).row_count,
+                    unique=index.unique,
+                )
+            )
+        return scaled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({self.name!r}, tables={list(self._tables)})"
+
+
+def build_schema(
+    name: str,
+    tables: Iterable[Table],
+    indexes: Iterable[Index] = (),
+) -> Schema:
+    """Convenience constructor for a schema from iterables."""
+    schema = Schema(name)
+    for table in tables:
+        schema.add_table(table)
+    for index in indexes:
+        schema.add_index(index)
+    return schema

@@ -1,0 +1,96 @@
+"""Base-table statistics (cardinality, width, page count)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.catalog.column import Column
+from repro.exceptions import CatalogError, UnknownColumnError
+
+#: Storage page size in bytes (Postgres default).
+PAGE_SIZE = 8192
+
+#: Per-tuple storage overhead in bytes (header + item pointer), Postgres-like.
+TUPLE_OVERHEAD = 28
+
+
+@dataclass
+class Table:
+    """Statistics for one base table.
+
+    The optimizer's cost model derives everything it needs — page counts,
+    tuple widths, distinct counts — from this object. Rows themselves only
+    exist in the optional execution engine.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    row_count: int
+    page_size: int = PAGE_SIZE
+    _by_name: dict[str, Column] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("table name must be non-empty")
+        if self.row_count < 0:
+            raise CatalogError(f"row_count must be >= 0, got {self.row_count}")
+        if not self.columns:
+            raise CatalogError(f"table {self.name!r} must have columns")
+        self._by_name = {}
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            self._by_name[column.name] = column
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name`` or raise ``UnknownColumnError``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(self.name, name) from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether the table contains a column named ``name``."""
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def tuple_width(self) -> int:
+        """Average stored tuple width in bytes, including overhead."""
+        return TUPLE_OVERHEAD + sum(c.byte_width for c in self.columns)
+
+    @property
+    def byte_size(self) -> int:
+        """Estimated total table size in bytes."""
+        return self.row_count * self.tuple_width
+
+    @property
+    def pages(self) -> int:
+        """Number of storage pages occupied by the table (>= 1)."""
+        if self.row_count == 0:
+            return 1
+        tuples_per_page = max(1, self.page_size // self.tuple_width)
+        return max(1, math.ceil(self.row_count / tuples_per_page))
+
+    def n_distinct(self, column_name: str) -> int:
+        """Distinct-value count of a column, capped by the row count."""
+        ndv = self.column(column_name).n_distinct
+        return max(1, min(ndv, self.row_count)) if self.row_count else 1
+
+    def scaled(self, factor: float) -> "Table":
+        """Return a copy with row count (and key cardinalities) scaled."""
+        if factor <= 0:
+            raise CatalogError(f"scale factor must be > 0, got {factor}")
+        return Table(
+            name=self.name,
+            columns=tuple(c.scaled(factor) for c in self.columns),
+            row_count=max(1, int(self.row_count * factor)),
+            page_size=self.page_size,
+        )

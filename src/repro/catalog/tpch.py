@@ -1,0 +1,190 @@
+"""TPC-H schema and statistics at a configurable scale factor.
+
+The statistics (cardinalities, distinct counts, widths) follow the TPC-H
+specification at scale factor 1 and scale linearly with the scale factor
+for the large tables, mirroring what a database catalog would hold after
+loading a TPC-H database and running ANALYZE.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.column import Column, DataType
+from repro.catalog.index import Index
+from repro.catalog.schema import Schema
+from repro.catalog.table import Table
+
+#: Base-table cardinalities at scale factor 1, per the TPC-H specification.
+SF1_ROW_COUNTS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_001_215,
+}
+
+#: Tables whose cardinality does not scale with the scale factor.
+FIXED_SIZE_TABLES = frozenset({"region", "nation"})
+
+_INT = DataType.INTEGER
+_DEC = DataType.DECIMAL
+_CHR = DataType.CHAR
+_VAR = DataType.VARCHAR
+_DAT = DataType.DATE
+
+
+def _rows(table: str, scale_factor: float) -> int:
+    base = SF1_ROW_COUNTS[table]
+    if table in FIXED_SIZE_TABLES:
+        return base
+    return max(1, int(base * scale_factor))
+
+
+def tpch_schema(scale_factor: float = 1.0) -> Schema:
+    """Build the TPC-H schema with statistics at ``scale_factor``.
+
+    Every table gets a primary-key index plus indexes on all foreign-key
+    columns — the physical design the paper's Postgres setup relies on for
+    index-nested-loop joins.
+    """
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be > 0, got {scale_factor}")
+
+    schema = Schema(name=f"tpch@sf{scale_factor:g}")
+    region = _rows("region", scale_factor)
+    nation = _rows("nation", scale_factor)
+    supplier = _rows("supplier", scale_factor)
+    customer = _rows("customer", scale_factor)
+    part = _rows("part", scale_factor)
+    partsupp = _rows("partsupp", scale_factor)
+    orders = _rows("orders", scale_factor)
+    lineitem = _rows("lineitem", scale_factor)
+
+    def col(name: str, dtype: DataType, ndv: int, width: int = 0) -> Column:
+        return Column(name=name, data_type=dtype, n_distinct=max(1, ndv),
+                      byte_width=width)
+
+    schema.add_table(Table("region", (
+        col("r_regionkey", _INT, region),
+        col("r_name", _CHR, region),
+        col("r_comment", _VAR, region, width=60),
+    ), row_count=region))
+
+    schema.add_table(Table("nation", (
+        col("n_nationkey", _INT, nation),
+        col("n_name", _CHR, nation),
+        col("n_regionkey", _INT, region),
+        col("n_comment", _VAR, nation, width=60),
+    ), row_count=nation))
+
+    schema.add_table(Table("supplier", (
+        col("s_suppkey", _INT, supplier),
+        col("s_name", _CHR, supplier, width=18),
+        col("s_address", _VAR, supplier, width=25),
+        col("s_nationkey", _INT, nation),
+        col("s_phone", _CHR, supplier, width=15),
+        col("s_acctbal", _DEC, supplier),
+        col("s_comment", _VAR, supplier, width=60),
+    ), row_count=supplier))
+
+    schema.add_table(Table("customer", (
+        col("c_custkey", _INT, customer),
+        col("c_name", _VAR, customer, width=18),
+        col("c_address", _VAR, customer, width=25),
+        col("c_nationkey", _INT, nation),
+        col("c_phone", _CHR, customer, width=15),
+        col("c_acctbal", _DEC, customer),
+        col("c_mktsegment", _CHR, 5, width=10),
+        col("c_comment", _VAR, customer, width=70),
+    ), row_count=customer))
+
+    schema.add_table(Table("part", (
+        col("p_partkey", _INT, part),
+        col("p_name", _VAR, part, width=32),
+        col("p_mfgr", _CHR, 5, width=25),
+        col("p_brand", _CHR, 25, width=10),
+        col("p_type", _VAR, 150, width=20),
+        col("p_size", _INT, 50),
+        col("p_container", _CHR, 40, width=10),
+        col("p_retailprice", _DEC, min(part, 50_000)),
+        col("p_comment", _VAR, part, width=15),
+    ), row_count=part))
+
+    schema.add_table(Table("partsupp", (
+        col("ps_partkey", _INT, part),
+        col("ps_suppkey", _INT, supplier),
+        col("ps_availqty", _INT, 10_000),
+        col("ps_supplycost", _DEC, min(partsupp, 100_000)),
+        col("ps_comment", _VAR, partsupp, width=120),
+    ), row_count=partsupp))
+
+    schema.add_table(Table("orders", (
+        col("o_orderkey", _INT, orders),
+        col("o_custkey", _INT, customer),
+        col("o_orderstatus", _CHR, 3, width=1),
+        col("o_totalprice", _DEC, min(orders, 1_200_000)),
+        col("o_orderdate", _DAT, 2_406),
+        col("o_orderpriority", _CHR, 5, width=15),
+        col("o_clerk", _CHR, min(orders, 1_000), width=15),
+        col("o_shippriority", _INT, 1),
+        col("o_comment", _VAR, orders, width=48),
+    ), row_count=orders))
+
+    schema.add_table(Table("lineitem", (
+        col("l_orderkey", _INT, orders),
+        col("l_partkey", _INT, part),
+        col("l_suppkey", _INT, supplier),
+        col("l_linenumber", _INT, 7),
+        col("l_quantity", _DEC, 50),
+        col("l_extendedprice", _DEC, min(lineitem, 930_000)),
+        col("l_discount", _DEC, 11),
+        col("l_tax", _DEC, 9),
+        col("l_returnflag", _CHR, 3, width=1),
+        col("l_linestatus", _CHR, 2, width=1),
+        col("l_shipdate", _DAT, 2_526),
+        col("l_commitdate", _DAT, 2_466),
+        col("l_receiptdate", _DAT, 2_554),
+        col("l_shipinstruct", _CHR, 4, width=25),
+        col("l_shipmode", _CHR, 7, width=10),
+        col("l_comment", _VAR, lineitem, width=27),
+    ), row_count=lineitem))
+
+    _add_indexes(schema)
+    return schema
+
+
+#: (index name, table, key column, unique) — primary keys and foreign keys.
+_INDEX_SPECS = (
+    ("region_pkey", "region", "r_regionkey", True),
+    ("nation_pkey", "nation", "n_nationkey", True),
+    ("nation_regionkey_idx", "nation", "n_regionkey", False),
+    ("supplier_pkey", "supplier", "s_suppkey", True),
+    ("supplier_nationkey_idx", "supplier", "s_nationkey", False),
+    ("customer_pkey", "customer", "c_custkey", True),
+    ("customer_nationkey_idx", "customer", "c_nationkey", False),
+    ("part_pkey", "part", "p_partkey", True),
+    ("partsupp_partkey_idx", "partsupp", "ps_partkey", False),
+    ("partsupp_suppkey_idx", "partsupp", "ps_suppkey", False),
+    ("orders_pkey", "orders", "o_orderkey", True),
+    ("orders_custkey_idx", "orders", "o_custkey", False),
+    ("orders_orderdate_idx", "orders", "o_orderdate", False),
+    ("lineitem_orderkey_idx", "lineitem", "l_orderkey", False),
+    ("lineitem_partkey_idx", "lineitem", "l_partkey", False),
+    ("lineitem_suppkey_idx", "lineitem", "l_suppkey", False),
+    ("lineitem_shipdate_idx", "lineitem", "l_shipdate", False),
+)
+
+
+def _add_indexes(schema: Schema) -> None:
+    for name, table_name, column, unique in _INDEX_SPECS:
+        schema.add_index(
+            Index(
+                name=name,
+                table_name=table_name,
+                column_names=(column,),
+                row_count=schema.table(table_name).row_count,
+                unique=unique,
+            )
+        )

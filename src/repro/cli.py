@@ -1,0 +1,153 @@
+"""Command-line interface: optimize TPC-H queries from the terminal.
+
+Examples::
+
+    python -m repro.cli --query 3 --algorithm rta --alpha 1.5 \\
+        --objectives total_time,buffer_footprint,tuple_loss \\
+        --weight total_time=1 --weight tuple_loss=1e5
+
+    python -m repro.cli --query 5 --algorithm ira --alpha 1.2 \\
+        --objectives total_time,cores,tuple_loss \\
+        --weight total_time=1 --bound tuple_loss=0 --plot total_time:cores
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.catalog.tpch import tpch_schema
+from repro.config import DEFAULT_CONFIG, FAST_CONFIG
+from repro.core.optimizer import ALGORITHMS, MultiObjectiveOptimizer
+from repro.core.preferences import Preferences
+from repro.cost.objectives import Objective, parse_objective
+from repro.query.tpch_queries import tpch_query
+from repro.viz import frontier_scatter, frontier_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Many-objective query optimization on TPC-H "
+            "(Trummer & Koch, SIGMOD 2014 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--query", type=int, required=True, metavar="N",
+        help="TPC-H query number (1..22)",
+    )
+    parser.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="rta",
+        help="optimization algorithm (default: rta)",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=1.5,
+        help="approximation precision alpha >= 1 (default: 1.5)",
+    )
+    parser.add_argument(
+        "--objectives", required=True, metavar="O1,O2,...",
+        help="comma-separated objective names (e.g. total_time,tuple_loss)",
+    )
+    parser.add_argument(
+        "--weight", action="append", default=[], metavar="OBJ=W",
+        help="weight for one objective (repeatable)",
+    )
+    parser.add_argument(
+        "--bound", action="append", default=[], metavar="OBJ=B",
+        help="upper bound for one objective (repeatable)",
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=1.0,
+        help="TPC-H scale factor for the statistics (default: 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="optimization timeout (default: none)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use the reduced operator space (faster, smaller plan space)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="strict pruning closure (guarantees for any objective subset)",
+    )
+    parser.add_argument(
+        "--frontier", action="store_true",
+        help="print the full approximate Pareto frontier",
+    )
+    parser.add_argument(
+        "--plot", metavar="X:Y", default=None,
+        help="ASCII scatter of the frontier over two objectives",
+    )
+    return parser
+
+
+def _parse_assignments(pairs: list[str], label: str) -> dict[Objective, float]:
+    parsed: dict[Objective, float] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"malformed --{label} {pair!r}; expected OBJ=VALUE")
+        try:
+            parsed[parse_objective(name)] = float(value)
+        except ValueError as error:
+            raise SystemExit(f"bad --{label} {pair!r}: {error}")
+    return parsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        objectives = tuple(
+            parse_objective(name)
+            for name in args.objectives.split(",")
+            if name.strip()
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    weights = _parse_assignments(args.weight, "weight")
+    bounds = _parse_assignments(args.bound, "bound")
+    try:
+        preferences = Preferences.from_maps(objectives, weights, bounds)
+        query = tpch_query(args.query)
+    except Exception as error:  # surfaced as CLI errors, not tracebacks
+        raise SystemExit(str(error))
+
+    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    config = config.with_timeout(args.timeout)
+    optimizer = MultiObjectiveOptimizer(
+        tpch_schema(args.scale_factor), config=config
+    )
+    result = optimizer.optimize(
+        query, preferences, algorithm=args.algorithm, alpha=args.alpha,
+        strict=args.strict,
+    )
+
+    print(result.summary())
+    print()
+    if result.plan is not None:
+        print(result.plan.describe())
+        print()
+        for objective in objectives:
+            print(f"  {objective.name.lower():20s} "
+                  f"{result.cost_of(objective):12.6g} {objective.unit}")
+    if args.frontier:
+        print()
+        print(f"approximate Pareto frontier ({len(result.frontier)} plans):")
+        print(frontier_table(result, limit=50))
+    if args.plot:
+        x_name, _, y_name = args.plot.partition(":")
+        try:
+            x_objective = parse_objective(x_name)
+            y_objective = parse_objective(y_name)
+            print()
+            print(frontier_scatter(result, x_objective, y_objective))
+        except Exception as error:
+            raise SystemExit(f"--plot failed: {error}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The paper's contribution: EXA, RTA, IRA and supporting machinery."""
+
+from repro.core.baselines import idp_moqo, weighted_sum_baseline
+from repro.core.dp import strict_closure
+from repro.core.exa import exact_moqo
+from repro.core.instrumentation import Counters
+from repro.core.ira import ira, iteration_precision
+from repro.core.metrics import hypervolume, normalized_hypervolume
+from repro.core.optimizer import (
+    ALGORITHMS,
+    MultiObjectiveOptimizer,
+    combine_block_costs,
+)
+from repro.core.pareto import (
+    coverage_factor,
+    is_approximate_pareto_set,
+    is_pareto_set,
+)
+from repro.core.preferences import INFINITY, Preferences, relative_cost
+from repro.core.pruning import AggressivePlanSet, PlanSet, SingleBestPlanSet
+from repro.core.result import OptimizationResult
+from repro.core.rta import internal_precision, rta
+from repro.core.select_best import select_best
+from repro.core.selinger import minimum_cost, selinger
+
+__all__ = [
+    "ALGORITHMS",
+    "AggressivePlanSet",
+    "Counters",
+    "INFINITY",
+    "MultiObjectiveOptimizer",
+    "OptimizationResult",
+    "PlanSet",
+    "Preferences",
+    "SingleBestPlanSet",
+    "combine_block_costs",
+    "coverage_factor",
+    "exact_moqo",
+    "hypervolume",
+    "idp_moqo",
+    "internal_precision",
+    "normalized_hypervolume",
+    "strict_closure",
+    "weighted_sum_baseline",
+    "ira",
+    "is_approximate_pareto_set",
+    "is_pareto_set",
+    "iteration_precision",
+    "minimum_cost",
+    "relative_cost",
+    "rta",
+    "select_best",
+    "selinger",
+]

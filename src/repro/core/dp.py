@@ -1,0 +1,322 @@
+"""Bottom-up dynamic-programming plan enumeration (shared skeleton).
+
+This is the ``FindParetoPlans`` function of Algorithms 1 and 2: plans
+for singleton table sets come from the access paths; plans for larger
+sets are built from all splits into two (internally connected) subsets,
+all applicable operator configurations, and all combinations of stored
+sub-plans. Plan sets are pruned via :class:`repro.core.pruning.PlanSet`
+— with internal precision 1 this is the EXA, with precision
+``alpha_U ** (1/|Q|)`` the RTA.
+
+Timeout handling follows Section 5.1 of the paper: once the deadline
+passes, the run "finishes quickly by only generating one plan for all
+table sets that have not been treated so far" — remaining sets keep only
+the best weighted plan, built from the best weighted representative of
+each operand set.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable
+
+from repro.config import OptimizerConfig, PlanShape
+from repro.core.instrumentation import Counters
+from repro.core.pruning import PlanSet, SingleBestPlanSet
+from repro.cost import cardinality
+from repro.cost.model import CostModel
+from repro.cost.vector import project
+from repro.plans.operators import JoinMethod
+from repro.plans.plan import JoinPlan, Plan
+from repro.plans.plan_space import PlanSpace
+from repro.query.join_graph import JoinGraph
+from repro.query.query import Query
+
+#: Factory signature for plan-set construction (allows the ablation
+#: variant to be injected without changing the DP skeleton).
+PlanSetFactory = Callable[[], PlanSet]
+
+#: Vector positions involved in strict-mode closure (see DESIGN.md):
+#: startup time's recursive formula reads the sub-plans' total time.
+_STARTUP_INDEX = 1
+_TOTAL_INDEX = 0
+
+
+def strict_closure(indices: tuple[int, ...]) -> tuple[int, ...]:
+    """Extra objective dimensions strict mode adds to the pruning key.
+
+    Currently: total time, whenever startup time is selected without it
+    (the only cross-objective dependency among the cost formulas; the
+    cardinality dependency is handled by the appended rows dimension).
+    """
+    if _STARTUP_INDEX in indices and _TOTAL_INDEX not in indices:
+        return (_TOTAL_INDEX,)
+    return ()
+
+
+def strip_entries(entries, width: int):
+    """Drop strict-mode pruning dimensions from stored (cost, plan) pairs."""
+    return [(cost[:width], plan) for cost, plan in entries]
+
+
+class DPRun:
+    """One bottom-up enumeration over a single query block."""
+
+    def __init__(
+        self,
+        query: Query,
+        cost_model: CostModel,
+        config: OptimizerConfig,
+        indices: tuple[int, ...],
+        weights: tuple[float, ...],
+        alpha_internal: float = 1.0,
+        plan_set_factory: PlanSetFactory | None = None,
+        deadline: float | None = None,
+        counters: Counters | None = None,
+        extra_indices: tuple[int, ...] = (),
+        include_rows: bool = False,
+    ) -> None:
+        """``extra_indices`` appends further objective dimensions to the
+        pruning key (e.g. total time when only startup time is selected)
+        and ``include_rows`` appends the plan's output cardinality as an
+        exactly-compared dimension — together these form the *strict
+        mode* closure described in DESIGN.md. Weights are padded with
+        zeros over the appended dimensions, so weighted-cost decisions
+        (timeout fallback, SelectBest) are unaffected."""
+        self.query = query
+        self.cost_model = cost_model
+        self.config = config
+        self.indices = indices
+        self.extra_indices = extra_indices
+        self.include_rows = include_rows
+        self.weights = weights + (0.0,) * (
+            len(extra_indices) + (1 if include_rows else 0)
+        )
+        self.alpha_internal = alpha_internal
+        self.plan_space = PlanSpace(cost_model, config)
+        self.graph = JoinGraph(query)
+        self.deadline = deadline
+        self.counters = counters if counters is not None else Counters()
+        exact_suffix = 1 if include_rows else 0
+        self._factory: PlanSetFactory = plan_set_factory or (
+            lambda: PlanSet(alpha=alpha_internal, exact_suffix=exact_suffix)
+        )
+        self._check_interval = config.timeout_check_interval
+        self._since_check = 0
+        self._timed_out = False
+        self._all_indices = indices + extra_indices
+        self._full_projection = (
+            self._all_indices == tuple(range(9)) and not include_rows
+        )
+        self._nested_loop_specs = tuple(
+            spec
+            for spec in self.plan_space.generic_join_specs
+            if spec.method is JoinMethod.NESTED_LOOP
+        )
+
+    @property
+    def projection_width(self) -> int:
+        """Number of preference dimensions (prefix of stored tuples)."""
+        return len(self.indices)
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict[int, PlanSet]:
+        """Execute the enumeration; returns plan sets keyed by bitmask."""
+        graph = self.graph
+        masks = graph.connected_subsets()
+        self.counters.table_sets_total = len(masks)
+        sets: dict[int, PlanSet] = {}
+        for mask in masks:
+            fallback_before = self._timed_out
+            if mask.bit_count() == 1:
+                plan_set = self._build_singleton(mask)
+            else:
+                plan_set = self._build_composite(mask, sets)
+            sets[mask] = plan_set
+            # A set counts as "treated completely" only if the whole
+            # enumeration for it ran before the timeout.
+            self.counters.complete_table_set(
+                mask, len(plan_set),
+                fallback=fallback_before or self._timed_out,
+            )
+        self.counters.timed_out = self._timed_out
+        return sets
+
+    # ------------------------------------------------------------------
+    def _new_set(self) -> PlanSet:
+        if self._timed_out:
+            return SingleBestPlanSet(self.weights)
+        return self._factory()
+
+    def _build_singleton(self, mask: int) -> PlanSet:
+        alias = next(iter(self.graph.aliases_of(mask)))
+        plan_set = self._new_set()
+        for plan in self.plan_space.access_paths(self.query, alias):
+            self._consider(plan_set, plan)
+        return plan_set
+
+    def _build_composite(self, mask: int, sets: dict[int, PlanSet]) -> PlanSet:
+        plan_set = self._new_set()
+        graph = self.graph
+        left_deep = self.config.plan_shape is PlanShape.LEFT_DEEP
+        for left_mask, right_mask in graph.splits(mask):
+            left_set = sets.get(left_mask)
+            right_set = sets.get(right_mask)
+            if left_set is None or right_set is None or not left_set or not right_set:
+                # Internally disconnected halves carry no plans
+                # (standard connected-subgraph enumeration).
+                continue
+            if left_deep and not (
+                left_mask.bit_count() == 1 or right_mask.bit_count() == 1
+            ):
+                continue
+            predicates = graph.predicates_between(left_mask, right_mask)
+            selectivity = cardinality.join_selectivity(
+                self.cost_model.schema, self.query, predicates
+            )
+            # Left-deep trees require a base-table inner; bushy trees
+            # combine each unordered split in both operand orders.
+            if not left_deep or right_mask.bit_count() == 1:
+                self._combine_pair(plan_set, left_set, right_mask,
+                                   right_set, predicates, selectivity)
+            if not left_deep or left_mask.bit_count() == 1:
+                self._combine_pair(plan_set, right_set, left_mask,
+                                   left_set, predicates, selectivity)
+        return plan_set
+
+    def _combine_pair(
+        self,
+        target: PlanSet,
+        outer_set: PlanSet,
+        inner_mask: int,
+        inner_set: PlanSet,
+        predicates,
+        selectivity: float,
+    ) -> None:
+        """Join plans with ``outer`` as left and ``inner`` as right operand.
+
+        Hot loop: for every candidate the cost vector is computed first
+        and a :class:`JoinPlan` is only materialized if the target set
+        does not already (approximately) dominate it.
+        """
+        query = self.query
+        cost_model = self.cost_model
+        if self._timed_out:
+            # Timeout fallback: single representative per operand set.
+            outer_entry = outer_set.best_weighted(self.weights)
+            inner_entry = inner_set.best_weighted(self.weights)
+            outer_plans = [outer_entry[1]] if outer_entry else []
+            inner_plans = [inner_entry[1]] if inner_entry else []
+        else:
+            outer_plans = [plan for _, plan in outer_set]
+            inner_plans = [plan for _, plan in inner_set]
+
+        if predicates:
+            generic_specs = self.plan_space.generic_join_specs
+        else:
+            # Cartesian product: only nested loops are applicable.
+            generic_specs = self._nested_loop_specs
+
+        indices = self._all_indices
+        include_rows = self.include_rows
+        full_projection = self._full_projection
+        join_cost = cost_model.join_cost
+        counters = self.counters
+        for spec in generic_specs:
+            for left_plan in outer_plans:
+                left_rows = left_plan.rows
+                for right_plan in inner_plans:
+                    out_rows = left_rows * right_plan.rows * selectivity
+                    cost = join_cost(spec, left_plan, right_plan, out_rows)
+                    counters.plans_considered += 1
+                    if full_projection:
+                        projected = cost
+                    else:
+                        projected = tuple(cost[i] for i in indices)
+                        if include_rows:
+                            projected += (out_rows,)
+                    if not target.covers(projected):
+                        plan = JoinPlan(
+                            spec, left_plan, right_plan, out_rows,
+                            left_plan.width + right_plan.width,
+                            cost, cost[8],
+                        )
+                        target.force_insert(projected, plan)
+                    self._since_check += 1
+                    if self._since_check >= self._check_interval:
+                        self._since_check = 0
+                        self._check_deadline()
+                        if self._timed_out:
+                            return
+
+        # Index-nested-loop: inner must be a single base table with an
+        # index on a join column.
+        if predicates and inner_mask.bit_count() == 1:
+            inner_alias = next(iter(self.graph.aliases_of(inner_mask)))
+            if not self._allow_index_probe(inner_alias):
+                return
+            probes = self.plan_space.index_probe_inners(
+                query, inner_alias, predicates
+            )
+            for probe in probes:
+                probe_rows = probe.rows
+                for spec in self.plan_space.index_nl_specs:
+                    for left_plan in outer_plans:
+                        out_rows = left_plan.rows * probe_rows * selectivity
+                        cost = join_cost(spec, left_plan, probe, out_rows)
+                        counters.plans_considered += 1
+                        if full_projection:
+                            projected = cost
+                        else:
+                            projected = tuple(cost[i] for i in indices)
+                            if include_rows:
+                                projected += (out_rows,)
+                        if not target.covers(projected):
+                            plan = JoinPlan(
+                                spec, left_plan, probe, out_rows,
+                                left_plan.width + probe.width,
+                                cost, cost[8],
+                            )
+                            target.force_insert(projected, plan)
+                        self._since_check += 1
+                        if self._since_check >= self._check_interval:
+                            self._since_check = 0
+                            self._check_deadline()
+                            if self._timed_out:
+                                return
+
+    # ------------------------------------------------------------------
+    def _consider(self, target: PlanSet, plan: Plan) -> None:
+        """Prune ``target`` with a newly generated plan (leaf path)."""
+        counters = self.counters
+        counters.plans_considered += 1
+        projected = project(plan.cost, self._all_indices)
+        if self.include_rows:
+            projected += (plan.rows,)
+        target.insert(projected, plan)
+        self._since_check += 1
+        if self._since_check >= self._check_interval:
+            self._since_check = 0
+            self._check_deadline()
+
+    def _allow_index_probe(self, inner_alias: str) -> bool:
+        """Whether the alias may serve as an index-probe inner.
+
+        Subclasses representing virtual (already-committed) operands
+        override this — a virtual leaf is an intermediate result, not a
+        base table with indexes.
+        """
+        return True
+
+    def _check_deadline(self) -> None:
+        if (
+            not self._timed_out
+            and self.deadline is not None
+            and _time.perf_counter() > self.deadline
+        ):
+            self._timed_out = True
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether the deadline was hit during enumeration."""
+        return self._timed_out

@@ -1,0 +1,78 @@
+"""Counters collected during an optimizer run.
+
+The benchmark harness reports the same metrics as the paper's figures:
+optimization time, allocated memory, the number of Pareto plans for the
+last table set that was treated completely, and whether a timeout
+occurred. Memory is accounted analytically (stored plans x bytes per
+plan), matching the paper's observation that "the space consumption of
+the EXA directly relates to the number of Pareto plans".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plans.plan import PLAN_BYTES
+
+#: Fixed per-run overhead charged to every optimizer invocation (KB),
+#: standing in for the allocator baseline of the paper's measurements.
+BASE_MEMORY_KB = 64.0
+
+
+@dataclass
+class Counters:
+    """Mutable metrics for one optimizer run (one query block)."""
+
+    plans_considered: int = 0
+    plans_stored_peak: int = 0
+    pareto_last_complete: int = 0
+    table_sets_completed: int = 0
+    table_sets_total: int = 0
+    timed_out: bool = False
+    _stored_now: int = 0
+    _set_sizes: dict[int, int] = field(default_factory=dict)
+
+    def record_set_size(self, mask: int, size: int) -> None:
+        """Update the stored-plan total after a table set changed size."""
+        previous = self._set_sizes.get(mask, 0)
+        self._set_sizes[mask] = size
+        self._stored_now += size - previous
+        if self._stored_now > self.plans_stored_peak:
+            self.plans_stored_peak = self._stored_now
+
+    def complete_table_set(self, mask: int, size: int,
+                           fallback: bool = False) -> None:
+        """Mark a table set as fully treated (for the Pareto-count metric).
+
+        ``fallback`` marks sets built after a timeout (single-plan mode);
+        they do not count as "treated completely" for the paper's
+        Pareto-plan metric, which reports the last table set completed
+        *before* the timeout occurred.
+        """
+        self.record_set_size(mask, size)
+        self.table_sets_completed += 1
+        if not fallback:
+            self.pareto_last_complete = size
+
+    @property
+    def plans_stored(self) -> int:
+        """Number of currently stored plans (over all table sets)."""
+        return self._stored_now
+
+    @property
+    def memory_kb(self) -> float:
+        """Analytic memory estimate for the run (kilobytes)."""
+        return BASE_MEMORY_KB + self.plans_stored_peak * PLAN_BYTES / 1024.0
+
+    def merge_peak(self, other: "Counters") -> None:
+        """Fold another run's peaks into this one (multi-block queries)."""
+        self.plans_considered += other.plans_considered
+        self.plans_stored_peak = max(
+            self.plans_stored_peak, other.plans_stored_peak
+        )
+        self.pareto_last_complete = max(
+            self.pareto_last_complete, other.pareto_last_complete
+        )
+        self.table_sets_completed += other.table_sets_completed
+        self.table_sets_total += other.table_sets_total
+        self.timed_out = self.timed_out or other.timed_out

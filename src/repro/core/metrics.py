@@ -1,0 +1,111 @@
+"""Frontier-quality metrics: hypervolume and coverage.
+
+The paper judges approximate frontiers visually (Figure 4) and through
+the final weighted cost. This module adds the standard quantitative
+multi-objective metrics so frontier quality can be compared across
+precisions and algorithms:
+
+* **hypervolume** — volume of the cost space dominated by a frontier,
+  measured against a reference point (larger is better for
+  minimization frontiers measured toward the reference);
+* **coverage factor** — the smallest alpha for which one frontier
+  alpha-covers another (re-exported from :mod:`repro.core.pareto`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pareto import coverage_factor, pareto_filter
+from repro.exceptions import ReproError
+
+__all__ = ["hypervolume", "normalized_hypervolume", "coverage_factor"]
+
+
+class MetricError(ReproError):
+    """Raised for invalid metric inputs."""
+
+
+def hypervolume(
+    frontier: Sequence[Sequence[float]],
+    reference: Sequence[float],
+) -> float:
+    """Hypervolume dominated by ``frontier`` up to ``reference``.
+
+    All frontier vectors must be component-wise <= the reference point
+    (vectors beyond it are clipped out). Supports any dimension via
+    recursive slicing (practical for the 2-6 objectives used here).
+    """
+    if not frontier:
+        return 0.0
+    dims = len(reference)
+    points = []
+    for vector in frontier:
+        if len(vector) != dims:
+            raise MetricError(
+                f"vector of dimension {len(vector)} vs reference {dims}"
+            )
+        if all(v <= r for v, r in zip(vector, reference)):
+            points.append(tuple(float(v) for v in vector))
+    points = pareto_filter(points)
+    if not points:
+        return 0.0
+    return _hypervolume_recursive(points, tuple(map(float, reference)))
+
+
+def _hypervolume_recursive(
+    points: list[tuple[float, ...]], reference: tuple[float, ...]
+) -> float:
+    """Slab decomposition along the first dimension.
+
+    The dominated region is sliced at every distinct first coordinate;
+    within the slab ``[x_i, x_{i+1})`` exactly the points with first
+    coordinate <= ``x_i`` contribute, by the hypervolume of their
+    projections onto the remaining dimensions.
+    """
+    if len(reference) == 1:
+        return reference[0] - min(p[0] for p in points)
+    slice_positions = sorted({p[0] for p in points})
+    total = 0.0
+    for index, x in enumerate(slice_positions):
+        next_x = (
+            slice_positions[index + 1]
+            if index + 1 < len(slice_positions)
+            else reference[0]
+        )
+        width = next_x - x
+        if width <= 0:
+            continue
+        active = [p[1:] for p in points if p[0] <= x]
+        total += width * _hypervolume_recursive(
+            pareto_filter(active), reference[1:]
+        )
+    return total
+
+
+def normalized_hypervolume(
+    frontier: Sequence[Sequence[float]],
+    reference: Sequence[float],
+    ideal: Sequence[float] | None = None,
+) -> float:
+    """Hypervolume scaled into [0, 1] against an ideal point.
+
+    ``ideal`` defaults to the component-wise minimum of the frontier.
+    1.0 means the frontier dominates the whole (ideal, reference) box —
+    only possible for a single point at the ideal.
+    """
+    if not frontier:
+        return 0.0
+    dims = len(reference)
+    if ideal is None:
+        ideal = tuple(
+            min(vector[d] for vector in frontier) for d in range(dims)
+        )
+    box = 1.0
+    for i, r in zip(ideal, reference):
+        if r < i:
+            raise MetricError("reference must dominate the ideal point")
+        box *= max(r - i, 0.0)
+    if box == 0.0:
+        return 0.0
+    return hypervolume(frontier, reference) / box

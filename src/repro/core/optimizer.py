@@ -1,0 +1,213 @@
+"""High-level optimizer facade — the "extended Postgres optimizer".
+
+:class:`MultiObjectiveOptimizer` wires the substrates together (catalog,
+cost model, plan space) and exposes the three MOQO algorithms plus the
+single-objective baseline behind one ``optimize()`` call. Like the
+paper's prototype it optimizes the blocks of a query with subqueries
+*separately* (Postgres heuristic ii) — which, as the paper notes,
+weakens the formal approximation guarantee for queries containing
+subqueries, while rarely mattering in practice.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Sequence
+
+from repro.catalog.schema import Schema
+from repro.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.core.baselines import idp_moqo, weighted_sum_baseline
+from repro.core.exa import exact_moqo
+from repro.core.ira import ira
+from repro.core.preferences import Preferences
+from repro.core.result import OptimizationResult
+from repro.core.rta import rta
+from repro.core.selinger import selinger
+from repro.cost.model import CostModel
+from repro.cost.objectives import Objective
+from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
+from repro.exceptions import OptimizerError
+from repro.query.query import MultiBlockQuery, Query, single_block
+
+#: Algorithms selectable via ``optimize(algorithm=...)``. The last two
+#: are guarantee-free baselines (see :mod:`repro.core.baselines`).
+ALGORITHMS = ("exa", "rta", "ira", "selinger", "wsum", "idp")
+
+
+def combine_block_costs(
+    costs: Sequence[tuple[float, ...]], objectives: tuple[Objective, ...]
+) -> tuple[float, ...]:
+    """Combine per-block cost vectors into a whole-query vector.
+
+    Blocks execute sequentially, so accumulative objectives (times, IO,
+    CPU, disk, energy) add up, occupancy objectives (cores, buffer) take
+    the maximum, and tuple loss combines with ``1 - prod(1 - a_i)``.
+    """
+    if not costs:
+        raise OptimizerError("no block costs to combine")
+    combined: list[float] = []
+    for position, objective in enumerate(objectives):
+        values = [cost[position] for cost in costs]
+        if objective in (Objective.CORES, Objective.BUFFER_FOOTPRINT):
+            combined.append(max(values))
+        elif objective is Objective.TUPLE_LOSS:
+            surviving = 1.0
+            for value in values:
+                surviving *= 1.0 - value
+            combined.append(1.0 - surviving)
+        else:
+            combined.append(sum(values))
+    return tuple(combined)
+
+
+class MultiObjectiveOptimizer:
+    """Facade over the catalog, cost model and MOQO algorithms."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        config: OptimizerConfig = DEFAULT_CONFIG,
+        params: CostParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.schema = schema
+        self.config = config
+        self.cost_model = CostModel(schema, params)
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        query: MultiBlockQuery | Query,
+        preferences: Preferences,
+        algorithm: str = "rta",
+        alpha: float = 1.5,
+        config: OptimizerConfig | None = None,
+        strict: bool = False,
+    ) -> OptimizationResult:
+        """Optimize a query with the chosen algorithm.
+
+        ``alpha`` is the user precision for the approximation schemes
+        (``rta``/``ira``) and ignored for the exact algorithms.
+        ``selinger`` requires exactly one selected objective.
+        ``strict`` enables the strict pruning closure that restores the
+        formal guarantees for objective subsets that are not closed
+        under the cost model's recursive dependencies (DESIGN.md).
+        """
+        if algorithm not in ALGORITHMS:
+            raise OptimizerError(
+                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if isinstance(query, Query):
+            query = single_block(query)
+        config = config or self.config
+        start = _time.perf_counter()
+        deadline = (
+            start + config.timeout_seconds
+            if config.timeout_seconds is not None
+            else None
+        )
+        block_results = tuple(
+            self._optimize_block(
+                block, preferences, algorithm, alpha, config, deadline,
+                strict,
+            )
+            for block in query.blocks
+        )
+        if len(block_results) == 1:
+            result = block_results[0]
+            result.query_name = query.name
+            return result
+        return self._merge_block_results(query, preferences, block_results, start)
+
+    # ------------------------------------------------------------------
+    def _optimize_block(
+        self,
+        block: Query,
+        preferences: Preferences,
+        algorithm: str,
+        alpha: float,
+        config: OptimizerConfig,
+        deadline: float | None,
+        strict: bool = False,
+    ) -> OptimizationResult:
+        if algorithm == "exa":
+            return exact_moqo(
+                block, self.cost_model, preferences, config,
+                deadline=deadline, strict=strict,
+            )
+        if algorithm == "rta":
+            return rta(
+                block,
+                self.cost_model,
+                preferences.without_bounds(),
+                alpha,
+                config,
+                deadline=deadline,
+                strict=strict,
+            )
+        if algorithm == "ira":
+            return ira(
+                block, self.cost_model, preferences, alpha, config,
+                deadline=deadline, strict=strict,
+            )
+        if algorithm == "wsum":
+            return weighted_sum_baseline(
+                block, self.cost_model, preferences.without_bounds(),
+                config, deadline=deadline,
+            )
+        if algorithm == "idp":
+            return idp_moqo(
+                block, self.cost_model, preferences.without_bounds(),
+                alpha_u=alpha, config=config, deadline=deadline,
+            )
+        # selinger
+        if preferences.num_objectives != 1:
+            raise OptimizerError(
+                "the selinger baseline optimizes exactly one objective"
+            )
+        return selinger(
+            block,
+            self.cost_model,
+            preferences.objectives[0],
+            config,
+            deadline=deadline,
+        )
+
+    def _merge_block_results(
+        self,
+        query: MultiBlockQuery,
+        preferences: Preferences,
+        block_results: tuple[OptimizationResult, ...],
+        start: float,
+    ) -> OptimizationResult:
+        """Aggregate per-block results into a whole-query result.
+
+        The reported plan and frontier belong to the main block; the
+        cost vector combines all blocks so weighted-cost comparisons
+        across algorithms stay consistent.
+        """
+        main = block_results[0]
+        costs = [r.plan_cost for r in block_results if r.plan_cost is not None]
+        combined_cost = (
+            combine_block_costs(costs, main.preferences.objectives)
+            if len(costs) == len(block_results)
+            else None
+        )
+        elapsed_ms = (_time.perf_counter() - start) * 1000.0
+        return OptimizationResult(
+            algorithm=main.algorithm,
+            query_name=query.name,
+            preferences=main.preferences,
+            plan=main.plan,
+            plan_cost=combined_cost,
+            frontier=main.frontier,
+            optimization_time_ms=elapsed_ms,
+            memory_kb=max(r.memory_kb for r in block_results),
+            pareto_last_complete=max(
+                r.pareto_last_complete for r in block_results
+            ),
+            plans_considered=sum(r.plans_considered for r in block_results),
+            timed_out=any(r.timed_out for r in block_results),
+            iterations=max(r.iterations for r in block_results),
+            alpha=main.alpha,
+            block_results=block_results,
+        )

@@ -1,0 +1,99 @@
+"""Pareto-set and frontier utilities (Definitions in Section 3).
+
+These helpers express the paper's set-level notions — Pareto frontier,
+alpha-approximate Pareto set, (approximately) dominated area — on top of
+the vector-level primitives in :mod:`repro.cost.vector`. They are used
+by tests (to verify algorithm guarantees) and by the benchmark harness
+(Figures 2, 6 and 8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cost.vector import (
+    approx_dominates,
+    dominates,
+    max_ratio,
+    pareto_filter,
+    strictly_dominates,
+)
+
+__all__ = [
+    "approx_dominates",
+    "dominates",
+    "strictly_dominates",
+    "pareto_filter",
+    "max_ratio",
+    "is_pareto_set",
+    "is_approximate_pareto_set",
+    "coverage_factor",
+    "dominated_by_set",
+    "approximately_dominated_by_set",
+]
+
+
+def is_pareto_set(
+    candidates: Iterable[Sequence[float]],
+    all_vectors: Iterable[Sequence[float]],
+) -> bool:
+    """Whether ``candidates`` covers the Pareto frontier of ``all_vectors``.
+
+    A Pareto set must contain, for every Pareto-optimal vector, a
+    cost-equivalent (or dominating) representative.
+    """
+    return is_approximate_pareto_set(candidates, all_vectors, alpha=1.0)
+
+
+def is_approximate_pareto_set(
+    candidates: Iterable[Sequence[float]],
+    all_vectors: Iterable[Sequence[float]],
+    alpha: float,
+) -> bool:
+    """Whether ``candidates`` is an alpha-approximate Pareto set.
+
+    For every Pareto vector ``c*`` of ``all_vectors`` there must be a
+    candidate ``c`` with ``c <=_alpha c*`` (Definition in Section 3).
+    """
+    candidate_list = [tuple(c) for c in candidates]
+    for pareto_vector in pareto_filter(all_vectors):
+        if not any(
+            approx_dominates(c, pareto_vector, alpha) for c in candidate_list
+        ):
+            return False
+    return True
+
+
+def coverage_factor(
+    candidates: Iterable[Sequence[float]],
+    all_vectors: Iterable[Sequence[float]],
+) -> float:
+    """Smallest alpha for which ``candidates`` alpha-covers the frontier.
+
+    Useful in tests: the RTA guarantees this is at most the user
+    precision ``alpha_U``.
+    """
+    candidate_list = [tuple(c) for c in candidates]
+    if not candidate_list:
+        return float("inf")
+    worst = 1.0
+    for pareto_vector in pareto_filter(all_vectors):
+        best = min(max_ratio(c, pareto_vector) for c in candidate_list)
+        worst = max(worst, best)
+    return worst
+
+
+def dominated_by_set(
+    vector: Sequence[float], vectors: Iterable[Sequence[float]]
+) -> bool:
+    """Whether any vector of ``vectors`` dominates ``vector``."""
+    return any(dominates(v, vector) for v in vectors)
+
+
+def approximately_dominated_by_set(
+    vector: Sequence[float],
+    vectors: Iterable[Sequence[float]],
+    alpha: float,
+) -> bool:
+    """Whether any vector of ``vectors`` alpha-approximately dominates it."""
+    return any(approx_dominates(v, vector, alpha) for v in vectors)

@@ -1,0 +1,141 @@
+"""User preferences: objectives, weights and bounds (Section 3).
+
+A weighted MOQO instance is ``(Q, W)``; a bounded-weighted instance adds
+a bounds vector ``B`` (``inf`` meaning unbounded). :class:`Preferences`
+packages the objective selection with aligned weight/bound tuples; all
+optimizer code works on vectors projected to the selected objectives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cost.objectives import Objective, objective_indices
+from repro.cost.vector import respects_bounds, weighted_cost
+from repro.exceptions import OptimizerError
+
+INFINITY = math.inf
+
+
+@dataclass(frozen=True)
+class Preferences:
+    """Objective selection with aligned weights and bounds.
+
+    ``weights[i]`` and ``bounds[i]`` refer to ``objectives[i]``. Bounds
+    default to infinity (pure weighted MOQO).
+    """
+
+    objectives: tuple[Objective, ...]
+    weights: tuple[float, ...]
+    bounds: tuple[float, ...] = ()
+    indices: tuple[int, ...] = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise OptimizerError("at least one objective is required")
+        if len(self.weights) != len(self.objectives):
+            raise OptimizerError(
+                f"{len(self.objectives)} objectives but "
+                f"{len(self.weights)} weights"
+            )
+        if any(w < 0 for w in self.weights):
+            raise OptimizerError("weights must be non-negative")
+        if not self.bounds:
+            object.__setattr__(
+                self, "bounds", (INFINITY,) * len(self.objectives)
+            )
+        if len(self.bounds) != len(self.objectives):
+            raise OptimizerError(
+                f"{len(self.objectives)} objectives but "
+                f"{len(self.bounds)} bounds"
+            )
+        if any(b < 0 for b in self.bounds):
+            raise OptimizerError("bounds must be non-negative")
+        object.__setattr__(
+            self, "indices", objective_indices(self.objectives)
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_maps(
+        cls,
+        objectives: Sequence[Objective],
+        weights: Mapping[Objective, float] | None = None,
+        bounds: Mapping[Objective, float] | None = None,
+    ) -> "Preferences":
+        """Build preferences from objective-keyed mappings.
+
+        Missing weights default to 0, missing bounds to infinity.
+        Mapping keys outside ``objectives`` are rejected.
+        """
+        objectives = tuple(objectives)
+        weights = dict(weights or {})
+        bounds = dict(bounds or {})
+        for mapping, label in ((weights, "weight"), (bounds, "bound")):
+            extra = set(mapping) - set(objectives)
+            if extra:
+                names = sorted(o.name for o in extra)
+                raise OptimizerError(
+                    f"{label} on unselected objective(s): {names}"
+                )
+        return cls(
+            objectives=objectives,
+            weights=tuple(weights.get(o, 0.0) for o in objectives),
+            bounds=tuple(bounds.get(o, INFINITY) for o in objectives),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_objectives(self) -> int:
+        """Number of selected objectives (``l`` in the paper)."""
+        return len(self.objectives)
+
+    @property
+    def has_bounds(self) -> bool:
+        """Whether any objective carries a finite bound."""
+        return any(b != INFINITY for b in self.bounds)
+
+    @property
+    def bounded_objectives(self) -> tuple[Objective, ...]:
+        """Objectives with a finite bound."""
+        return tuple(
+            o
+            for o, b in zip(self.objectives, self.bounds)
+            if b != INFINITY
+        )
+
+    def weighted(self, cost: Sequence[float]) -> float:
+        """Weighted cost ``C_W`` of a projected cost vector."""
+        return weighted_cost(cost, self.weights)
+
+    def respects(self, cost: Sequence[float]) -> bool:
+        """Whether a projected cost vector respects all bounds."""
+        return respects_bounds(cost, self.bounds)
+
+    def without_bounds(self) -> "Preferences":
+        """Same objectives/weights with all bounds removed."""
+        return Preferences(objectives=self.objectives, weights=self.weights)
+
+
+def relative_cost(
+    candidate: Sequence[float],
+    optimal: Sequence[float],
+    preferences: Preferences,
+) -> float:
+    """Relative cost ``rho_I`` of a plan (Definition 3).
+
+    For bounded instances, a candidate violating the bounds has relative
+    cost infinity whenever some plan (the reference optimum) respects
+    them. A weighted-optimal cost of zero gives relative cost 1 if the
+    candidate is also zero-cost, infinity otherwise.
+    """
+    if preferences.has_bounds and preferences.respects(optimal):
+        if not preferences.respects(candidate):
+            return INFINITY
+    optimal_weighted = preferences.weighted(optimal)
+    candidate_weighted = preferences.weighted(candidate)
+    if optimal_weighted == 0.0:
+        return 1.0 if candidate_weighted <= 1e-12 else INFINITY
+    return candidate_weighted / optimal_weighted

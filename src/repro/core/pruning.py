@@ -1,0 +1,245 @@
+"""Plan-set maintenance with (approximate) dominance pruning.
+
+``PlanSet`` implements the ``Prune`` procedure shared by Algorithm 1
+(EXA) and Algorithm 2 (RTA):
+
+* a new plan is **rejected** if an existing plan (approximately,
+  with internal precision alpha) dominates its cost vector;
+* on insertion, existing plans **strictly dominated** by the new plan
+  are discarded (always with exact dominance — the paper warns that
+  discarding approximately dominated plans would let stored vectors
+  drift arbitrarily far from the true frontier; that variant is provided
+  as :class:`AggressivePlanSet` for the ablation study).
+
+``SingleBestPlanSet`` keeps only the best weighted plan — the behaviour
+the paper's implementation switches to after a timeout ("finishes
+quickly by only generating one plan for all table sets that have not
+been treated so far"), and also exactly Selinger-style single-objective
+pruning.
+
+Performance: coverage checks run once per *candidate* plan (millions per
+query) against sets that can hold thousands of entries, so the cost
+vectors are mirrored in a capacity-doubling numpy matrix and coverage /
+discard are evaluated as vectorized comparisons. Small sets use a plain
+Python loop (numpy call overhead dominates below ~16 entries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.cost.vector import approx_dominates, dominates, weighted_cost
+from repro.plans.plan import Plan
+
+CostTuple = tuple[float, ...]
+Entry = tuple[CostTuple, Plan]
+
+#: Below this size, pure-Python scans beat numpy call overhead.
+_SMALL_SET = 16
+
+#: Initial capacity of the numpy cost matrix.
+_INITIAL_CAPACITY = 32
+
+
+class PlanSet:
+    """Set of cost-incomparable plans for one table set.
+
+    ``exact_suffix`` marks how many trailing dimensions of the stored
+    tuples are compared *exactly* even when ``alpha > 1``. Strict-mode
+    pruning (see DESIGN.md) appends the plan's output cardinality as
+    such a dimension: a plan may then only prune another if it produces
+    no more rows, which is what makes the near-optimality argument
+    sound when sampling makes cardinality plan-dependent.
+    """
+
+    __slots__ = ("alpha", "entries", "exact_suffix", "_costs", "_size")
+
+    def __init__(self, alpha: float = 1.0, exact_suffix: int = 0) -> None:
+        if alpha < 1.0:
+            raise ValueError(f"internal precision must be >= 1, got {alpha}")
+        if exact_suffix < 0:
+            raise ValueError("exact_suffix must be >= 0")
+        self.alpha = alpha
+        self.exact_suffix = exact_suffix
+        self.entries: list[Entry] = []
+        self._costs: np.ndarray | None = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Pruning protocol
+    # ------------------------------------------------------------------
+    def insert(self, cost: CostTuple, plan: Plan) -> bool:
+        """Prune the set with a new plan; returns True if it was kept."""
+        if self.covers(cost):
+            return False
+        self.force_insert(cost, plan)
+        return True
+
+    def covers(self, cost: CostTuple) -> bool:
+        """Whether an existing plan (approximately) dominates ``cost``.
+
+        Hot-loop pre-check: candidates whose cost is covered can be
+        discarded before a plan object is even constructed.
+        """
+        size = self._size
+        if size == 0:
+            return False
+        alpha = self.alpha
+        threshold = self._threshold(cost, alpha)
+        if size <= _SMALL_SET:
+            for existing_cost, _ in self.entries:
+                if dominates(existing_cost, threshold):
+                    return True
+            return False
+        matrix = self._costs[:size]
+        return bool((matrix <= threshold).all(axis=1).any())
+
+    def _threshold(self, cost: CostTuple, alpha: float) -> CostTuple:
+        """Per-dimension acceptance threshold for the coverage check."""
+        if alpha == 1.0:
+            return cost
+        if self.exact_suffix == 0:
+            return tuple(c * alpha for c in cost)
+        scaled = len(cost) - self.exact_suffix
+        return tuple(
+            c * alpha if i < scaled else c for i, c in enumerate(cost)
+        )
+
+    def force_insert(self, cost: CostTuple, plan: Plan) -> None:
+        """Insert without the coverage check (caller ran ``covers``)."""
+        self._discard_dominated(cost)
+        self._append(cost, plan)
+
+    # ------------------------------------------------------------------
+    # Internal storage
+    # ------------------------------------------------------------------
+    def _append(self, cost: CostTuple, plan: Plan) -> None:
+        self.entries.append((cost, plan))
+        size = self._size
+        if self._costs is None:
+            self._costs = np.empty((_INITIAL_CAPACITY, len(cost)))
+        elif size == self._costs.shape[0]:
+            grown = np.empty((size * 2, self._costs.shape[1]))
+            grown[:size] = self._costs
+            self._costs = grown
+        self._costs[size] = cost
+        self._size = size + 1
+
+    def _rebuild(self, keep_mask: np.ndarray) -> None:
+        """Compact storage to the entries selected by ``keep_mask``."""
+        kept_indices = np.nonzero(keep_mask)[0]
+        self.entries = [self.entries[i] for i in kept_indices]
+        self._costs[: len(kept_indices)] = self._costs[kept_indices]
+        self._size = len(kept_indices)
+
+    def _discard_dominated(self, cost: CostTuple) -> None:
+        """Drop stored plans the new cost vector dominates (exact)."""
+        size = self._size
+        if size == 0:
+            return
+        if size <= _SMALL_SET:
+            kept = [
+                entry for entry in self.entries if not dominates(cost, entry[0])
+            ]
+            if len(kept) != size:
+                self.entries = kept
+                for position, entry in enumerate(kept):
+                    self._costs[position] = entry[0]
+                self._size = len(kept)
+            return
+        dominated = (self._costs[:size] >= cost).all(axis=1)
+        if dominated.any():
+            self._rebuild(~dominated)
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self.entries)
+
+    @property
+    def costs(self) -> list[CostTuple]:
+        """Stored cost vectors."""
+        return [cost for cost, _ in self.entries]
+
+    def best_weighted(self, weights: Sequence[float]) -> Entry | None:
+        """Entry minimizing the weighted cost, or None if empty."""
+        best: Entry | None = None
+        best_value = float("inf")
+        for entry in self.entries:
+            value = weighted_cost(entry[0], weights)
+            if value < best_value:
+                best_value = value
+                best = entry
+        return best
+
+
+class AggressivePlanSet(PlanSet):
+    """Ablation variant: also *discards* approximately dominated plans.
+
+    Section 6.2 explains why this destroys the near-optimality
+    guarantee: stored vectors can drift from the real Pareto frontier by
+    an unbounded factor as insertions accumulate. Kept for the ablation
+    benchmark; never used by RTA/IRA.
+    """
+
+    __slots__ = ()
+
+    def _discard_dominated(self, cost: CostTuple) -> None:
+        size = self._size
+        if size == 0:
+            return
+        alpha = self.alpha
+        if size <= _SMALL_SET:
+            kept = [
+                entry
+                for entry in self.entries
+                if not approx_dominates(cost, entry[0], alpha)
+            ]
+            if len(kept) != size:
+                self.entries = kept
+                for position, entry in enumerate(kept):
+                    self._costs[position] = entry[0]
+                self._size = len(kept)
+            return
+        dominated = (self._costs[:size] * alpha >= cost).all(axis=1)
+        if dominated.any():
+            self._rebuild(~dominated)
+
+
+class SingleBestPlanSet(PlanSet):
+    """Keeps only the plan with minimal weighted cost.
+
+    Used as the timeout fallback and for single-objective (Selinger
+    style) optimization when only the weighted optimum is needed.
+    """
+
+    __slots__ = ("weights", "_best_value")
+
+    def __init__(self, weights: tuple[float, ...]) -> None:
+        super().__init__(alpha=1.0)
+        self.weights = weights
+        self._best_value = float("inf")
+
+    def insert(self, cost: CostTuple, plan: Plan) -> bool:
+        value = weighted_cost(cost, self.weights)
+        if value < self._best_value:
+            self._best_value = value
+            self.entries = [(cost, plan)]
+            self._size = 1
+            if self._costs is None:
+                self._costs = np.empty((1, len(cost)))
+            self._costs[0] = cost
+            return True
+        return False
+
+    def covers(self, cost: CostTuple) -> bool:
+        return weighted_cost(cost, self.weights) >= self._best_value
+
+    def force_insert(self, cost: CostTuple, plan: Plan) -> None:
+        self.insert(cost, plan)

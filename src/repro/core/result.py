@@ -1,0 +1,79 @@
+"""Optimization results: chosen plan, approximate frontier, run metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.preferences import Preferences
+from repro.cost.objectives import Objective
+from repro.plans.plan import Plan
+
+CostTuple = tuple[float, ...]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of optimizing one query (or one query block).
+
+    ``frontier`` is the (approximate) Pareto set for the full table set
+    — the by-product all of the paper's algorithms expose for tradeoff
+    visualization (Figure 4).
+    """
+
+    algorithm: str
+    query_name: str
+    preferences: Preferences
+    plan: Plan | None
+    plan_cost: CostTuple | None
+    frontier: tuple[tuple[CostTuple, Plan], ...]
+    optimization_time_ms: float
+    memory_kb: float
+    pareto_last_complete: int
+    plans_considered: int
+    timed_out: bool
+    iterations: int = 1
+    alpha: float | None = None
+    block_results: tuple["OptimizationResult", ...] = field(default=())
+
+    @property
+    def weighted_cost(self) -> float:
+        """Weighted cost of the chosen plan (inf if no plan)."""
+        if self.plan_cost is None:
+            return float("inf")
+        return self.preferences.weighted(self.plan_cost)
+
+    @property
+    def respects_bounds(self) -> bool:
+        """Whether the chosen plan respects all bounds."""
+        return self.plan_cost is not None and self.preferences.respects(
+            self.plan_cost
+        )
+
+    @property
+    def frontier_costs(self) -> list[CostTuple]:
+        """Cost vectors of the final (approximate) Pareto frontier."""
+        return [cost for cost, _ in self.frontier]
+
+    @property
+    def objectives(self) -> tuple[Objective, ...]:
+        """Objectives the run optimized for."""
+        return self.preferences.objectives
+
+    def cost_of(self, objective: Objective) -> float:
+        """Chosen plan's cost in one selected objective."""
+        if self.plan_cost is None:
+            return float("inf")
+        position = self.preferences.objectives.index(objective)
+        return self.plan_cost[position]
+
+    def summary(self) -> str:
+        """One-line human-readable run summary."""
+        status = "TIMEOUT" if self.timed_out else "ok"
+        return (
+            f"{self.algorithm} on {self.query_name}: "
+            f"weighted={self.weighted_cost:.4g} "
+            f"time={self.optimization_time_ms:.1f}ms "
+            f"mem={self.memory_kb:.0f}KB "
+            f"frontier={len(self.frontier)} "
+            f"iters={self.iterations} [{status}]"
+        )

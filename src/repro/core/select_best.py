@@ -1,0 +1,41 @@
+"""Final plan selection (``SelectBest`` of Algorithm 1).
+
+Among the plans whose cost respects the bounds, pick the one with
+minimal weighted cost; if no plan respects the bounds, pick the plan
+with minimal weighted cost overall (Definition 2's fallback).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.preferences import Preferences
+from repro.core.pruning import Entry
+from repro.cost.vector import weighted_cost
+
+
+def select_best(
+    entries: Iterable[Entry], preferences: Preferences
+) -> Entry | None:
+    """Best entry for the given weights and bounds, or None if empty."""
+    weights = preferences.weights
+    bounds = preferences.bounds
+    best_in_bounds: Entry | None = None
+    best_in_bounds_value = float("inf")
+    best_overall: Entry | None = None
+    best_overall_value = float("inf")
+    for entry in entries:
+        cost = entry[0]
+        value = weighted_cost(cost, weights)
+        if value < best_overall_value:
+            best_overall_value = value
+            best_overall = entry
+        in_bounds = True
+        for c, b in zip(cost, bounds):
+            if c > b:
+                in_bounds = False
+                break
+        if in_bounds and value < best_in_bounds_value:
+            best_in_bounds_value = value
+            best_in_bounds = entry
+    return best_in_bounds if best_in_bounds is not None else best_overall

@@ -1,0 +1,50 @@
+"""Cost substrate: objectives, vectors, parameters, cardinality, model."""
+
+from repro.cost.cardinality import (
+    filter_selectivity,
+    join_output_rows,
+    join_selectivity,
+    scan_output_rows,
+)
+from repro.cost.model import CostModel
+from repro.cost.objectives import (
+    ALL_OBJECTIVES,
+    NUM_OBJECTIVES,
+    Objective,
+    objective_indices,
+    parse_objective,
+)
+from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
+from repro.cost.vector import (
+    approx_dominates,
+    dominates,
+    max_ratio,
+    pareto_filter,
+    project,
+    respects_bounds,
+    strictly_dominates,
+    weighted_cost,
+)
+
+__all__ = [
+    "ALL_OBJECTIVES",
+    "CostModel",
+    "CostParams",
+    "DEFAULT_PARAMS",
+    "NUM_OBJECTIVES",
+    "Objective",
+    "approx_dominates",
+    "dominates",
+    "filter_selectivity",
+    "join_output_rows",
+    "join_selectivity",
+    "max_ratio",
+    "objective_indices",
+    "pareto_filter",
+    "parse_objective",
+    "project",
+    "respects_bounds",
+    "scan_output_rows",
+    "strictly_dominates",
+    "weighted_cost",
+]

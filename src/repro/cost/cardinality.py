@@ -1,0 +1,71 @@
+"""Cardinality and selectivity estimation (System R style).
+
+Estimates follow the classic textbook/System R rules a production
+optimizer uses when only catalog statistics are available:
+
+* filter predicates carry explicit selectivities (standing in for
+  histogram-derived estimates);
+* equality-join selectivity is ``1 / max(ndv_left, ndv_right)``;
+* predicates combine under the independence assumption (product).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.schema import Schema
+from repro.query.predicate import FilterPredicate, JoinPredicate
+from repro.query.query import Query
+
+
+def filter_selectivity(filters: Iterable[FilterPredicate]) -> float:
+    """Combined selectivity of filters under independence."""
+    selectivity = 1.0
+    for predicate in filters:
+        selectivity *= predicate.selectivity
+    return selectivity
+
+
+def join_predicate_selectivity(
+    schema: Schema, query: Query, predicate: JoinPredicate
+) -> float:
+    """Selectivity of one equality-join predicate.
+
+    Uses the explicit value when given, otherwise
+    ``1 / max(ndv_left, ndv_right)`` from catalog statistics.
+    """
+    if predicate.selectivity is not None:
+        return predicate.selectivity
+    left_table = schema.table(query.table_name(predicate.left_alias))
+    right_table = schema.table(query.table_name(predicate.right_alias))
+    ndv_left = left_table.n_distinct(predicate.left_column)
+    ndv_right = right_table.n_distinct(predicate.right_column)
+    return 1.0 / max(ndv_left, ndv_right, 1)
+
+
+def join_selectivity(
+    schema: Schema, query: Query, predicates: Iterable[JoinPredicate]
+) -> float:
+    """Combined selectivity of a set of join predicates (independence)."""
+    selectivity = 1.0
+    for predicate in predicates:
+        selectivity *= join_predicate_selectivity(schema, query, predicate)
+    return selectivity
+
+
+def scan_output_rows(
+    row_count: int, sampling_rate: float, filters: Iterable[FilterPredicate]
+) -> float:
+    """Output cardinality of a base-table scan.
+
+    Sampling thins the table uniformly, so output cardinality scales by
+    the sampling rate in addition to the filter selectivity.
+    """
+    return row_count * sampling_rate * filter_selectivity(filters)
+
+
+def join_output_rows(
+    left_rows: float, right_rows: float, selectivity: float
+) -> float:
+    """Output cardinality of a join: ``|L| * |R| * sel``."""
+    return left_rows * right_rows * selectivity

@@ -1,0 +1,69 @@
+"""Cost-model constants, following Postgres defaults where they exist.
+
+The time-related constants are the stock Postgres planner parameters
+(``seq_page_cost`` etc.). The remaining constants parameterize the
+extended objectives the paper added to the Postgres cost model: the
+Flach-style energy model, parallelization overhead, and buffer sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.table import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """All tunable constants of the nine-objective cost model."""
+
+    # -- Postgres planner constants (time in abstract page-fetch units) --
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+
+    #: Working memory available per sort/materialize operation (bytes).
+    work_mem: int = 4 * 1024 * 1024
+
+    #: Buffer held by a streaming scan (bytes).
+    scan_buffer: int = 2 * PAGE_SIZE
+
+    #: Buffer held by an index-nested-loop probe (bytes).
+    probe_buffer: int = 4 * PAGE_SIZE
+
+    # -- Parallelization model ------------------------------------------
+    #: Extra CPU work per additional core (coordination overhead fraction).
+    #: Dedicating more cores reduces time but increases total CPU and
+    #: energy — the conflict Section 4 of the paper describes.
+    parallel_cpu_overhead: float = 0.05
+
+    #: Extra energy per additional core (coordination overhead fraction).
+    parallel_energy_overhead: float = 0.15
+
+    # -- Flach-style energy model ----------------------------------------
+    #: Energy per unit of CPU work.
+    energy_per_cpu_unit: float = 1.0
+
+    #: Energy per page of IO.
+    energy_per_page: float = 2.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "seq_page_cost",
+            "random_page_cost",
+            "cpu_tuple_cost",
+            "cpu_index_tuple_cost",
+            "cpu_operator_cost",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be > 0")
+        if self.work_mem <= 0:
+            raise ValueError("work_mem must be > 0")
+        if self.parallel_cpu_overhead < 0 or self.parallel_energy_overhead < 0:
+            raise ValueError("parallel overheads must be >= 0")
+
+
+#: Default parameter set used throughout the library.
+DEFAULT_PARAMS = CostParams()

@@ -1,0 +1,127 @@
+"""Cost-vector operations: dominance, approximate dominance, weighted cost.
+
+Cost vectors are plain tuples of non-negative floats. In hot optimizer
+loops the functions below are called millions of times, so they are kept
+as tight, allocation-free loops over tuples rather than wrapped in a
+class or delegated to numpy (per-call numpy overhead dominates for the
+short vectors used here, at most nine entries).
+
+Definitions follow Section 3 of the paper:
+
+* ``c1`` **dominates** ``c2`` iff ``c1[o] <= c2[o]`` for every objective.
+* ``c1`` **strictly dominates** ``c2`` iff it dominates and ``c1 != c2``.
+* ``c1`` **approximately dominates** ``c2`` **with precision alpha** iff
+  ``c1[o] <= alpha * c2[o]`` for every objective.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+CostTuple = tuple[float, ...]
+
+
+def dominates(c1: Sequence[float], c2: Sequence[float]) -> bool:
+    """Whether ``c1`` dominates ``c2`` (lower or equal in every objective)."""
+    for a, b in zip(c1, c2):
+        if a > b:
+            return False
+    return True
+
+
+def strictly_dominates(c1: Sequence[float], c2: Sequence[float]) -> bool:
+    """Whether ``c1`` dominates ``c2`` and the vectors differ."""
+    strict = False
+    for a, b in zip(c1, c2):
+        if a > b:
+            return False
+        if a < b:
+            strict = True
+    return strict
+
+
+def approx_dominates(
+    c1: Sequence[float], c2: Sequence[float], alpha: float
+) -> bool:
+    """Whether ``c1`` approximately dominates ``c2`` with precision ``alpha``.
+
+    With ``alpha == 1`` this degenerates to exact dominance.
+    """
+    for a, b in zip(c1, c2):
+        if a > b * alpha:
+            return False
+    return True
+
+
+def weighted_cost(cost: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted sum ``C_W(c) = sum_o c[o] * W[o]``."""
+    total = 0.0
+    for c, w in zip(cost, weights):
+        total += c * w
+    return total
+
+
+def respects_bounds(cost: Sequence[float], bounds: Sequence[float]) -> bool:
+    """Whether ``cost[o] <= bounds[o]`` for every objective."""
+    for c, b in zip(cost, bounds):
+        if c > b:
+            return False
+    return True
+
+
+def respects_relaxed_bounds(
+    cost: Sequence[float], bounds: Sequence[float], alpha: float
+) -> bool:
+    """Whether ``cost[o] <= alpha * bounds[o]`` for every objective.
+
+    Used by the IRA's stopping condition (bounds relaxed by factor alpha).
+    ``inf * alpha`` stays ``inf``, so unbounded objectives never exclude.
+    """
+    for c, b in zip(cost, bounds):
+        if c > b * alpha:
+            return False
+    return True
+
+
+def project(cost: Sequence[float], indices: Sequence[int]) -> CostTuple:
+    """Project a full cost tuple onto the selected objective positions."""
+    return tuple(cost[i] for i in indices)
+
+
+def pareto_filter(vectors: Iterable[Sequence[float]]) -> list[CostTuple]:
+    """Return the Pareto frontier of ``vectors`` (duplicates collapsed).
+
+    A vector is kept iff no other vector strictly dominates it. Of
+    cost-equivalent vectors one representative is kept. Intended for
+    tests and reporting, not for hot loops (the optimizer maintains
+    frontiers incrementally via :mod:`repro.core.pruning`).
+    """
+    unique = sorted({tuple(float(x) for x in v) for v in vectors})
+    frontier: list[CostTuple] = []
+    for candidate in unique:
+        if not any(
+            strictly_dominates(other, candidate)
+            for other in unique
+            if other != candidate
+        ):
+            frontier.append(candidate)
+    return frontier
+
+
+def max_ratio(c1: Sequence[float], c2: Sequence[float]) -> float:
+    """Smallest alpha such that ``c1`` approximately dominates ``c2``.
+
+    A zero entry of ``c2`` can only be covered by a zero entry of ``c1``
+    (consistent with :func:`approx_dominates` for every finite alpha);
+    otherwise the result is infinity.
+    """
+    worst = 1.0
+    for a, b in zip(c1, c2):
+        if b == 0.0:
+            if a > 0.0:
+                return float("inf")
+            continue
+        ratio = a / b
+        if ratio > worst:
+            worst = ratio
+    return worst

@@ -1,0 +1,6 @@
+"""Optional execution substrate: synthetic data + iterator executor."""
+
+from repro.engine.datagen import DataGenerator, Row
+from repro.engine.executor import ExecutionError, Executor
+
+__all__ = ["DataGenerator", "ExecutionError", "Executor", "Row"]

@@ -1,0 +1,72 @@
+"""Synthetic data generation for the execution engine.
+
+The optimizer itself never touches rows — like the paper's prototype it
+works purely on catalog statistics. This generator exists so the
+(optional) execution engine can *validate* the substrate: it fabricates
+rows whose statistical profile matches the catalog (cardinalities and
+distinct counts), which lets tests check that estimated cardinalities
+track executed cardinalities.
+
+Rows are dictionaries keyed by column name. Values are deterministic
+functions of a seed, the table and the row index, so tests are
+reproducible without storing any data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.catalog.column import DataType
+from repro.catalog.schema import Schema
+from repro.catalog.table import Table
+
+Row = dict[str, object]
+
+
+class DataGenerator:
+    """Deterministic row generator matching catalog statistics."""
+
+    def __init__(self, schema: Schema, seed: int = 0) -> None:
+        self.schema = schema
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def rows(self, table_name: str) -> Iterator[Row]:
+        """Generate all rows of ``table_name``."""
+        table = self.schema.table(table_name)
+        rng = random.Random(f"{self.seed}:{table_name}")
+        for row_index in range(table.row_count):
+            yield self._make_row(table, row_index, rng)
+
+    def materialize(self, table_name: str) -> list[Row]:
+        """All rows of ``table_name`` as a list."""
+        return list(self.rows(table_name))
+
+    # ------------------------------------------------------------------
+    def _make_row(self, table: Table, row_index: int, rng: random.Random) -> Row:
+        row: Row = {}
+        for column in table.columns:
+            ndv = max(1, min(column.n_distinct, table.row_count))
+            is_key = ndv >= table.row_count
+            if is_key:
+                # Key-like column: unique, dense values.
+                value_index = row_index
+            else:
+                # Non-key column: uniform draw over the distinct values.
+                value_index = rng.randrange(ndv)
+            row[column.name] = _render(column.data_type, column.name,
+                                       value_index)
+        return row
+
+
+def _render(data_type: DataType, column_name: str, value_index: int) -> object:
+    """Turn a distinct-value index into a typed value."""
+    if data_type in (DataType.INTEGER, DataType.BIGINT):
+        return value_index
+    if data_type is DataType.DECIMAL:
+        return round(value_index + value_index / 100.0, 2)
+    if data_type is DataType.DATE:
+        # Days since an epoch; comparisons behave like dates.
+        return value_index
+    return f"{column_name}_{value_index}"

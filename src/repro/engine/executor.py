@@ -1,0 +1,209 @@
+"""A small iterator-model executor for optimizer plans.
+
+Executes :class:`~repro.plans.plan.Plan` trees over synthetic rows from
+:class:`~repro.engine.datagen.DataGenerator`. The paper did not execute
+its extended operators ("we did not implement those operators in the
+execution engine"); this module goes one step further so the repository
+can validate its own cost substrate: tests compare executed against
+estimated cardinalities, and the sampling scan's measured tuple loss
+against the loss objective.
+
+Supported:
+
+* sequential scans, sampling scans (Bernoulli row sampling at the
+  configured rate), index scans (executed as filtered scans — the
+  physical access path only affects cost, not results);
+* hash joins, sort-merge joins, nested-loop joins, and index-nested-loop
+  joins (executed as hash lookups into the built inner, which is
+  result-equivalent).
+
+Filter predicates are *selectivity* predicates in the optimizer model,
+so execution applies them as deterministic pseudo-random row filters
+with matching probability — preserving the statistical contract without
+needing a full expression language.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.engine.datagen import DataGenerator, Row
+from repro.exceptions import ReproError
+from repro.plans.operators import JoinMethod, ScanMethod
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.predicate import FilterPredicate, JoinPredicate
+from repro.query.query import Query
+
+
+class ExecutionError(ReproError):
+    """Raised when a plan cannot be executed by the mini engine."""
+
+
+class WorkCounters:
+    """Actual work performed by one plan execution.
+
+    ``rows_scanned`` counts base-table rows read, ``rows_joined`` the
+    operand rows flowing through join operators, ``rows_emitted`` the
+    final output size. Tests correlate these against the cost model's
+    estimates (higher estimated CPU should mean more executed work).
+    """
+
+    __slots__ = ("rows_scanned", "rows_joined", "rows_emitted")
+
+    def __init__(self) -> None:
+        self.rows_scanned = 0
+        self.rows_joined = 0
+        self.rows_emitted = 0
+
+    @property
+    def total(self) -> int:
+        """Aggregate work units."""
+        return self.rows_scanned + self.rows_joined + self.rows_emitted
+
+
+class Executor:
+    """Executes plan trees over synthetic data."""
+
+    def __init__(self, generator: DataGenerator, query: Query,
+                 seed: int = 0) -> None:
+        self.generator = generator
+        self.query = query
+        self.seed = seed
+        #: Work counters of the most recent :meth:`execute` call.
+        self.last_work: WorkCounters = WorkCounters()
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: Plan) -> list[Row]:
+        """Run the plan and return its output rows.
+
+        Output rows are merged dictionaries whose keys are prefixed by
+        the alias (``alias.column``) to keep self-joins unambiguous.
+        Work performed is recorded in :attr:`last_work`.
+        """
+        self.last_work = WorkCounters()
+        rows = self._execute(plan)
+        self.last_work.rows_emitted = len(rows)
+        return rows
+
+    def _execute(self, plan: Plan) -> list[Row]:
+        if isinstance(plan, ScanPlan):
+            return self._execute_scan(plan)
+        if isinstance(plan, JoinPlan):
+            return self._execute_join(plan)
+        raise ExecutionError(f"unsupported plan node: {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    def _execute_scan(self, plan: ScanPlan) -> list[Row]:
+        rows = self.generator.rows(plan.table_name)
+        if plan.spec.method is ScanMethod.SAMPLE:
+            rate = plan.spec.sampling_rate
+            rng = random.Random(f"{self.seed}:sample:{plan.alias}")
+            rows = (row for row in rows if rng.random() < rate)
+        filters = self.query.filters_on(plan.alias)
+        output = []
+        scanned = 0
+        for row in rows:
+            scanned += 1
+            if self._passes_filters(plan.alias, row, filters):
+                output.append(
+                    {f"{plan.alias}.{k}": v for k, v in row.items()}
+                )
+        self.last_work.rows_scanned += scanned
+        return output
+
+    def _passes_filters(
+        self,
+        alias: str,
+        row: Row,
+        filters: tuple[FilterPredicate, ...],
+    ) -> bool:
+        """Apply selectivity predicates as deterministic random filters.
+
+        The draw is keyed on the column *value*, so the same value
+        passes or fails consistently across scans of the same table —
+        matching how a real value-based predicate behaves.
+        """
+        for predicate in filters:
+            rng = random.Random(
+                f"{self.seed}:{alias}:{predicate.column}:"
+                f"{row[predicate.column]}"
+            )
+            if rng.random() >= predicate.selectivity:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _execute_join(self, plan: JoinPlan) -> list[Row]:
+        left_rows = self._execute(plan.left)
+        if plan.spec.method is JoinMethod.INDEX_NESTED_LOOP:
+            right_rows = self._execute_scan(_probe_as_scan(plan.right))
+        else:
+            right_rows = self._execute(plan.right)
+        self.last_work.rows_joined += len(left_rows) + len(right_rows)
+        predicates = self._predicates_for(plan)
+        if not predicates:
+            # Cartesian product.
+            return [
+                {**left_row, **right_row}
+                for left_row in left_rows
+                for right_row in right_rows
+            ]
+        return _hash_join(left_rows, right_rows, predicates,
+                          plan.left.aliases, plan.right.aliases)
+
+    def _predicates_for(self, plan: JoinPlan) -> list[JoinPredicate]:
+        left_aliases = plan.left.aliases
+        right_aliases = plan.right.aliases
+        predicates = []
+        for join in self.query.joins:
+            a, b = tuple(join.aliases)
+            if (a in left_aliases and b in right_aliases) or (
+                a in right_aliases and b in left_aliases
+            ):
+                predicates.append(join)
+        return predicates
+
+
+def _probe_as_scan(probe: ScanPlan) -> ScanPlan:
+    """View an index-probe inner as a plain scan for execution."""
+    if probe.probe_info is None:
+        return probe
+    return probe
+
+
+def _hash_join(
+    left_rows: Iterable[Row],
+    right_rows: Iterable[Row],
+    predicates: list[JoinPredicate],
+    left_aliases: frozenset[str],
+    right_aliases: frozenset[str],
+) -> list[Row]:
+    """Equi-join on all predicates via one composite hash key.
+
+    All join operators produce the same result set, so the engine
+    executes every method as a hash join (the plan's operator choice
+    affects cost, not semantics).
+    """
+
+    def key_columns(aliases: frozenset[str]) -> list[str]:
+        columns = []
+        for predicate in predicates:
+            for alias in predicate.aliases:
+                if alias in aliases:
+                    bound_alias, column = predicate.side(alias)
+                    columns.append(f"{bound_alias}.{column}")
+        return columns
+
+    left_key_columns = key_columns(left_aliases)
+    right_key_columns = key_columns(right_aliases)
+    table: dict[tuple, list[Row]] = {}
+    for row in right_rows:
+        key = tuple(row[c] for c in right_key_columns)
+        table.setdefault(key, []).append(row)
+    output = []
+    for row in left_rows:
+        key = tuple(row[c] for c in left_key_columns)
+        for match in table.get(key, ()):
+            output.append({**row, **match})
+    return output

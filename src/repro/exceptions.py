@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class. The individual subclasses mirror the main
+subsystems (catalog, query model, cost model, optimizer).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """Raised for inconsistent schema or statistics definitions."""
+
+
+class UnknownTableError(CatalogError):
+    """Raised when a table name cannot be resolved in a schema."""
+
+    def __init__(self, table_name: str) -> None:
+        super().__init__(f"unknown table: {table_name!r}")
+        self.table_name = table_name
+
+
+class UnknownColumnError(CatalogError):
+    """Raised when a column name cannot be resolved in a table."""
+
+    def __init__(self, table_name: str, column_name: str) -> None:
+        super().__init__(f"unknown column: {table_name!r}.{column_name!r}")
+        self.table_name = table_name
+        self.column_name = column_name
+
+
+class QueryModelError(ReproError):
+    """Raised for malformed queries (bad aliases, dangling predicates...)."""
+
+
+class CostModelError(ReproError):
+    """Raised when cost estimation receives invalid inputs."""
+
+
+class OptimizerError(ReproError):
+    """Raised for invalid optimizer invocations (bad weights, bounds...)."""
+
+
+class InvalidPrecisionError(OptimizerError):
+    """Raised when an approximation factor alpha < 1 is requested."""
+
+    def __init__(self, alpha: float) -> None:
+        super().__init__(f"approximation factor must be >= 1, got {alpha}")
+        self.alpha = alpha

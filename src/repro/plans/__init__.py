@@ -1,0 +1,43 @@
+"""Plan substrate: operators, plan trees, plan-space enumeration."""
+
+from repro.plans.operators import (
+    DEFAULT_SAMPLING_RATES,
+    MAX_DOP,
+    JoinMethod,
+    JoinSpec,
+    ScanMethod,
+    ScanSpec,
+)
+from repro.plans.plan import (
+    PLAN_BYTES,
+    JoinPlan,
+    Plan,
+    ProbeInfo,
+    ScanPlan,
+    count_joins,
+    is_left_deep,
+    plan_depth,
+)
+from repro.plans.plan_space import PlanSpace
+from repro.plans.serialize import plan_to_dict, result_to_dict, result_to_json
+
+__all__ = [
+    "plan_to_dict",
+    "result_to_dict",
+    "result_to_json",
+    "DEFAULT_SAMPLING_RATES",
+    "JoinMethod",
+    "JoinPlan",
+    "JoinSpec",
+    "MAX_DOP",
+    "PLAN_BYTES",
+    "Plan",
+    "PlanSpace",
+    "ProbeInfo",
+    "ScanMethod",
+    "ScanPlan",
+    "ScanSpec",
+    "count_joins",
+    "is_left_deep",
+    "plan_depth",
+]

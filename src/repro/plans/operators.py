@@ -1,0 +1,108 @@
+"""Scan and join operator descriptors.
+
+The plan space follows Section 4 of the paper: Postgres' operators are
+extended with a parameterized sampling scan (1%..5% of a base table) and
+join/sort operators parameterized by the degree of parallelism (DOP, up
+to 4 cores per operation). An operator *configuration* (method plus
+parameters) is what the paper counts when it reports "over 10 different
+configurations ... for the scan and for the join operator respectively".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import OptimizerError
+
+#: Maximum degree of parallelism per operation (paper: up to 4 cores).
+MAX_DOP = 4
+
+#: Sampling rates of the parameterized sampling scan (paper: 1%..5%).
+DEFAULT_SAMPLING_RATES = (0.01, 0.02, 0.03, 0.04, 0.05)
+
+
+class ScanMethod(enum.Enum):
+    """Access-path families for base tables."""
+
+    SEQ = "seq_scan"
+    INDEX = "index_scan"
+    SAMPLE = "sample_scan"
+    #: Parameterized index probe — only valid as the inner of an
+    #: index-nested-loop join.
+    INDEX_PROBE = "index_probe"
+
+
+class JoinMethod(enum.Enum):
+    """Join operator families."""
+
+    HASH = "hash_join"
+    MERGE = "merge_join"
+    NESTED_LOOP = "nested_loop"
+    INDEX_NESTED_LOOP = "index_nested_loop"
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """A concrete scan configuration.
+
+    ``sampling_rate`` is only meaningful for ``SAMPLE`` scans; ``index_name``
+    only for ``INDEX`` and ``INDEX_PROBE`` scans.
+    """
+
+    method: ScanMethod
+    sampling_rate: float = 1.0
+    index_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.method is ScanMethod.SAMPLE:
+            if not 0.0 < self.sampling_rate < 1.0:
+                raise OptimizerError(
+                    f"sampling rate must be in (0, 1), got {self.sampling_rate}"
+                )
+        elif self.sampling_rate != 1.0:
+            raise OptimizerError(
+                f"{self.method.value} must not set a sampling rate"
+            )
+        if self.method in (ScanMethod.INDEX, ScanMethod.INDEX_PROBE):
+            if self.index_name is None:
+                raise OptimizerError(f"{self.method.value} requires an index")
+        elif self.index_name is not None:
+            raise OptimizerError(f"{self.method.value} must not use an index")
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``SampleScan(2%)``."""
+        if self.method is ScanMethod.SEQ:
+            return "SeqScan"
+        if self.method is ScanMethod.SAMPLE:
+            return f"SampleScan({self.sampling_rate:.0%})"
+        if self.method is ScanMethod.INDEX:
+            return f"IndexScan({self.index_name})"
+        return f"IndexProbe({self.index_name})"
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """A concrete join configuration: method plus degree of parallelism."""
+
+    method: JoinMethod
+    dop: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.dop <= MAX_DOP:
+            raise OptimizerError(
+                f"DOP must be in [1, {MAX_DOP}], got {self.dop}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``HashJoin[dop=2]``."""
+        names = {
+            JoinMethod.HASH: "HashJoin",
+            JoinMethod.MERGE: "SortMergeJoin",
+            JoinMethod.NESTED_LOOP: "NestedLoopJoin",
+            JoinMethod.INDEX_NESTED_LOOP: "IdxNLJoin",
+        }
+        suffix = f"[dop={self.dop}]" if self.dop > 1 else ""
+        return names[self.method] + suffix

@@ -1,0 +1,197 @@
+"""Query-plan trees with attached cardinality and cost estimates.
+
+Plans are immutable once built; the cost model constructs them and fills
+in the 9-dimensional cost vector (see :mod:`repro.cost.objectives` for
+the vector layout). ``__slots__`` keeps per-plan memory small — the exact
+algorithm stores up to millions of plans, and the paper's memory analysis
+assumes O(1) space per stored plan (operator ID plus sub-plan pointers),
+which this layout matches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.plans.operators import JoinSpec, ScanMethod, ScanSpec
+
+#: Approximate bytes a stored plan occupies (node + 9-dim cost vector).
+#: Used for the analytic memory accounting of the benchmark harness.
+PLAN_BYTES = 200
+
+
+class Plan:
+    """Base class for plan nodes."""
+
+    __slots__ = ("rows", "width", "cost", "loss")
+
+    rows: float  #: estimated output cardinality (after sampling)
+    width: int  #: estimated output tuple width in bytes
+    cost: tuple[float, ...]  #: full 9-dimensional cost vector
+    loss: float  #: accumulated tuple-loss fraction in [0, 1]
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        """Aliases of the table instances the plan joins."""
+        raise NotImplementedError
+
+    @property
+    def output_bytes(self) -> float:
+        """Estimated output size in bytes."""
+        return self.rows * self.width
+
+    def walk(self) -> Iterator["Plan"]:
+        """Pre-order traversal of the plan tree."""
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable multi-line plan tree."""
+        raise NotImplementedError
+
+    def operator_labels(self) -> list[str]:
+        """Labels of all operators in the tree (pre-order)."""
+        labels = []
+        for node in self.walk():
+            if isinstance(node, ScanPlan):
+                labels.append(node.spec.label)
+            elif isinstance(node, JoinPlan):
+                labels.append(node.spec.label)
+        return labels
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class ScanPlan(Plan):
+    """Leaf node: one access path for one base-table instance."""
+
+    __slots__ = ("alias", "table_name", "spec", "probe_info")
+
+    def __init__(
+        self,
+        alias: str,
+        table_name: str,
+        spec: ScanSpec,
+        rows: float,
+        width: int,
+        cost: tuple[float, ...],
+        loss: float,
+        probe_info: "ProbeInfo | None" = None,
+    ) -> None:
+        self.alias = alias
+        self.table_name = table_name
+        self.spec = spec
+        self.rows = rows
+        self.width = width
+        self.cost = cost
+        self.loss = loss
+        self.probe_info = probe_info
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        return frozenset((self.alias,))
+
+    @property
+    def is_probe(self) -> bool:
+        """Whether this leaf is an index-probe inner (IdxNL only)."""
+        return self.spec.method is ScanMethod.INDEX_PROBE
+
+    def walk(self) -> Iterator[Plan]:
+        yield self
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return (
+            f"{pad}{self.spec.label} {self.table_name}"
+            f"{' AS ' + self.alias if self.alias != self.table_name else ''}"
+            f"  (rows={self.rows:.0f})"
+        )
+
+
+class ProbeInfo:
+    """Per-probe quantities for an index-nested-loop inner.
+
+    ``matched_rows`` is the expected number of heap rows fetched per
+    probe (before residual filters); ``heap_pages`` the expected number
+    of heap page fetches per probe; ``residual_quals`` the number of
+    filter predicates re-checked after the fetch.
+    """
+
+    __slots__ = ("index_height", "matched_rows", "heap_pages", "residual_quals")
+
+    def __init__(
+        self,
+        index_height: int,
+        matched_rows: float,
+        heap_pages: float,
+        residual_quals: int,
+    ) -> None:
+        self.index_height = index_height
+        self.matched_rows = matched_rows
+        self.heap_pages = heap_pages
+        self.residual_quals = residual_quals
+
+
+class JoinPlan(Plan):
+    """Inner node: a join of two sub-plans with a concrete configuration."""
+
+    __slots__ = ("spec", "left", "right", "_aliases")
+
+    def __init__(
+        self,
+        spec: JoinSpec,
+        left: Plan,
+        right: Plan,
+        rows: float,
+        width: int,
+        cost: tuple[float, ...],
+        loss: float,
+    ) -> None:
+        self.spec = spec
+        self.left = left
+        self.right = right
+        self.rows = rows
+        self.width = width
+        self.cost = cost
+        self.loss = loss
+        # Computed lazily: most candidate plans are pruned immediately
+        # and never need their alias set.
+        self._aliases: frozenset[str] | None = None
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        if self._aliases is None:
+            self._aliases = self.left.aliases | self.right.aliases
+        return self._aliases
+
+    def walk(self) -> Iterator[Plan]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.spec.label}  (rows={self.rows:.0f})"]
+        lines.append(self.left.describe(indent + 1))
+        lines.append(self.right.describe(indent + 1))
+        return "\n".join(lines)
+
+
+def plan_depth(plan: Plan) -> int:
+    """Height of the plan tree (a single scan has depth 1)."""
+    if isinstance(plan, JoinPlan):
+        return 1 + max(plan_depth(plan.left), plan_depth(plan.right))
+    return 1
+
+
+def count_joins(plan: Plan) -> int:
+    """Number of join operators in the plan."""
+    return sum(1 for node in plan.walk() if isinstance(node, JoinPlan))
+
+
+def is_left_deep(plan: Plan) -> bool:
+    """Whether every join's right operand is a base-table access."""
+    return all(
+        isinstance(node.right, ScanPlan)
+        for node in plan.walk()
+        if isinstance(node, JoinPlan)
+    )

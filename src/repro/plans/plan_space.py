@@ -1,0 +1,123 @@
+"""Plan-space enumeration: access paths and join configurations.
+
+This module encodes which operator configurations are *available* for a
+given table instance or operand pair; the dynamic-programming enumerator
+in :mod:`repro.core.dp` combines them bottom-up. Availability rules:
+
+* every base table offers a sequential scan;
+* sampling scans (one per configured rate) are offered for every base
+  table — the paper's parameterized sampling operator;
+* an index scan is offered when an index's leading column carries a
+  filter predicate;
+* hash, sort-merge and nested-loop joins are offered for any operand
+  pair (each at every configured DOP);
+* an index-nested-loop join is offered when the inner operand is a
+  single base table with an index on a join-predicate column.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cost.model import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config
+    # imports operator constants from this package).
+    from repro.config import OptimizerConfig
+from repro.plans.operators import JoinMethod, JoinSpec, ScanMethod, ScanSpec
+from repro.plans.plan import ScanPlan
+from repro.query.predicate import JoinPredicate
+from repro.query.query import Query
+
+
+class PlanSpace:
+    """Enumerates available operator configurations for one query block."""
+
+    def __init__(self, cost_model: CostModel, config: "OptimizerConfig"):
+        self.cost_model = cost_model
+        self.schema = cost_model.schema
+        self.config = config
+        self._join_specs: tuple[JoinSpec, ...] = tuple(
+            JoinSpec(method=method, dop=dop)
+            for method in config.join_methods
+            if method is not JoinMethod.INDEX_NESTED_LOOP
+            for dop in config.dop_values
+        )
+        self._index_nl_specs: tuple[JoinSpec, ...] = tuple(
+            JoinSpec(method=JoinMethod.INDEX_NESTED_LOOP, dop=dop)
+            for dop in config.dop_values
+            if JoinMethod.INDEX_NESTED_LOOP in config.join_methods
+        )
+
+    # ------------------------------------------------------------------
+    def access_paths(self, query: Query, alias: str) -> list[ScanPlan]:
+        """All access paths for one table instance of ``query``."""
+        table_name = query.table_name(alias)
+        table = self.schema.table(table_name)
+        paths = [
+            self.cost_model.scan_plan(
+                query, alias, ScanSpec(method=ScanMethod.SEQ)
+            )
+        ]
+        for rate in self.config.sampling_rates:
+            paths.append(
+                self.cost_model.scan_plan(
+                    query,
+                    alias,
+                    ScanSpec(method=ScanMethod.SAMPLE, sampling_rate=rate),
+                )
+            )
+        if self.config.enable_index_scans:
+            filtered_columns = {f.column for f in query.filters_on(alias)}
+            for index in self.schema.indexes_on(table.name):
+                if index.leading_column in filtered_columns:
+                    paths.append(
+                        self.cost_model.scan_plan(
+                            query,
+                            alias,
+                            ScanSpec(
+                                method=ScanMethod.INDEX,
+                                index_name=index.name,
+                            ),
+                        )
+                    )
+        return paths
+
+    # ------------------------------------------------------------------
+    @property
+    def generic_join_specs(self) -> tuple[JoinSpec, ...]:
+        """Configurations applicable to any operand pair."""
+        return self._join_specs
+
+    @property
+    def index_nl_specs(self) -> tuple[JoinSpec, ...]:
+        """Index-nested-loop configurations (one per DOP)."""
+        return self._index_nl_specs
+
+    def index_probe_inners(
+        self,
+        query: Query,
+        inner_alias: str,
+        predicates: tuple[JoinPredicate, ...],
+    ) -> list[ScanPlan]:
+        """Index-probe plans usable as IdxNL inner for ``inner_alias``.
+
+        One probe plan per join-predicate column of the inner table that
+        carries an index with that leading column.
+        """
+        table_name = query.table_name(inner_alias)
+        probes: list[ScanPlan] = []
+        seen_indexes: set[str] = set()
+        for predicate in predicates:
+            if inner_alias not in predicate.aliases:
+                continue
+            _, inner_column = predicate.side(inner_alias)
+            index = self.schema.index_on_column(table_name, inner_column)
+            if index is not None and index.name not in seen_indexes:
+                seen_indexes.add(index.name)
+                probes.append(
+                    self.cost_model.index_probe_plan(
+                        query, inner_alias, index.name, inner_column
+                    )
+                )
+        return probes

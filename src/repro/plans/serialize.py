@@ -1,0 +1,99 @@
+"""Plan and result serialization to JSON-compatible dictionaries.
+
+EXPLAIN-style structured output: plan trees and optimization results
+rendered as plain dictionaries for logging, diffing across optimizer
+versions, or feeding external visualization tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.cost.objectives import ALL_OBJECTIVES
+from repro.exceptions import ReproError
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (the core
+    # package imports config, which imports this package).
+    from repro.core.result import OptimizationResult
+
+
+def plan_to_dict(plan: Plan) -> dict[str, Any]:
+    """Serialize a plan tree to nested dictionaries."""
+    if not isinstance(plan, (ScanPlan, JoinPlan)):
+        raise ReproError(
+            f"cannot serialize plan node: {type(plan).__name__}"
+        )
+    cost = {
+        objective.name.lower(): plan.cost[objective.index]
+        for objective in ALL_OBJECTIVES
+    }
+    if isinstance(plan, ScanPlan):
+        node: dict[str, Any] = {
+            "node": "scan",
+            "operator": plan.spec.label,
+            "method": plan.spec.method.value,
+            "table": plan.table_name,
+            "alias": plan.alias,
+            "rows": plan.rows,
+            "width": plan.width,
+            "cost": cost,
+        }
+        if plan.spec.method.value == "sample_scan":
+            node["sampling_rate"] = plan.spec.sampling_rate
+        if plan.spec.index_name is not None:
+            node["index"] = plan.spec.index_name
+        return node
+    if isinstance(plan, JoinPlan):
+        return {
+            "node": "join",
+            "operator": plan.spec.label,
+            "method": plan.spec.method.value,
+            "dop": plan.spec.dop,
+            "rows": plan.rows,
+            "width": plan.width,
+            "cost": cost,
+            "left": plan_to_dict(plan.left),
+            "right": plan_to_dict(plan.right),
+        }
+    raise ReproError(  # pragma: no cover - guarded above
+        f"cannot serialize plan node: {type(plan).__name__}"
+    )
+
+
+def result_to_dict(result: "OptimizationResult") -> dict[str, Any]:
+    """Serialize an optimization result (run metrics + chosen plan)."""
+    preferences = result.preferences
+    return {
+        "algorithm": result.algorithm,
+        "query": result.query_name,
+        "alpha": result.alpha,
+        "objectives": [o.name.lower() for o in preferences.objectives],
+        "weights": list(preferences.weights),
+        "bounds": [
+            None if b == float("inf") else b for b in preferences.bounds
+        ],
+        "weighted_cost": (
+            None
+            if result.weighted_cost == float("inf")
+            else result.weighted_cost
+        ),
+        "respects_bounds": result.respects_bounds,
+        "plan": plan_to_dict(result.plan) if result.plan else None,
+        "frontier_size": len(result.frontier),
+        "frontier": [list(cost) for cost in result.frontier_costs],
+        "metrics": {
+            "optimization_time_ms": result.optimization_time_ms,
+            "memory_kb": result.memory_kb,
+            "pareto_last_complete": result.pareto_last_complete,
+            "plans_considered": result.plans_considered,
+            "iterations": result.iterations,
+            "timed_out": result.timed_out,
+        },
+    }
+
+
+def result_to_json(result: "OptimizationResult", indent: int = 2) -> str:
+    """Serialize an optimization result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)

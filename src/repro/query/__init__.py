@@ -1,0 +1,41 @@
+"""Query substrate: predicates, query blocks, join graphs, TPC-H queries.
+
+The randomized test-case generator lives in :mod:`repro.workload` (it
+depends on the optimizer core and would otherwise close an import cycle).
+"""
+
+from repro.query.join_graph import JoinGraph
+from repro.query.predicate import FilterPredicate, JoinPredicate, TableRef
+from repro.query.query import MultiBlockQuery, Query, single_block
+from repro.query.synthetic import (
+    GraphShape,
+    shape_suite,
+    synthetic_query,
+    synthetic_schema,
+)
+from repro.query.tpch_queries import (
+    ALL_QUERY_NUMBERS,
+    PAPER_QUERY_ORDER,
+    all_tpch_queries,
+    queries_in_paper_order,
+    tpch_query,
+)
+
+__all__ = [
+    "ALL_QUERY_NUMBERS",
+    "FilterPredicate",
+    "GraphShape",
+    "JoinGraph",
+    "JoinPredicate",
+    "MultiBlockQuery",
+    "PAPER_QUERY_ORDER",
+    "Query",
+    "TableRef",
+    "all_tpch_queries",
+    "queries_in_paper_order",
+    "shape_suite",
+    "single_block",
+    "synthetic_query",
+    "synthetic_schema",
+    "tpch_query",
+]

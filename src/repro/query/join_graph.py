@@ -1,0 +1,162 @@
+"""Join-graph utilities: connectivity and split enumeration.
+
+The bottom-up enumerator replicates the Postgres heuristic the paper kept
+in place: "it considers Cartesian products only in situations in which no
+other join is applicable". For a given table set, splits connected by at
+least one join predicate are preferred; only if no such split exists are
+arbitrary (Cartesian) splits enumerated.
+
+Table subsets are represented as bitmasks over the query's alias order,
+the standard technique for dynamic-programming join enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.query.predicate import JoinPredicate
+from repro.query.query import Query
+
+
+class JoinGraph:
+    """Adjacency structure over the aliases of one query block."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.aliases: tuple[str, ...] = query.aliases
+        self._index: dict[str, int] = {a: i for i, a in enumerate(self.aliases)}
+        n = len(self.aliases)
+        #: adjacency[i] = bitmask of aliases joined with alias i.
+        self.adjacency: list[int] = [0] * n
+        #: predicates_by_pair[(i, j)] with i < j.
+        self._predicates: dict[tuple[int, int], list[JoinPredicate]] = {}
+        for join in query.joins:
+            i = self._index[join.left_alias]
+            j = self._index[join.right_alias]
+            self.adjacency[i] |= 1 << j
+            self.adjacency[j] |= 1 << i
+            key = (min(i, j), max(i, j))
+            self._predicates.setdefault(key, []).append(join)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tables(self) -> int:
+        """Number of table instances (bitmask width)."""
+        return len(self.aliases)
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask containing every alias."""
+        return (1 << len(self.aliases)) - 1
+
+    def alias_index(self, alias: str) -> int:
+        """Bit position of ``alias``."""
+        return self._index[alias]
+
+    def mask_of(self, aliases: frozenset[str] | tuple[str, ...]) -> int:
+        """Bitmask for a collection of aliases."""
+        mask = 0
+        for alias in aliases:
+            mask |= 1 << self._index[alias]
+        return mask
+
+    def aliases_of(self, mask: int) -> frozenset[str]:
+        """Aliases contained in ``mask``."""
+        return frozenset(
+            self.aliases[i] for i in range(len(self.aliases)) if mask >> i & 1
+        )
+
+    # ------------------------------------------------------------------
+    def neighbors(self, mask: int) -> int:
+        """Bitmask of aliases adjacent to any alias in ``mask``."""
+        result = 0
+        rest = mask
+        while rest:
+            low = rest & -rest
+            result |= self.adjacency[low.bit_length() - 1]
+            rest ^= low
+        return result & ~mask
+
+    def is_connected(self, mask: int) -> bool:
+        """Whether the aliases in ``mask`` form a connected subgraph."""
+        if mask == 0:
+            return False
+        start = mask & -mask
+        reached = start
+        frontier = start
+        while frontier:
+            expand = 0
+            rest = frontier
+            while rest:
+                low = rest & -rest
+                expand |= self.adjacency[low.bit_length() - 1]
+                rest ^= low
+            frontier = expand & mask & ~reached
+            reached |= frontier
+        return reached == mask
+
+    def connects(self, left_mask: int, right_mask: int) -> bool:
+        """Whether a join predicate links ``left_mask`` and ``right_mask``."""
+        return bool(self.neighbors(left_mask) & right_mask)
+
+    def predicates_between(
+        self, left_mask: int, right_mask: int
+    ) -> tuple[JoinPredicate, ...]:
+        """All join predicates with one side in each mask."""
+        result: list[JoinPredicate] = []
+        for (i, j), preds in self._predicates.items():
+            bit_i, bit_j = 1 << i, 1 << j
+            if (bit_i & left_mask and bit_j & right_mask) or (
+                bit_i & right_mask and bit_j & left_mask
+            ):
+                result.extend(preds)
+        return tuple(result)
+
+    # ------------------------------------------------------------------
+    def splits(self, mask: int) -> Iterator[tuple[int, int]]:
+        """Enumerate unordered splits ``(left, right)`` of ``mask``.
+
+        Preferred splits have a join predicate between the halves
+        (Postgres heuristic: avoid Cartesian products); when no connected
+        split exists, all splits are yielded so the enumeration stays
+        complete. Each unordered split is yielded once (callers try both
+        operand orders for asymmetric operators).
+        """
+        bits = [i for i in range(len(self.aliases)) if mask >> i & 1]
+        if len(bits) < 2:
+            return
+        anchor = 1 << bits[0]
+        connected: list[tuple[int, int]] = []
+        cartesian: list[tuple[int, int]] = []
+        # Enumerate subsets containing the anchor bit to visit each
+        # unordered split exactly once.
+        free_bits = bits[1:]
+        for selector in range(1 << len(free_bits)):
+            left = anchor
+            for pos, bit in enumerate(free_bits):
+                if selector >> pos & 1:
+                    left |= 1 << bit
+            right = mask & ~left
+            if right == 0:
+                continue
+            if self.connects(left, right):
+                connected.append((left, right))
+            else:
+                cartesian.append((left, right))
+        yield from connected if connected else cartesian
+
+    def connected_subsets(self) -> list[int]:
+        """All connected alias subsets (by increasing cardinality).
+
+        Subsets that are *not* connected are included only if they are
+        reachable by the split enumeration (i.e. the query graph itself is
+        disconnected); for connected queries this is exactly the set of
+        connected subgraphs.
+        """
+        masks = [
+            mask
+            for mask in range(1, self.full_mask + 1)
+            if self.is_connected(mask) or not self.is_connected(self.full_mask)
+        ]
+        masks.sort(key=lambda m: (bin(m).count("1"), m))
+        return masks

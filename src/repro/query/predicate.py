@@ -1,0 +1,102 @@
+"""Filter and join predicates with selectivity information.
+
+The optimizer abstracts queries to table sets (Section 3 of the paper),
+"abstracting away details such as join predicates (that are however
+considered in the implementations)". Like the paper's implementation we
+do consider predicates: they drive cardinality estimation and the
+no-cross-product heuristic of the join enumerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import QueryModelError
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table occurrence in a from-clause: ``table_name AS alias``.
+
+    Self-joins (e.g. the two nation instances in TPC-H Q7) use distinct
+    aliases over the same table name.
+    """
+
+    alias: str
+    table_name: str
+
+    def __post_init__(self) -> None:
+        if not self.alias or not self.table_name:
+            raise QueryModelError("alias and table_name must be non-empty")
+
+
+@dataclass(frozen=True)
+class FilterPredicate:
+    """A single-table predicate with a fixed selectivity estimate.
+
+    The selectivity encodes what a real optimizer would derive from
+    histograms; we take the values from the TPC-H specification's
+    predicate definitions.
+    """
+
+    alias: str
+    column: str
+    selectivity: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise QueryModelError(
+                f"filter selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equality join predicate ``left.alias.column = right.alias.column``.
+
+    ``selectivity`` may be given explicitly; if ``None`` it is estimated
+    from distinct-value statistics as ``1 / max(ndv_left, ndv_right)``.
+    """
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+    selectivity: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.left_alias == self.right_alias:
+            raise QueryModelError(
+                f"join predicate must connect two table instances, got "
+                f"{self.left_alias!r} on both sides"
+            )
+        if self.selectivity is not None and not 0.0 < self.selectivity <= 1.0:
+            raise QueryModelError(
+                f"join selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+    @property
+    def aliases(self) -> frozenset[str]:
+        """The two aliases the predicate connects."""
+        return frozenset((self.left_alias, self.right_alias))
+
+    def side(self, alias: str) -> tuple[str, str]:
+        """Return ``(alias, column)`` of the side bound to ``alias``."""
+        if alias == self.left_alias:
+            return self.left_alias, self.left_column
+        if alias == self.right_alias:
+            return self.right_alias, self.right_column
+        raise QueryModelError(
+            f"alias {alias!r} not part of predicate {self!r}"
+        )
+
+    def other_side(self, alias: str) -> tuple[str, str]:
+        """Return ``(alias, column)`` of the side *not* bound to ``alias``."""
+        if alias == self.left_alias:
+            return self.right_alias, self.right_column
+        if alias == self.right_alias:
+            return self.left_alias, self.left_column
+        raise QueryModelError(
+            f"alias {alias!r} not part of predicate {self!r}"
+        )

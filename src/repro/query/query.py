@@ -1,0 +1,142 @@
+"""Query blocks: a set of table instances plus predicates.
+
+A :class:`Query` models one query block (one from-clause). Queries with
+subqueries become a :class:`MultiBlockQuery` whose blocks are optimized
+separately — replicating the Postgres heuristic the paper deliberately
+left in place (Section 4): "it optimizes different subqueries of the same
+query separately".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryModelError
+from repro.query.predicate import FilterPredicate, JoinPredicate, TableRef
+
+
+@dataclass(frozen=True)
+class Query:
+    """One query block: table instances to join plus predicates."""
+
+    name: str
+    table_refs: tuple[TableRef, ...]
+    filters: tuple[FilterPredicate, ...] = ()
+    joins: tuple[JoinPredicate, ...] = ()
+    _alias_map: dict[str, str] = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        if not self.table_refs:
+            raise QueryModelError(f"query {self.name!r} must reference tables")
+        alias_map: dict[str, str] = {}
+        for ref in self.table_refs:
+            if ref.alias in alias_map:
+                raise QueryModelError(
+                    f"duplicate alias {ref.alias!r} in query {self.name!r}"
+                )
+            alias_map[ref.alias] = ref.table_name
+        for flt in self.filters:
+            if flt.alias not in alias_map:
+                raise QueryModelError(
+                    f"filter on unknown alias {flt.alias!r} in {self.name!r}"
+                )
+        for join in self.joins:
+            for alias in join.aliases:
+                if alias not in alias_map:
+                    raise QueryModelError(
+                        f"join on unknown alias {alias!r} in {self.name!r}"
+                    )
+        object.__setattr__(self, "_alias_map", alias_map)
+
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> tuple[str, ...]:
+        """Aliases in from-clause order."""
+        return tuple(ref.alias for ref in self.table_refs)
+
+    @property
+    def num_tables(self) -> int:
+        """Number of table instances in the from-clause."""
+        return len(self.table_refs)
+
+    def table_name(self, alias: str) -> str:
+        """Resolve an alias to its base-table name."""
+        try:
+            return self._alias_map[alias]
+        except KeyError:
+            raise QueryModelError(
+                f"unknown alias {alias!r} in query {self.name!r}"
+            ) from None
+
+    def filters_on(self, alias: str) -> tuple[FilterPredicate, ...]:
+        """All filter predicates on ``alias``."""
+        return tuple(f for f in self.filters if f.alias == alias)
+
+    def joins_between(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> tuple[JoinPredicate, ...]:
+        """Join predicates with one side in ``left`` and the other in ``right``."""
+        result = []
+        for join in self.joins:
+            a, b = tuple(join.aliases)
+            if (a in left and b in right) or (a in right and b in left):
+                result.append(join)
+        return tuple(result)
+
+    def restricted_to(self, aliases: frozenset[str], name: str) -> "Query":
+        """Sub-query over a subset of aliases (predicates restricted)."""
+        missing = aliases - set(self.aliases)
+        if missing:
+            raise QueryModelError(f"aliases not in query: {sorted(missing)}")
+        return Query(
+            name=name,
+            table_refs=tuple(r for r in self.table_refs if r.alias in aliases),
+            filters=tuple(f for f in self.filters if f.alias in aliases),
+            joins=tuple(j for j in self.joins if j.aliases <= aliases),
+        )
+
+
+@dataclass(frozen=True)
+class MultiBlockQuery:
+    """A query with subqueries: a main block plus nested blocks.
+
+    Blocks are optimized independently (Postgres heuristic ii in the
+    paper); block costs are combined sequentially by the optimizer
+    facade. ``max_block_size`` is the quantity the paper's figures order
+    queries by ("maximal number of tables that appears in any of their
+    from-clauses").
+    """
+
+    name: str
+    blocks: tuple[Query, ...]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise QueryModelError(f"query {self.name!r} must have >= 1 block")
+
+    @property
+    def main_block(self) -> Query:
+        """The outermost query block."""
+        return self.blocks[0]
+
+    @property
+    def subquery_blocks(self) -> tuple[Query, ...]:
+        """All nested blocks (possibly empty)."""
+        return self.blocks[1:]
+
+    @property
+    def has_subqueries(self) -> bool:
+        """Whether the query contains nested blocks."""
+        return len(self.blocks) > 1
+
+    @property
+    def max_block_size(self) -> int:
+        """Largest number of table instances in any block's from-clause."""
+        return max(block.num_tables for block in self.blocks)
+
+
+def single_block(query: Query) -> MultiBlockQuery:
+    """Wrap a plain query block as a (single-block) multi-block query."""
+    return MultiBlockQuery(name=query.name, blocks=(query,))

@@ -1,0 +1,156 @@
+"""Synthetic query generation over parameterized join-graph shapes.
+
+The TPC-H workload fixes the join-graph topologies; this generator
+produces queries of controlled shape and size — the standard tool for
+studying how join enumeration scales with graph structure:
+
+* **chain** — tables joined in a line (fewest connected subgraphs);
+* **star** — a fact table joined to n-1 dimensions (classic warehouse
+  shape; every subset containing the hub is connected);
+* **cycle** — a chain closed into a ring;
+* **clique** — every pair joined (most connected subgraphs; worst case
+  for subset enumeration).
+
+Queries reference the TPC-H ``lineitem``/``orders``-style tables via a
+dedicated synthetic schema so statistics stay controlled.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.catalog.column import Column, DataType
+from repro.catalog.index import Index
+from repro.catalog.schema import Schema, build_schema
+from repro.exceptions import QueryModelError
+from repro.query.predicate import FilterPredicate, JoinPredicate, TableRef
+from repro.query.query import Query
+
+
+class GraphShape(enum.Enum):
+    """Join-graph topology of a generated query."""
+
+    CHAIN = "chain"
+    STAR = "star"
+    CYCLE = "cycle"
+    CLIQUE = "clique"
+
+
+#: Largest synthetic query size supported by the bundled schema.
+MAX_TABLES = 12
+
+
+def synthetic_schema(
+    num_tables: int = MAX_TABLES,
+    base_rows: int = 10_000,
+    growth: float = 2.0,
+    seed: int = 0,
+) -> Schema:
+    """A schema of ``num_tables`` tables with geometrically growing sizes.
+
+    Every table ``t{i}`` has a unique key, a foreign-key-like join
+    column ``ref`` and a filterable ``payload`` column; keys and refs
+    carry indexes so index-nested-loop joins are available.
+    """
+    if num_tables < 1:
+        raise QueryModelError("num_tables must be >= 1")
+    rng = random.Random(seed)
+    tables = []
+    indexes = []
+    for i in range(num_tables):
+        rows = max(10, int(base_rows * growth**i))
+        ndv_ref = max(2, rows // rng.randint(2, 10))
+        tables.append(_make_table(i, rows, ndv_ref))
+        indexes.append(Index(f"t{i}_pk", f"t{i}", ("key",), rows,
+                             unique=True))
+        indexes.append(Index(f"t{i}_ref_idx", f"t{i}", ("ref",), rows))
+    return build_schema(f"synthetic{num_tables}", tables, indexes)
+
+
+def _make_table(index: int, rows: int, ndv_ref: int):
+    from repro.catalog.table import Table
+
+    return Table(
+        f"t{index}",
+        (
+            Column("key", DataType.INTEGER, n_distinct=rows),
+            Column("ref", DataType.INTEGER, n_distinct=ndv_ref),
+            Column("payload", DataType.VARCHAR, n_distinct=max(2, rows // 4)),
+        ),
+        row_count=rows,
+    )
+
+
+def _edges(shape: GraphShape, num_tables: int) -> list[tuple[int, int]]:
+    if shape is GraphShape.CHAIN:
+        return [(i, i + 1) for i in range(num_tables - 1)]
+    if shape is GraphShape.STAR:
+        return [(0, i) for i in range(1, num_tables)]
+    if shape is GraphShape.CYCLE:
+        edges = [(i, i + 1) for i in range(num_tables - 1)]
+        if num_tables > 2:
+            edges.append((num_tables - 1, 0))
+        return edges
+    if shape is GraphShape.CLIQUE:
+        return [
+            (i, j)
+            for i in range(num_tables)
+            for j in range(i + 1, num_tables)
+        ]
+    raise QueryModelError(f"unsupported shape: {shape}")
+
+
+def synthetic_query(
+    shape: GraphShape,
+    num_tables: int,
+    filter_selectivity: float | None = 0.3,
+    seed: int = 0,
+) -> Query:
+    """A query of the given shape over the synthetic schema's tables.
+
+    Joins connect each edge's ``key``/``ref`` columns; an optional
+    filter lands on the first table's payload column.
+    """
+    if not 1 <= num_tables <= MAX_TABLES:
+        raise QueryModelError(
+            f"num_tables must be in 1..{MAX_TABLES}, got {num_tables}"
+        )
+    if shape is GraphShape.CHAIN and num_tables == 1:
+        edges = []
+    else:
+        edges = _edges(shape, num_tables)
+    rng = random.Random(seed)
+    refs = tuple(TableRef(f"t{i}", f"t{i}") for i in range(num_tables))
+    joins = tuple(
+        JoinPredicate(
+            left_alias=f"t{a}",
+            left_column="key" if rng.random() < 0.5 else "ref",
+            right_alias=f"t{b}",
+            right_column="ref",
+        )
+        for a, b in edges
+    )
+    filters = ()
+    if filter_selectivity is not None and num_tables >= 1:
+        filters = (
+            FilterPredicate("t0", "payload", filter_selectivity,
+                            "payload filter"),
+        )
+    return Query(
+        name=f"{shape.value}{num_tables}",
+        table_refs=refs,
+        filters=filters,
+        joins=joins,
+    )
+
+
+def shape_suite(
+    num_tables: int, seed: int = 0
+) -> dict[GraphShape, Query]:
+    """One query per shape at the given size (for scaling studies)."""
+    return {
+        shape: synthetic_query(shape, num_tables, seed=seed)
+        for shape in GraphShape
+        if num_tables >= 3 or shape in (GraphShape.CHAIN, GraphShape.STAR)
+    }

@@ -1,0 +1,426 @@
+"""The 22 TPC-H queries as multi-block join queries.
+
+Each query is encoded as the table instances of its from-clause(s), the
+single-table filter predicates (with selectivities derived from the
+TPC-H specification's predicate definitions — standing in for what
+Postgres would estimate from histograms) and the equality join
+predicates. Subqueries become separate blocks, optimized independently
+like in the paper's Postgres prototype.
+
+``PAPER_QUERY_ORDER`` lists the queries in the order of Figures 9/10:
+ascending in the maximal number of tables in any from-clause (the
+quantity that correlates with search-space size).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.query.predicate import FilterPredicate, JoinPredicate, TableRef
+from repro.query.query import MultiBlockQuery, Query
+
+#: Query order used on the x-axis of the paper's Figures 5, 9 and 10.
+PAPER_QUERY_ORDER: tuple[int, ...] = (
+    1, 4, 6, 22, 12, 13, 14, 15, 16, 17, 19, 20,
+    3, 11, 18, 10, 21, 2, 5, 7, 9, 8,
+)
+
+#: All TPC-H query numbers.
+ALL_QUERY_NUMBERS: tuple[int, ...] = tuple(range(1, 23))
+
+
+def _ref(alias: str, table: str | None = None) -> TableRef:
+    return TableRef(alias=alias, table_name=table or alias)
+
+
+def _flt(alias: str, column: str, sel: float, desc: str = "") -> FilterPredicate:
+    return FilterPredicate(alias=alias, column=column, selectivity=sel,
+                           description=desc)
+
+
+def _join(la: str, lc: str, ra: str, rc: str,
+          sel: float | None = None) -> JoinPredicate:
+    return JoinPredicate(left_alias=la, left_column=lc, right_alias=ra,
+                         right_column=rc, selectivity=sel)
+
+
+def _block(name, refs, filters=(), joins=()) -> Query:
+    return Query(name=name, table_refs=tuple(refs),
+                 filters=tuple(filters), joins=tuple(joins))
+
+
+def _build_q1() -> MultiBlockQuery:
+    main = _block("q1", [_ref("lineitem")], [
+        _flt("lineitem", "l_shipdate", 0.97, "l_shipdate <= '1998-09-02'"),
+    ])
+    return MultiBlockQuery("tpch_q1", (main,))
+
+
+def _build_q2() -> MultiBlockQuery:
+    main = _block(
+        "q2_main",
+        [_ref("part"), _ref("supplier"), _ref("partsupp"), _ref("nation"),
+         _ref("region")],
+        [
+            _flt("part", "p_size", 0.02, "p_size = 15"),
+            _flt("part", "p_type", 0.04, "p_type like '%BRASS'"),
+            _flt("region", "r_name", 0.2, "r_name = 'EUROPE'"),
+        ],
+        [
+            _join("part", "p_partkey", "partsupp", "ps_partkey"),
+            _join("supplier", "s_suppkey", "partsupp", "ps_suppkey"),
+            _join("supplier", "s_nationkey", "nation", "n_nationkey"),
+            _join("nation", "n_regionkey", "region", "r_regionkey"),
+        ],
+    )
+    sub = _block(
+        "q2_sub",
+        [_ref("partsupp"), _ref("supplier"), _ref("nation"), _ref("region")],
+        [_flt("region", "r_name", 0.2, "r_name = 'EUROPE'")],
+        [
+            _join("supplier", "s_suppkey", "partsupp", "ps_suppkey"),
+            _join("supplier", "s_nationkey", "nation", "n_nationkey"),
+            _join("nation", "n_regionkey", "region", "r_regionkey"),
+        ],
+    )
+    return MultiBlockQuery("tpch_q2", (main, sub))
+
+
+def _build_q3() -> MultiBlockQuery:
+    main = _block(
+        "q3",
+        [_ref("customer"), _ref("orders"), _ref("lineitem")],
+        [
+            _flt("customer", "c_mktsegment", 0.2, "c_mktsegment = 'BUILDING'"),
+            _flt("orders", "o_orderdate", 0.48, "o_orderdate < '1995-03-15'"),
+            _flt("lineitem", "l_shipdate", 0.54, "l_shipdate > '1995-03-15'"),
+        ],
+        [
+            _join("customer", "c_custkey", "orders", "o_custkey"),
+            _join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ],
+    )
+    return MultiBlockQuery("tpch_q3", (main,))
+
+
+def _build_q4() -> MultiBlockQuery:
+    main = _block("q4_main", [_ref("orders")], [
+        _flt("orders", "o_orderdate", 0.038, "3-month o_orderdate window"),
+    ])
+    sub = _block("q4_sub", [_ref("lineitem")], [
+        _flt("lineitem", "l_commitdate", 0.63, "l_commitdate < l_receiptdate"),
+    ])
+    return MultiBlockQuery("tpch_q4", (main, sub))
+
+
+def _build_q5() -> MultiBlockQuery:
+    main = _block(
+        "q5",
+        [_ref("customer"), _ref("orders"), _ref("lineitem"), _ref("supplier"),
+         _ref("nation"), _ref("region")],
+        [
+            _flt("region", "r_name", 0.2, "r_name = 'ASIA'"),
+            _flt("orders", "o_orderdate", 0.15, "1-year o_orderdate window"),
+        ],
+        [
+            _join("customer", "c_custkey", "orders", "o_custkey"),
+            _join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            _join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+            _join("customer", "c_nationkey", "supplier", "s_nationkey"),
+            _join("supplier", "s_nationkey", "nation", "n_nationkey"),
+            _join("nation", "n_regionkey", "region", "r_regionkey"),
+        ],
+    )
+    return MultiBlockQuery("tpch_q5", (main,))
+
+
+def _build_q6() -> MultiBlockQuery:
+    main = _block("q6", [_ref("lineitem")], [
+        _flt("lineitem", "l_shipdate", 0.15, "1-year l_shipdate window"),
+        _flt("lineitem", "l_discount", 0.27, "l_discount in [0.05, 0.07]"),
+        _flt("lineitem", "l_quantity", 0.48, "l_quantity < 24"),
+    ])
+    return MultiBlockQuery("tpch_q6", (main,))
+
+
+def _build_q7() -> MultiBlockQuery:
+    main = _block(
+        "q7",
+        [_ref("supplier"), _ref("lineitem"), _ref("orders"), _ref("customer"),
+         _ref("n1", "nation"), _ref("n2", "nation")],
+        [
+            _flt("lineitem", "l_shipdate", 0.3, "2-year l_shipdate window"),
+            _flt("n1", "n_name", 0.08, "n1.n_name in (FRANCE, GERMANY)"),
+            _flt("n2", "n_name", 0.08, "n2.n_name in (FRANCE, GERMANY)"),
+        ],
+        [
+            _join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+            _join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            _join("customer", "c_custkey", "orders", "o_custkey"),
+            _join("supplier", "s_nationkey", "n1", "n_nationkey"),
+            _join("customer", "c_nationkey", "n2", "n_nationkey"),
+        ],
+    )
+    return MultiBlockQuery("tpch_q7", (main,))
+
+
+def _build_q8() -> MultiBlockQuery:
+    main = _block(
+        "q8",
+        [_ref("part"), _ref("supplier"), _ref("lineitem"), _ref("orders"),
+         _ref("customer"), _ref("n1", "nation"), _ref("n2", "nation"),
+         _ref("region")],
+        [
+            _flt("part", "p_type", 0.007, "p_type = 'ECONOMY ANODIZED STEEL'"),
+            _flt("region", "r_name", 0.2, "r_name = 'AMERICA'"),
+            _flt("orders", "o_orderdate", 0.3, "2-year o_orderdate window"),
+        ],
+        [
+            _join("part", "p_partkey", "lineitem", "l_partkey"),
+            _join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+            _join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            _join("orders", "o_custkey", "customer", "c_custkey"),
+            _join("customer", "c_nationkey", "n1", "n_nationkey"),
+            _join("n1", "n_regionkey", "region", "r_regionkey"),
+            _join("supplier", "s_nationkey", "n2", "n_nationkey"),
+        ],
+    )
+    return MultiBlockQuery("tpch_q8", (main,))
+
+
+def _build_q9() -> MultiBlockQuery:
+    main = _block(
+        "q9",
+        [_ref("part"), _ref("supplier"), _ref("lineitem"), _ref("partsupp"),
+         _ref("orders"), _ref("nation")],
+        [_flt("part", "p_name", 0.055, "p_name like '%green%'")],
+        [
+            _join("part", "p_partkey", "lineitem", "l_partkey"),
+            _join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+            _join("partsupp", "ps_suppkey", "lineitem", "l_suppkey"),
+            _join("partsupp", "ps_partkey", "lineitem", "l_partkey"),
+            _join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+            _join("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+    )
+    return MultiBlockQuery("tpch_q9", (main,))
+
+
+def _build_q10() -> MultiBlockQuery:
+    main = _block(
+        "q10",
+        [_ref("customer"), _ref("orders"), _ref("lineitem"), _ref("nation")],
+        [
+            _flt("orders", "o_orderdate", 0.038, "3-month o_orderdate window"),
+            _flt("lineitem", "l_returnflag", 0.33, "l_returnflag = 'R'"),
+        ],
+        [
+            _join("customer", "c_custkey", "orders", "o_custkey"),
+            _join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+            _join("customer", "c_nationkey", "nation", "n_nationkey"),
+        ],
+    )
+    return MultiBlockQuery("tpch_q10", (main,))
+
+
+def _build_q11() -> MultiBlockQuery:
+    tables = [_ref("partsupp"), _ref("supplier"), _ref("nation")]
+    filters = [_flt("nation", "n_name", 0.04, "n_name = 'GERMANY'")]
+    joins = [
+        _join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+        _join("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ]
+    main = _block("q11_main", tables, filters, joins)
+    sub = _block("q11_sub", list(tables), list(filters), list(joins))
+    return MultiBlockQuery("tpch_q11", (main, sub))
+
+
+def _build_q12() -> MultiBlockQuery:
+    main = _block(
+        "q12",
+        [_ref("orders"), _ref("lineitem")],
+        [
+            _flt("lineitem", "l_shipmode", 0.29, "l_shipmode in (MAIL, SHIP)"),
+            _flt("lineitem", "l_receiptdate", 0.15, "1-year receipt window"),
+            _flt("lineitem", "l_commitdate", 0.3, "commit/receipt/ship order"),
+        ],
+        [_join("orders", "o_orderkey", "lineitem", "l_orderkey")],
+    )
+    return MultiBlockQuery("tpch_q12", (main,))
+
+
+def _build_q13() -> MultiBlockQuery:
+    main = _block(
+        "q13",
+        [_ref("customer"), _ref("orders")],
+        [_flt("orders", "o_comment", 0.98, "o_comment not like '%requests%'")],
+        [_join("customer", "c_custkey", "orders", "o_custkey")],
+    )
+    return MultiBlockQuery("tpch_q13", (main,))
+
+
+def _build_q14() -> MultiBlockQuery:
+    main = _block(
+        "q14",
+        [_ref("lineitem"), _ref("part")],
+        [_flt("lineitem", "l_shipdate", 0.0125, "1-month l_shipdate window")],
+        [_join("lineitem", "l_partkey", "part", "p_partkey")],
+    )
+    return MultiBlockQuery("tpch_q14", (main,))
+
+
+def _build_q15() -> MultiBlockQuery:
+    main = _block(
+        "q15_main",
+        [_ref("supplier"), _ref("lineitem")],
+        [_flt("lineitem", "l_shipdate", 0.038, "3-month l_shipdate window")],
+        [_join("supplier", "s_suppkey", "lineitem", "l_suppkey")],
+    )
+    sub = _block("q15_sub", [_ref("lineitem")], [
+        _flt("lineitem", "l_shipdate", 0.038, "3-month l_shipdate window"),
+    ])
+    return MultiBlockQuery("tpch_q15", (main, sub))
+
+
+def _build_q16() -> MultiBlockQuery:
+    main = _block(
+        "q16_main",
+        [_ref("partsupp"), _ref("part")],
+        [
+            _flt("part", "p_brand", 0.96, "p_brand <> 'Brand#45'"),
+            _flt("part", "p_type", 0.97, "p_type not like 'MEDIUM POLISHED%'"),
+            _flt("part", "p_size", 0.16, "p_size in (8 values)"),
+        ],
+        [_join("partsupp", "ps_partkey", "part", "p_partkey")],
+    )
+    sub = _block("q16_sub", [_ref("supplier")], [
+        _flt("supplier", "s_comment", 0.01, "s_comment like complaints"),
+    ])
+    return MultiBlockQuery("tpch_q16", (main, sub))
+
+
+def _build_q17() -> MultiBlockQuery:
+    main = _block(
+        "q17_main",
+        [_ref("lineitem"), _ref("part")],
+        [
+            _flt("part", "p_brand", 0.04, "p_brand = 'Brand#23'"),
+            _flt("part", "p_container", 0.025, "p_container = 'MED BOX'"),
+        ],
+        [_join("lineitem", "l_partkey", "part", "p_partkey")],
+    )
+    sub = _block("q17_sub", [_ref("lineitem")], [])
+    return MultiBlockQuery("tpch_q17", (main, sub))
+
+
+def _build_q18() -> MultiBlockQuery:
+    main = _block(
+        "q18_main",
+        [_ref("customer"), _ref("orders"), _ref("lineitem")],
+        [],
+        [
+            _join("customer", "c_custkey", "orders", "o_custkey"),
+            _join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+        ],
+    )
+    sub = _block("q18_sub", [_ref("lineitem")], [])
+    return MultiBlockQuery("tpch_q18", (main, sub))
+
+
+def _build_q19() -> MultiBlockQuery:
+    main = _block(
+        "q19",
+        [_ref("lineitem"), _ref("part")],
+        [
+            _flt("part", "p_brand", 0.12, "p_brand in (3 brands)"),
+            _flt("part", "p_container", 0.3, "p_container in (12 values)"),
+            _flt("part", "p_size", 0.3, "p_size between 1 and 15"),
+            _flt("lineitem", "l_quantity", 0.4, "quantity windows"),
+            _flt("lineitem", "l_shipmode", 0.29, "l_shipmode in (AIR, AIR REG)"),
+            _flt("lineitem", "l_shipinstruct", 0.25, "deliver in person"),
+        ],
+        [_join("lineitem", "l_partkey", "part", "p_partkey")],
+    )
+    return MultiBlockQuery("tpch_q19", (main,))
+
+
+def _build_q20() -> MultiBlockQuery:
+    main = _block(
+        "q20_main",
+        [_ref("supplier"), _ref("nation")],
+        [_flt("nation", "n_name", 0.04, "n_name = 'CANADA'")],
+        [_join("supplier", "s_nationkey", "nation", "n_nationkey")],
+    )
+    sub1 = _block("q20_sub_partsupp", [_ref("partsupp")], [])
+    sub2 = _block("q20_sub_part", [_ref("part")], [
+        _flt("part", "p_name", 0.055, "p_name like 'forest%'"),
+    ])
+    sub3 = _block("q20_sub_lineitem", [_ref("lineitem")], [
+        _flt("lineitem", "l_shipdate", 0.15, "1-year l_shipdate window"),
+    ])
+    return MultiBlockQuery("tpch_q20", (main, sub1, sub2, sub3))
+
+
+def _build_q21() -> MultiBlockQuery:
+    main = _block(
+        "q21_main",
+        [_ref("supplier"), _ref("l1", "lineitem"), _ref("orders"),
+         _ref("nation")],
+        [
+            _flt("orders", "o_orderstatus", 0.33, "o_orderstatus = 'F'"),
+            _flt("nation", "n_name", 0.04, "n_name = 'SAUDI ARABIA'"),
+            _flt("l1", "l_receiptdate", 0.63, "l_receiptdate > l_commitdate"),
+        ],
+        [
+            _join("supplier", "s_suppkey", "l1", "l_suppkey"),
+            _join("orders", "o_orderkey", "l1", "l_orderkey"),
+            _join("supplier", "s_nationkey", "nation", "n_nationkey"),
+        ],
+    )
+    sub1 = _block("q21_sub_l2", [_ref("l2", "lineitem")], [])
+    sub2 = _block("q21_sub_l3", [_ref("l3", "lineitem")], [
+        _flt("l3", "l_receiptdate", 0.63, "l_receiptdate > l_commitdate"),
+    ])
+    return MultiBlockQuery("tpch_q21", (main, sub1, sub2))
+
+
+def _build_q22() -> MultiBlockQuery:
+    main = _block("q22_main", [_ref("customer")], [
+        _flt("customer", "c_phone", 0.28, "country-code prefix in (7 codes)"),
+        _flt("customer", "c_acctbal", 0.5, "c_acctbal above average"),
+    ])
+    sub1 = _block("q22_sub_customer", [_ref("customer")], [
+        _flt("customer", "c_phone", 0.28, "country-code prefix in (7 codes)"),
+        _flt("customer", "c_acctbal", 0.9, "c_acctbal > 0.00"),
+    ])
+    sub2 = _block("q22_sub_orders", [_ref("orders")], [])
+    return MultiBlockQuery("tpch_q22", (main, sub1, sub2))
+
+
+_BUILDERS = {
+    1: _build_q1, 2: _build_q2, 3: _build_q3, 4: _build_q4, 5: _build_q5,
+    6: _build_q6, 7: _build_q7, 8: _build_q8, 9: _build_q9, 10: _build_q10,
+    11: _build_q11, 12: _build_q12, 13: _build_q13, 14: _build_q14,
+    15: _build_q15, 16: _build_q16, 17: _build_q17, 18: _build_q18,
+    19: _build_q19, 20: _build_q20, 21: _build_q21, 22: _build_q22,
+}
+
+
+@lru_cache(maxsize=None)
+def tpch_query(number: int) -> MultiBlockQuery:
+    """Return TPC-H query ``number`` (1..22) as a multi-block query."""
+    try:
+        builder = _BUILDERS[number]
+    except KeyError:
+        raise ValueError(f"TPC-H query number must be in 1..22, got {number}")
+    return builder()
+
+
+def all_tpch_queries() -> dict[int, MultiBlockQuery]:
+    """All 22 queries keyed by number."""
+    return {number: tpch_query(number) for number in ALL_QUERY_NUMBERS}
+
+
+def queries_in_paper_order() -> list[tuple[int, MultiBlockQuery]]:
+    """(number, query) pairs ordered like the paper's figure x-axes."""
+    return [(number, tpch_query(number)) for number in PAPER_QUERY_ORDER]

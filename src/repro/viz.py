@@ -1,0 +1,162 @@
+"""Terminal visualization of Pareto frontiers and plan trees.
+
+The paper's prototype "allows to visualize two and three dimensional
+projections of the Pareto frontier" so users can pick sensible weights
+and bounds (Section 4, Figure 4). This module renders the same
+projections as ASCII scatter plots — no plotting dependency required.
+
+Typical use::
+
+    result = optimizer.optimize(query, prefs, algorithm="rta", alpha=1.5)
+    print(frontier_scatter(result, Objective.BUFFER_FOOTPRINT,
+                           Objective.TOTAL_TIME))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.result import OptimizationResult
+from repro.cost.objectives import Objective
+from repro.exceptions import ReproError
+
+#: Default plot dimensions (characters).
+DEFAULT_WIDTH = 64
+DEFAULT_HEIGHT = 20
+
+
+class VisualizationError(ReproError):
+    """Raised for unusable plot requests (missing objectives, no data)."""
+
+
+def _axis_values(
+    result: OptimizationResult, objective: Objective
+) -> list[float]:
+    try:
+        position = result.preferences.objectives.index(objective)
+    except ValueError:
+        raise VisualizationError(
+            f"{objective.name} was not optimized in this run"
+        ) from None
+    return [cost[position] for cost in result.frontier_costs]
+
+
+def _scale(values: Sequence[float], cells: int, log: bool) -> list[int]:
+    """Map values onto integer cells [0, cells-1]."""
+    if log:
+        floor = min((v for v in values if v > 0), default=1.0)
+        transformed = [math.log10(max(v, floor / 10.0)) for v in values]
+    else:
+        transformed = list(values)
+    low = min(transformed)
+    high = max(transformed)
+    span = high - low
+    if span <= 0:
+        return [0 for _ in transformed]
+    return [
+        min(cells - 1, int((v - low) / span * (cells - 1) + 0.5))
+        for v in transformed
+    ]
+
+
+def scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    log_x: bool = False,
+    log_y: bool = False,
+    marker: str = "o",
+    highlight: tuple[float, float] | None = None,
+) -> str:
+    """Render points as an ASCII scatter plot.
+
+    ``highlight`` marks one point (e.g. the chosen plan) with ``*``.
+    """
+    if len(xs) != len(ys):
+        raise VisualizationError("x and y series differ in length")
+    if not xs:
+        raise VisualizationError("nothing to plot")
+    all_x = list(xs) + ([highlight[0]] if highlight else [])
+    all_y = list(ys) + ([highlight[1]] if highlight else [])
+    columns = _scale(all_x, width, log_x)
+    rows = _scale(all_y, height, log_y)
+    grid = [[" "] * width for _ in range(height)]
+    for column, row in zip(columns[: len(xs)], rows[: len(ys)]):
+        grid[height - 1 - row][column] = marker
+    if highlight is not None:
+        grid[height - 1 - rows[-1]][columns[-1]] = "*"
+
+    lines = []
+    y_note = f"{y_label}{' (log)' if log_y else ''}"
+    lines.append(f"  ^ {y_note}   max={max(ys):.4g}")
+    for grid_row in grid:
+        lines.append("  |" + "".join(grid_row))
+    lines.append("  +" + "-" * width + ">")
+    x_note = f"{x_label}{' (log)' if log_x else ''}"
+    lines.append(
+        f"   {x_note}: {min(xs):.4g} .. {max(xs):.4g}"
+        f"   ({len(xs)} points)"
+    )
+    return "\n".join(lines)
+
+
+def frontier_scatter(
+    result: OptimizationResult,
+    x_objective: Objective,
+    y_objective: Objective,
+    width: int = DEFAULT_WIDTH,
+    height: int = DEFAULT_HEIGHT,
+    log_x: bool = False,
+    log_y: bool = False,
+    mark_chosen: bool = True,
+) -> str:
+    """2-D projection of a run's (approximate) Pareto frontier.
+
+    The chosen plan is marked ``*`` when ``mark_chosen`` is set and the
+    run selected one.
+    """
+    xs = _axis_values(result, x_objective)
+    ys = _axis_values(result, y_objective)
+    highlight = None
+    if mark_chosen and result.plan_cost is not None:
+        x_position = result.preferences.objectives.index(x_objective)
+        y_position = result.preferences.objectives.index(y_objective)
+        highlight = (
+            result.plan_cost[x_position], result.plan_cost[y_position]
+        )
+    title = (
+        f"{result.query_name}: {y_objective.name.lower()} vs "
+        f"{x_objective.name.lower()} "
+        f"[{result.algorithm}, alpha={result.alpha}]"
+    )
+    plot = scatter(
+        xs, ys,
+        x_label=x_objective.name.lower(),
+        y_label=y_objective.name.lower(),
+        width=width, height=height, log_x=log_x, log_y=log_y,
+        highlight=highlight,
+    )
+    return f"{title}\n{plot}"
+
+
+def frontier_table(
+    result: OptimizationResult, limit: int | None = None
+) -> str:
+    """The frontier as an aligned table (all selected objectives)."""
+    objectives = result.preferences.objectives
+    header = "  ".join(f"{o.name.lower():>18s}" for o in objectives)
+    rows = sorted(result.frontier_costs)
+    if limit is not None and len(rows) > limit:
+        shown, hidden = rows[:limit], len(rows) - limit
+    else:
+        shown, hidden = rows, 0
+    lines = [header]
+    for cost in shown:
+        lines.append("  ".join(f"{v:18.6g}" for v in cost))
+    if hidden:
+        lines.append(f"... ({hidden} more)")
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Shared fixtures: a small custom schema, queries, and optimizers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Column,
+    DataType,
+    FAST_CONFIG,
+    Index,
+    JoinPredicate,
+    FilterPredicate,
+    MultiObjectiveOptimizer,
+    OptimizerConfig,
+    Query,
+    Table,
+    TableRef,
+    build_schema,
+    tpch_schema,
+)
+from repro.cost.model import CostModel
+
+
+def make_small_schema():
+    """Three small tables with indexes — cheap enough for brute force."""
+    users = Table(
+        "users",
+        (
+            Column("user_id", DataType.INTEGER, n_distinct=200),
+            Column("country", DataType.CHAR, n_distinct=10),
+        ),
+        row_count=200,
+    )
+    orders = Table(
+        "orders",
+        (
+            Column("order_id", DataType.INTEGER, n_distinct=1000),
+            Column("user_id", DataType.INTEGER, n_distinct=200),
+            Column("status", DataType.CHAR, n_distinct=3),
+        ),
+        row_count=1000,
+    )
+    items = Table(
+        "items",
+        (
+            Column("item_id", DataType.INTEGER, n_distinct=4000),
+            Column("order_id", DataType.INTEGER, n_distinct=1000),
+            Column("price", DataType.DECIMAL, n_distinct=500),
+        ),
+        row_count=4000,
+    )
+    return build_schema(
+        "small",
+        [users, orders, items],
+        [
+            Index("users_pk", "users", ("user_id",), 200, unique=True),
+            Index("orders_pk", "orders", ("order_id",), 1000, unique=True),
+            Index("orders_user_idx", "orders", ("user_id",), 1000),
+            Index("items_order_idx", "items", ("order_id",), 4000),
+        ],
+    )
+
+
+def make_chain_query(num_tables: int = 3, with_filters: bool = True) -> Query:
+    """users - orders - items chain (prefix of length ``num_tables``)."""
+    refs = [
+        TableRef("users", "users"),
+        TableRef("orders", "orders"),
+        TableRef("items", "items"),
+    ][:num_tables]
+    joins = []
+    if num_tables >= 2:
+        joins.append(JoinPredicate("users", "user_id", "orders", "user_id"))
+    if num_tables >= 3:
+        joins.append(JoinPredicate("orders", "order_id", "items", "order_id"))
+    filters = ()
+    if with_filters:
+        filters = (FilterPredicate("users", "country", 0.3, "country = 'CH'"),)
+        if num_tables >= 2:
+            filters += (
+                FilterPredicate("orders", "status", 0.5, "status = 'OPEN'"),
+            )
+    return Query(
+        name=f"chain{num_tables}",
+        table_refs=tuple(refs),
+        filters=filters,
+        joins=tuple(joins),
+    )
+
+
+#: Tiny operator space for brute-force comparisons (keeps the number of
+#: possible plans enumerable).
+TINY_CONFIG = OptimizerConfig(
+    dop_values=(1, 2),
+    sampling_rates=(0.02,),
+)
+
+
+@pytest.fixture(scope="session")
+def small_schema():
+    return make_small_schema()
+
+
+@pytest.fixture(scope="session")
+def small_cost_model(small_schema):
+    return CostModel(small_schema)
+
+
+@pytest.fixture(scope="session")
+def chain2():
+    return make_chain_query(2)
+
+
+@pytest.fixture(scope="session")
+def chain3():
+    return make_chain_query(3)
+
+
+@pytest.fixture(scope="session")
+def tpch():
+    return tpch_schema()
+
+
+@pytest.fixture(scope="session")
+def tpch_optimizer(tpch):
+    return MultiObjectiveOptimizer(tpch, config=FAST_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_optimizer(small_schema):
+    return MultiObjectiveOptimizer(small_schema, config=TINY_CONFIG)

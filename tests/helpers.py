@@ -1,0 +1,107 @@
+"""Test helpers: a brute-force plan enumerator as ground truth.
+
+The enumerator generates *every* plan the DP search space contains
+(same splits, operators and access paths, no pruning). Tests compare
+EXA/RTA/IRA results against frontiers and optima computed from this
+exhaustive set.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.config import OptimizerConfig
+from repro.cost import cardinality
+from repro.cost.model import CostModel
+from repro.plans.operators import JoinMethod
+from repro.plans.plan import Plan
+from repro.plans.plan_space import PlanSpace
+from repro.query.join_graph import JoinGraph
+from repro.query.query import Query
+
+
+def enumerate_all_plans(
+    query: Query, cost_model: CostModel, config: OptimizerConfig
+) -> list[Plan]:
+    """All plans for ``query`` under the DP's search-space rules.
+
+    Mirrors the enumeration of :class:`repro.core.dp.DPRun` (connected
+    splits preferred, index-nested-loop availability, Cartesian products
+    only when unavoidable) without any pruning. Exponential — only for
+    small test queries.
+    """
+    graph = JoinGraph(query)
+    plan_space = PlanSpace(cost_model, config)
+    memo: dict[int, list[Plan]] = {}
+
+    def plans_for(mask: int) -> list[Plan]:
+        if mask in memo:
+            return memo[mask]
+        if mask.bit_count() == 1:
+            alias = next(iter(graph.aliases_of(mask)))
+            result = plan_space.access_paths(query, alias)
+        else:
+            result = []
+            for left_mask, right_mask in graph.splits(mask):
+                if not (
+                    graph.is_connected(left_mask)
+                    and graph.is_connected(right_mask)
+                ) and graph.is_connected(graph.full_mask):
+                    continue
+                predicates = graph.predicates_between(left_mask, right_mask)
+                selectivity = cardinality.join_selectivity(
+                    cost_model.schema, query, predicates
+                )
+                for outer_mask, inner_mask in (
+                    (left_mask, right_mask),
+                    (right_mask, left_mask),
+                ):
+                    result.extend(
+                        _joined(outer_mask, inner_mask, predicates,
+                                selectivity)
+                    )
+        memo[mask] = result
+        return result
+
+    def _joined(outer_mask, inner_mask, predicates, selectivity):
+        joined = []
+        if predicates:
+            specs = plan_space.generic_join_specs
+        else:
+            specs = tuple(
+                s for s in plan_space.generic_join_specs
+                if s.method is JoinMethod.NESTED_LOOP
+            )
+        for spec in specs:
+            for left_plan in plans_for(outer_mask):
+                for right_plan in plans_for(inner_mask):
+                    joined.append(
+                        cost_model.join_plan(
+                            query, spec, left_plan, right_plan,
+                            predicates, selectivity=selectivity,
+                        )
+                    )
+        if predicates and inner_mask.bit_count() == 1:
+            inner_alias = next(iter(graph.aliases_of(inner_mask)))
+            for probe in plan_space.index_probe_inners(
+                query, inner_alias, predicates
+            ):
+                for spec in plan_space.index_nl_specs:
+                    for left_plan in plans_for(outer_mask):
+                        joined.append(
+                            cost_model.join_plan(
+                                query, spec, left_plan, probe,
+                                predicates, selectivity=selectivity,
+                            )
+                        )
+        return joined
+
+    return plans_for(graph.full_mask)
+
+
+def all_alias_subsets(query: Query):
+    """Every non-empty alias subset of a query block."""
+    aliases = query.aliases
+    for size in range(1, len(aliases) + 1):
+        for combo in combinations(aliases, size):
+            yield frozenset(combo)

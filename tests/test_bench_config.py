@@ -1,0 +1,54 @@
+"""Benchmark-harness configuration: env overrides and defaults."""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import (
+    BENCH_CONFIG,
+    bench_query_numbers,
+    make_optimizer,
+)
+from repro.query.tpch_queries import PAPER_QUERY_ORDER
+
+
+class TestBenchQueryNumbers:
+    def test_default_subset_in_paper_order(self):
+        numbers = bench_query_numbers()
+        order = {n: i for i, n in enumerate(PAPER_QUERY_ORDER)}
+        positions = [order[n] for n in numbers]
+        assert positions == sorted(positions)
+        assert set(numbers) <= set(PAPER_QUERY_ORDER)
+
+    def test_env_override_all(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "all")
+        assert bench_query_numbers() == PAPER_QUERY_ORDER
+
+    def test_env_override_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "8,1,5")
+        numbers = bench_query_numbers()
+        assert set(numbers) == {1, 5, 8}
+        # Re-sorted into the paper's x-axis order.
+        assert numbers == (1, 5, 8)
+
+
+class TestMakeOptimizer:
+    def test_default_timeout_applied(self):
+        optimizer = make_optimizer()
+        assert optimizer.config.timeout_seconds is not None
+
+    def test_explicit_timeout(self):
+        optimizer = make_optimizer(timeout_seconds=42.0)
+        assert optimizer.config.timeout_seconds == 42.0
+
+    def test_bench_config_operator_space(self):
+        # Reduced space: 2 DOP values, 2 sampling rates, all 4 methods.
+        assert BENCH_CONFIG.dop_values == (1, 2)
+        assert BENCH_CONFIG.sampling_rates == (0.01, 0.05)
+        assert len(BENCH_CONFIG.join_methods) == 4
+
+    def test_scale_factor_passthrough(self):
+        optimizer = make_optimizer(timeout_seconds=1.0, scale_factor=0.1)
+        assert optimizer.schema.table("lineitem").row_count == int(
+            6_001_215 * 0.1
+        )

@@ -1,0 +1,76 @@
+"""Unit tests for cardinality and selectivity estimation."""
+
+import pytest
+
+from repro import FilterPredicate, JoinPredicate, Query, TableRef
+from repro.cost import cardinality
+
+
+@pytest.fixture
+def query():
+    return Query(
+        "q",
+        (TableRef("u", "users"), TableRef("o", "orders")),
+        joins=(JoinPredicate("u", "user_id", "o", "user_id"),),
+    )
+
+
+class TestFilterSelectivity:
+    def test_empty_is_one(self):
+        assert cardinality.filter_selectivity(()) == 1.0
+
+    def test_independence_product(self):
+        filters = (
+            FilterPredicate("a", "x", 0.5),
+            FilterPredicate("a", "y", 0.2),
+        )
+        assert cardinality.filter_selectivity(filters) == pytest.approx(0.1)
+
+
+class TestJoinSelectivity:
+    def test_one_over_max_ndv(self, small_schema, query):
+        predicate = query.joins[0]
+        sel = cardinality.join_predicate_selectivity(
+            small_schema, query, predicate
+        )
+        # users.user_id ndv = 200, orders.user_id ndv = 200.
+        assert sel == pytest.approx(1.0 / 200)
+
+    def test_explicit_selectivity_wins(self, small_schema, query):
+        predicate = JoinPredicate("u", "user_id", "o", "user_id",
+                                  selectivity=0.25)
+        assert (
+            cardinality.join_predicate_selectivity(
+                small_schema, query, predicate
+            )
+            == 0.25
+        )
+
+    def test_combined_product(self, small_schema, query):
+        predicates = (query.joins[0], query.joins[0])
+        combined = cardinality.join_selectivity(
+            small_schema, query, predicates
+        )
+        assert combined == pytest.approx((1.0 / 200) ** 2)
+
+    def test_empty_predicates_cartesian(self, small_schema, query):
+        assert cardinality.join_selectivity(small_schema, query, ()) == 1.0
+
+
+class TestOutputRows:
+    def test_scan_rows_scale_with_rate_and_filters(self):
+        filters = (FilterPredicate("a", "x", 0.5),)
+        assert cardinality.scan_output_rows(1000, 1.0, filters) == 500
+        assert cardinality.scan_output_rows(1000, 0.01, filters) == 5
+
+    def test_join_rows(self):
+        assert cardinality.join_output_rows(100, 200, 0.01) == 200
+
+    def test_key_fk_join_preserves_fk_side(self, small_schema, query):
+        # users (200 keys) x orders (1000 rows, fk) at 1/200 -> ~1000.
+        sel = cardinality.join_selectivity(
+            small_schema, query, query.joins
+        )
+        assert cardinality.join_output_rows(200, 1000, sel) == pytest.approx(
+            1000
+        )

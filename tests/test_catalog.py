@@ -1,0 +1,212 @@
+"""Unit tests for the catalog substrate (columns, tables, indexes, TPC-H)."""
+
+import math
+
+import pytest
+
+from repro import Column, DataType, Index, Schema, Table, build_schema
+from repro.catalog.table import PAGE_SIZE, TUPLE_OVERHEAD
+from repro.catalog.tpch import FIXED_SIZE_TABLES, SF1_ROW_COUNTS, tpch_schema
+from repro.exceptions import CatalogError, UnknownColumnError, UnknownTableError
+
+
+class TestColumn:
+    def test_default_width_from_type(self):
+        column = Column("a", DataType.INTEGER, n_distinct=10)
+        assert column.byte_width == 4
+
+    def test_explicit_width_kept(self):
+        column = Column("a", DataType.VARCHAR, n_distinct=10, byte_width=99)
+        assert column.byte_width == 99
+
+    def test_rejects_zero_distinct(self):
+        with pytest.raises(ValueError):
+            Column("a", DataType.INTEGER, n_distinct=0)
+
+    def test_rejects_bad_null_fraction(self):
+        with pytest.raises(ValueError):
+            Column("a", DataType.INTEGER, n_distinct=1, null_fraction=1.5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Column("", DataType.INTEGER, n_distinct=1)
+
+    def test_scaled_multiplies_distinct(self):
+        column = Column("a", DataType.INTEGER, n_distinct=100)
+        assert column.scaled(2.5).n_distinct == 250
+
+    def test_scaled_keeps_minimum_one(self):
+        column = Column("a", DataType.INTEGER, n_distinct=1)
+        assert column.scaled(0.001).n_distinct == 1
+
+
+class TestTable:
+    def _table(self, rows=1000):
+        return Table(
+            "t",
+            (
+                Column("id", DataType.INTEGER, n_distinct=rows),
+                Column("name", DataType.VARCHAR, n_distinct=rows),
+            ),
+            row_count=rows,
+        )
+
+    def test_tuple_width_includes_overhead(self):
+        table = self._table()
+        assert table.tuple_width == TUPLE_OVERHEAD + 4 + 24
+
+    def test_pages_ceiling(self):
+        table = self._table(rows=1000)
+        per_page = PAGE_SIZE // table.tuple_width
+        assert table.pages == math.ceil(1000 / per_page)
+
+    def test_empty_table_has_one_page(self):
+        table = Table(
+            "t", (Column("id", DataType.INTEGER, n_distinct=1),), row_count=0
+        )
+        assert table.pages == 1
+
+    def test_column_lookup(self):
+        table = self._table()
+        assert table.column("id").name == "id"
+        with pytest.raises(UnknownColumnError):
+            table.column("missing")
+
+    def test_n_distinct_capped_by_rows(self):
+        table = Table(
+            "t",
+            (Column("id", DataType.INTEGER, n_distinct=10_000),),
+            row_count=50,
+        )
+        assert table.n_distinct("id") == 50
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table(
+                "t",
+                (
+                    Column("id", DataType.INTEGER, n_distinct=1),
+                    Column("id", DataType.INTEGER, n_distinct=1),
+                ),
+                row_count=1,
+            )
+
+    def test_scaled(self):
+        table = self._table(rows=1000)
+        scaled = table.scaled(3.0)
+        assert scaled.row_count == 3000
+        assert scaled.column("id").n_distinct == 3000
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(CatalogError):
+            self._table().scaled(0)
+
+
+class TestIndex:
+    def test_height_grows_with_rows(self):
+        small = Index("i1", "t", ("c",), row_count=100)
+        large = Index("i2", "t", ("c",), row_count=100_000_000)
+        assert small.height == 1
+        assert large.height > small.height
+
+    def test_leaf_pages_positive(self):
+        index = Index("i", "t", ("c",), row_count=0)
+        assert index.leaf_pages == 1
+
+    def test_covers_leading_column_only(self):
+        index = Index("i", "t", ("a", "b"), row_count=10)
+        assert index.covers("a")
+        assert not index.covers("b")
+
+    def test_requires_columns(self):
+        with pytest.raises(CatalogError):
+            Index("i", "t", (), row_count=10)
+
+
+class TestSchema:
+    def test_lookup_and_errors(self, small_schema):
+        assert small_schema.table("users").name == "users"
+        with pytest.raises(UnknownTableError):
+            small_schema.table("nope")
+
+    def test_duplicate_table_rejected(self):
+        schema = Schema()
+        table = Table(
+            "t", (Column("id", DataType.INTEGER, n_distinct=1),), row_count=1
+        )
+        schema.add_table(table)
+        with pytest.raises(CatalogError):
+            schema.add_table(table)
+
+    def test_index_requires_table_and_column(self):
+        schema = Schema()
+        schema.add_table(
+            Table(
+                "t", (Column("id", DataType.INTEGER, n_distinct=1),),
+                row_count=1,
+            )
+        )
+        with pytest.raises(UnknownTableError):
+            schema.add_index(Index("i", "missing", ("id",), 1))
+        with pytest.raises(CatalogError):
+            schema.add_index(Index("i", "t", ("missing",), 1))
+
+    def test_index_on_column(self, small_schema):
+        index = small_schema.index_on_column("orders", "user_id")
+        assert index is not None and index.name == "orders_user_idx"
+        assert small_schema.index_on_column("orders", "status") is None
+
+    def test_build_schema_helper(self):
+        schema = build_schema(
+            "s",
+            [Table("t", (Column("id", DataType.INTEGER, n_distinct=5),),
+                   row_count=5)],
+            [Index("i", "t", ("id",), 5)],
+        )
+        assert schema.table_names == ("t",)
+        assert schema.indexes_on("t")[0].name == "i"
+
+    def test_scaled_schema(self, small_schema):
+        scaled = small_schema.scaled(2.0)
+        assert scaled.table("items").row_count == 8000
+        assert scaled.indexes_on("items")[0].row_count == 8000
+
+
+class TestTpch:
+    def test_all_eight_tables(self):
+        schema = tpch_schema()
+        assert set(schema.table_names) == set(SF1_ROW_COUNTS)
+
+    def test_sf1_cardinalities(self):
+        schema = tpch_schema(1.0)
+        for name, rows in SF1_ROW_COUNTS.items():
+            assert schema.table(name).row_count == rows
+
+    def test_scale_factor_scales_large_tables_only(self):
+        schema = tpch_schema(0.1)
+        assert schema.table("lineitem").row_count == int(6_001_215 * 0.1)
+        for fixed in FIXED_SIZE_TABLES:
+            assert schema.table(fixed).row_count == SF1_ROW_COUNTS[fixed]
+
+    def test_foreign_key_indexes_exist(self):
+        schema = tpch_schema()
+        assert schema.index_on_column("lineitem", "l_orderkey") is not None
+        assert schema.index_on_column("orders", "o_custkey") is not None
+        assert schema.index_on_column("partsupp", "ps_partkey") is not None
+
+    def test_primary_keys_unique(self):
+        schema = tpch_schema()
+        pk = schema.index_on_column("customer", "c_custkey")
+        assert pk is not None and pk.unique
+
+    def test_rejects_bad_scale_factor(self):
+        with pytest.raises(ValueError):
+            tpch_schema(0)
+
+    def test_lineitem_wider_than_nation(self):
+        schema = tpch_schema()
+        assert (
+            schema.table("lineitem").tuple_width
+            > schema.table("nation").tuple_width - 40
+        )
+        assert schema.table("lineitem").pages > schema.table("nation").pages

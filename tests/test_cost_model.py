@@ -1,0 +1,258 @@
+"""Unit tests for the nine-objective cost model (Section 4 semantics)."""
+
+import pytest
+
+from repro.cost.model import CostModel
+from repro.cost.objectives import Objective
+from repro.cost.postgres_params import CostParams
+from repro.exceptions import CostModelError
+from repro.plans.operators import JoinMethod, JoinSpec, ScanMethod, ScanSpec
+
+from tests.conftest import make_chain_query
+
+_T = Objective.TOTAL_TIME.index
+_S = Objective.STARTUP_TIME.index
+_IO = Objective.IO_LOAD.index
+_CPU = Objective.CPU_LOAD.index
+_CORES = Objective.CORES.index
+_DISK = Objective.DISK_FOOTPRINT.index
+_BUF = Objective.BUFFER_FOOTPRINT.index
+_E = Objective.ENERGY.index
+_L = Objective.TUPLE_LOSS.index
+
+
+@pytest.fixture(scope="module")
+def model(small_schema_module):
+    return CostModel(small_schema_module)
+
+
+@pytest.fixture(scope="module")
+def small_schema_module():
+    from tests.conftest import make_small_schema
+
+    return make_small_schema()
+
+
+@pytest.fixture(scope="module")
+def query():
+    return make_chain_query(3)
+
+
+class TestScans:
+    def test_seq_scan_basics(self, model, query):
+        plan = model.scan_plan(query, "items", ScanSpec(method=ScanMethod.SEQ))
+        cost = plan.cost
+        assert cost[_T] > 0
+        assert cost[_S] == 0.0  # streaming scans produce immediately
+        assert cost[_L] == 0.0
+        assert cost[_CORES] == 1.0
+        assert plan.rows == 4000
+
+    def test_sample_scan_cheaper_but_lossy(self, model, query):
+        seq = model.scan_plan(query, "items", ScanSpec(method=ScanMethod.SEQ))
+        sample = model.scan_plan(
+            query, "items",
+            ScanSpec(method=ScanMethod.SAMPLE, sampling_rate=0.05),
+        )
+        assert sample.cost[_T] < seq.cost[_T]
+        assert sample.cost[_IO] < seq.cost[_IO]
+        assert sample.cost[_L] == pytest.approx(0.95)
+        assert sample.rows == pytest.approx(seq.rows * 0.05)
+
+    def test_sampling_rate_monotone(self, model, query):
+        costs = [
+            model.scan_plan(
+                query, "items",
+                ScanSpec(method=ScanMethod.SAMPLE, sampling_rate=rate),
+            ).cost
+            for rate in (0.01, 0.03, 0.05)
+        ]
+        assert costs[0][_T] < costs[1][_T] < costs[2][_T]
+        assert costs[0][_L] > costs[1][_L] > costs[2][_L]
+
+    def test_index_scan_selective_filter(self, model):
+        query = make_chain_query(2)  # filter country=CH on users (0.3)
+        # Index scan requires a filter on the index's leading column;
+        # users has index on user_id but filter on country -> error.
+        with pytest.raises(CostModelError):
+            model.scan_plan(
+                query, "users",
+                ScanSpec(method=ScanMethod.INDEX, index_name="users_pk"),
+            )
+
+    def test_index_scan_has_startup(self, model, small_schema_module):
+        from repro import FilterPredicate, Query, TableRef
+
+        query = Query(
+            "q",
+            (TableRef("orders", "orders"),),
+            filters=(FilterPredicate("orders", "order_id", 0.001),),
+        )
+        plan = model.scan_plan(
+            query, "orders",
+            ScanSpec(method=ScanMethod.INDEX, index_name="orders_pk"),
+        )
+        assert plan.cost[_S] > 0
+        assert plan.cost[_L] == 0.0
+        assert plan.rows == pytest.approx(1.0)
+
+    def test_unknown_index_rejected(self, model, query):
+        with pytest.raises(CostModelError):
+            model.scan_plan(
+                query, "orders",
+                ScanSpec(method=ScanMethod.INDEX, index_name="nope"),
+            )
+
+    def test_probe_must_use_dedicated_constructor(self, model, query):
+        with pytest.raises(CostModelError):
+            model.scan_plan(
+                query, "orders",
+                ScanSpec(method=ScanMethod.INDEX_PROBE,
+                         index_name="orders_user_idx"),
+            )
+
+
+class TestJoinSemantics:
+    @pytest.fixture
+    def operands(self, model, query):
+        left = model.scan_plan(query, "users", ScanSpec(method=ScanMethod.SEQ))
+        right = model.scan_plan(query, "orders",
+                                ScanSpec(method=ScanMethod.SEQ))
+        return left, right
+
+    def _join(self, model, query, operands, method, dop=1):
+        left, right = operands
+        return model.join_plan(
+            query, JoinSpec(method, dop=dop), left, right,
+            query.joins_between(frozenset({"users"}), frozenset({"orders"})),
+        )
+
+    def test_parallel_inputs_use_max_time(self, model, query, operands):
+        left, right = operands
+        plan = self._join(model, query, operands, JoinMethod.HASH)
+        local = plan.cost[_T] - max(left.cost[_T], right.cost[_T])
+        assert local > 0  # join adds its own work on top of max()
+
+    def test_hash_join_buffer_holds_inner(self, model, query, operands):
+        _, right = operands
+        plan = self._join(model, query, operands, JoinMethod.HASH)
+        assert plan.cost[_BUF] >= right.output_bytes
+
+    def test_merge_join_buffer_smaller_than_hash(self, model, query):
+        # Large inner: hash table exceeds the sort's bounded work_mem.
+        big_query = make_chain_query(3)
+        left = model.scan_plan(big_query, "orders",
+                               ScanSpec(method=ScanMethod.SEQ))
+        right = model.scan_plan(big_query, "items",
+                                ScanSpec(method=ScanMethod.SEQ))
+        predicates = big_query.joins_between(
+            frozenset({"orders"}), frozenset({"items"})
+        )
+        hash_plan = model.join_plan(
+            big_query, JoinSpec(JoinMethod.HASH), left, right, predicates
+        )
+        merge_plan = model.join_plan(
+            big_query, JoinSpec(JoinMethod.MERGE), left, right, predicates
+        )
+        # items is only ~270 KB here, below work_mem; scale the check to
+        # what matters: hash buffer grows with the inner, merge's does not
+        # beyond work_mem.
+        assert hash_plan.cost[_BUF] >= right.output_bytes
+        assert merge_plan.cost[_BUF] <= (
+            left.cost[_BUF] + right.cost[_BUF]
+            + 2 * model.params.work_mem
+        )
+
+    def test_dop_reduces_time_increases_cpu_energy(self, model, query,
+                                                   operands):
+        serial = self._join(model, query, operands, JoinMethod.HASH, dop=1)
+        parallel = self._join(model, query, operands, JoinMethod.HASH, dop=4)
+        assert parallel.cost[_T] < serial.cost[_T]
+        assert parallel.cost[_CPU] > serial.cost[_CPU]
+        assert parallel.cost[_E] > serial.cost[_E]
+        assert parallel.cost[_CORES] >= 4
+
+    def test_cores_sum_for_parallel_inputs(self, model, query, operands):
+        plan = self._join(model, query, operands, JoinMethod.HASH, dop=1)
+        # Both inputs are generated in parallel: 1 + 1 cores.
+        assert plan.cost[_CORES] == 2.0
+
+    def test_tuple_loss_combines(self, model, query):
+        left = model.scan_plan(
+            query, "users",
+            ScanSpec(method=ScanMethod.SAMPLE, sampling_rate=0.5),
+        )
+        right = model.scan_plan(
+            query, "orders",
+            ScanSpec(method=ScanMethod.SAMPLE, sampling_rate=0.5),
+        )
+        plan = model.join_plan(
+            query, JoinSpec(JoinMethod.HASH), left, right,
+            query.joins_between(frozenset({"users"}), frozenset({"orders"})),
+        )
+        # 1 - (1-0.5)(1-0.5) = 0.75.
+        assert plan.cost[_L] == pytest.approx(0.75)
+        assert plan.loss == pytest.approx(0.75)
+
+    def test_index_nl_small_startup(self, model, query, operands):
+        left, _ = operands
+        probe = model.index_probe_plan(query, "orders", "orders_user_idx",
+                                       "user_id")
+        plan = model.join_plan(
+            query, JoinSpec(JoinMethod.INDEX_NESTED_LOOP), left, probe,
+            query.joins_between(frozenset({"users"}), frozenset({"orders"})),
+        )
+        hash_plan = self._join(model, query, operands, JoinMethod.HASH)
+        assert plan.cost[_S] < hash_plan.cost[_S]
+        assert plan.cost[_BUF] < hash_plan.cost[_BUF]
+
+    def test_index_nl_requires_probe_inner(self, model, query, operands):
+        left, right = operands
+        with pytest.raises(CostModelError):
+            model.join_plan(
+                query, JoinSpec(JoinMethod.INDEX_NESTED_LOOP), left, right,
+                query.joins_between(
+                    frozenset({"users"}), frozenset({"orders"})
+                ),
+            )
+
+    def test_output_cardinality_consistent_across_methods(
+        self, model, query, operands
+    ):
+        plans = [
+            self._join(model, query, operands, method)
+            for method in (JoinMethod.HASH, JoinMethod.MERGE,
+                           JoinMethod.NESTED_LOOP)
+        ]
+        rows = {round(p.rows, 6) for p in plans}
+        assert len(rows) == 1
+
+    def test_nested_loop_quadratic_cpu(self, model, query, operands):
+        nl = self._join(model, query, operands, JoinMethod.NESTED_LOOP)
+        hash_plan = self._join(model, query, operands, JoinMethod.HASH)
+        assert nl.cost[_CPU] > hash_plan.cost[_CPU]
+
+
+class TestCostParams:
+    def test_rejects_nonpositive_costs(self):
+        with pytest.raises(ValueError):
+            CostParams(seq_page_cost=0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            CostParams(parallel_cpu_overhead=-0.1)
+
+    def test_rejects_zero_work_mem(self):
+        with pytest.raises(ValueError):
+            CostParams(work_mem=0)
+
+    def test_custom_params_shift_costs(self, small_schema_module, query):
+        cheap_io = CostModel(
+            small_schema_module, CostParams(seq_page_cost=0.1)
+        )
+        default = CostModel(small_schema_module)
+        spec = ScanSpec(method=ScanMethod.SEQ)
+        assert (
+            cheap_io.scan_plan(query, "items", spec).cost[_T]
+            < default.scan_plan(query, "items", spec).cost[_T]
+        )

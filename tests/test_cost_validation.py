@@ -1,0 +1,97 @@
+"""Cost-model validation against executed work (closing the loop).
+
+The optimizer never executes plans; these tests check that its
+estimates *predict* execution: across alternative plans for the same
+query, plans the cost model ranks cheaper (in accumulated work terms)
+must not perform dramatically more actual work, and sampling's
+estimated savings must materialize in executed row counts.
+"""
+
+import pytest
+
+from repro import Objective, Preferences
+from repro.cost.model import CostModel
+from repro.engine import DataGenerator, Executor
+from repro.engine.executor import WorkCounters
+
+from tests.conftest import TINY_CONFIG, make_chain_query, make_small_schema
+from tests.helpers import enumerate_all_plans
+
+_CPU = Objective.CPU_LOAD.index
+_L = Objective.TUPLE_LOSS.index
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = make_small_schema()
+    model = CostModel(schema)
+    query = make_chain_query(2)
+    plans = enumerate_all_plans(query, model, TINY_CONFIG)
+    generator = DataGenerator(schema, seed=11)
+    executor = Executor(generator, query, seed=11)
+    return query, plans, executor
+
+
+class TestWorkCounters:
+    def test_counters_populated(self, setup):
+        query, plans, executor = setup
+        lossless = next(p for p in plans if p.loss == 0.0)
+        rows = executor.execute(lossless)
+        work = executor.last_work
+        assert work.rows_scanned >= 1200  # both tables read fully
+        assert work.rows_emitted == len(rows)
+        assert work.total >= work.rows_scanned
+
+    def test_counters_reset_between_runs(self, setup):
+        query, plans, executor = setup
+        lossless = next(p for p in plans if p.loss == 0.0)
+        executor.execute(lossless)
+        first = executor.last_work.total
+        executor.execute(lossless)
+        assert executor.last_work.total == first
+
+    def test_work_counters_slots(self):
+        counters = WorkCounters()
+        assert counters.total == 0
+
+
+class TestSamplingSavingsMaterialize:
+    def test_sampled_plan_scans_less(self, setup):
+        query, plans, executor = setup
+        lossless = next(p for p in plans if p.loss == 0.0)
+        heavily_sampled = max(plans, key=lambda p: p.loss)
+        assert heavily_sampled.loss > 0.9
+
+        executor.execute(lossless)
+        full_work = executor.last_work.total
+        executor.execute(heavily_sampled)
+        sampled_work = executor.last_work.total
+        # The engine reads all base rows even when sampling (Bernoulli
+        # filter), but joins and emits far fewer.
+        assert sampled_work < full_work
+
+
+class TestCpuEstimatePredictsWork:
+    def test_rank_correlation_over_lossless_plans(self, setup):
+        """Estimated CPU ranks executed work with positive correlation.
+
+        Restricted to lossless plans (sampling adds variance) and to a
+        coarse check: the cheapest-estimated third of plans must not
+        average more executed work than the most expensive third.
+        """
+        query, plans, executor = setup
+        lossless = [p for p in plans if p.loss == 0.0]
+        measured = []
+        seen_costs = set()
+        for plan in lossless:
+            key = (round(plan.cost[_CPU], 6), plan.describe())
+            if key in seen_costs:
+                continue
+            seen_costs.add(key)
+            executor.execute(plan)
+            measured.append((plan.cost[_CPU], executor.last_work.total))
+        measured.sort()
+        third = max(1, len(measured) // 3)
+        cheap = [work for _, work in measured[:third]]
+        expensive = [work for _, work in measured[-third:]]
+        assert sum(cheap) / len(cheap) <= sum(expensive) / len(expensive) * 1.5

@@ -1,0 +1,141 @@
+"""Tests for cost-vector primitives, incl. hypothesis property tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cost.vector import (
+    approx_dominates,
+    dominates,
+    max_ratio,
+    pareto_filter,
+    project,
+    respects_bounds,
+    respects_relaxed_bounds,
+    strictly_dominates,
+    weighted_cost,
+)
+
+costs = st.tuples(*([st.floats(0, 1e6, allow_nan=False)] * 3))
+alphas = st.floats(1.0, 10.0)
+
+
+class TestDominance:
+    def test_dominates_examples(self):
+        assert dominates((1, 2), (1, 3))
+        assert dominates((1, 2), (1, 2))
+        assert not dominates((1, 4), (2, 3))
+
+    def test_strict_excludes_equal(self):
+        assert not strictly_dominates((1, 2), (1, 2))
+        assert strictly_dominates((1, 1), (1, 2))
+
+    def test_paper_example_1(self):
+        # (7, 1) and (1, 3) are incomparable (Example 1 of the paper).
+        assert not dominates((7, 1), (1, 3))
+        assert not dominates((1, 3), (7, 1))
+
+    @given(costs)
+    def test_reflexive(self, c):
+        assert dominates(c, c)
+        assert not strictly_dominates(c, c)
+
+    @given(costs, costs)
+    def test_antisymmetry(self, c1, c2):
+        if strictly_dominates(c1, c2):
+            assert not strictly_dominates(c2, c1)
+
+    @given(costs, costs, costs)
+    def test_transitive(self, c1, c2, c3):
+        if dominates(c1, c2) and dominates(c2, c3):
+            assert dominates(c1, c3)
+
+
+class TestApproxDominance:
+    def test_alpha_one_is_exact(self):
+        assert approx_dominates((1, 2), (1, 2), 1.0)
+        assert not approx_dominates((1.001, 2), (1, 2), 1.0)
+
+    def test_paper_definition(self):
+        # c1 approx-dominates c2 iff c1[o] <= alpha * c2[o] for all o.
+        assert approx_dominates((3, 1.5), (2, 1), 1.5)
+        assert not approx_dominates((3.1, 1.5), (2, 1), 1.5)
+
+    @given(costs, alphas)
+    def test_self_approx(self, c, alpha):
+        assert approx_dominates(c, c, alpha)
+
+    @given(costs, costs, alphas)
+    def test_dominance_implies_approx(self, c1, c2, alpha):
+        if dominates(c1, c2):
+            assert approx_dominates(c1, c2, alpha)
+
+    @given(costs, costs)
+    def test_max_ratio_is_tight(self, c1, c2):
+        ratio = max_ratio(c1, c2)
+        if ratio != math.inf:
+            assert approx_dominates(c1, c2, ratio * (1 + 1e-9) + 1e-12)
+            if ratio > 1.0:
+                assert not approx_dominates(c1, c2, ratio * (1 - 1e-6))
+
+    def test_max_ratio_zero_denominator(self):
+        assert max_ratio((1, 0), (0, 1)) == math.inf
+        assert max_ratio((0, 0.5), (0, 1)) == 1.0
+
+
+class TestWeightedCost:
+    def test_example(self):
+        assert weighted_cost((7, 3), (1, 2)) == 13.0
+
+    @given(costs, costs)
+    def test_dominance_implies_cheaper(self, c1, c2):
+        weights = (1.0, 0.5, 2.0)
+        if dominates(c1, c2):
+            assert weighted_cost(c1, weights) <= weighted_cost(c2, weights)
+
+    def test_zero_weights(self):
+        assert weighted_cost((5, 5), (0, 0)) == 0.0
+
+
+class TestBounds:
+    def test_respects(self):
+        assert respects_bounds((1, 2), (1, 2))
+        assert not respects_bounds((1, 2.1), (1, 2))
+        assert respects_bounds((1e9, 1), (math.inf, 2))
+
+    def test_relaxed(self):
+        assert not respects_bounds((3, 1), (2, 2))
+        assert respects_relaxed_bounds((3, 1), (2, 2), 1.5)
+        assert respects_relaxed_bounds((1e9, 1), (math.inf, 2), 1.5)
+
+
+class TestProject:
+    def test_projection(self):
+        assert project((10, 20, 30), (2, 0)) == (30, 10)
+
+    def test_empty(self):
+        assert project((1, 2), ()) == ()
+
+
+class TestParetoFilter:
+    def test_small_example(self):
+        vectors = [(1, 3), (2, 2), (3, 1), (2, 3), (3, 3)]
+        assert set(pareto_filter(vectors)) == {(1, 3), (2, 2), (3, 1)}
+
+    def test_duplicates_collapsed(self):
+        assert pareto_filter([(1, 1), (1, 1)]) == [(1.0, 1.0)]
+
+    def test_empty(self):
+        assert pareto_filter([]) == []
+
+    @given(st.lists(costs, min_size=1, max_size=30))
+    def test_frontier_is_nondominated_and_covering(self, vectors):
+        frontier = pareto_filter(vectors)
+        # No frontier vector strictly dominates another.
+        for f1 in frontier:
+            for f2 in frontier:
+                assert not strictly_dominates(f1, f2)
+        # Every vector is dominated by some frontier vector.
+        for vector in vectors:
+            assert any(dominates(f, vector) for f in frontier)

@@ -1,0 +1,122 @@
+"""DP enumerator: structure, counters, timeout fallback."""
+
+import time
+
+import pytest
+
+from repro import Objective, Preferences
+from repro.config import OptimizerConfig
+from repro.core.dp import DPRun
+from repro.core.pruning import SingleBestPlanSet
+from repro.cost.model import CostModel
+from repro.query.join_graph import JoinGraph
+
+from tests.conftest import TINY_CONFIG, make_chain_query, make_small_schema
+
+OBJS = (Objective.TOTAL_TIME, Objective.TUPLE_LOSS)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel(make_small_schema())
+
+
+def make_run(model, query, alpha=1.0, deadline=None, config=TINY_CONFIG):
+    prefs = Preferences(objectives=OBJS, weights=(1.0, 1.0))
+    return DPRun(
+        query=query,
+        cost_model=model,
+        config=config,
+        indices=prefs.indices,
+        weights=prefs.weights,
+        alpha_internal=alpha,
+        deadline=deadline,
+    )
+
+
+class TestStructure:
+    def test_sets_for_connected_subsets_only(self, model):
+        query = make_chain_query(3)
+        run = make_run(model, query)
+        sets = run.run()
+        graph = JoinGraph(query)
+        assert set(sets) == set(graph.connected_subsets())
+        # users-items (no predicate) is not a stored subproblem.
+        gap_mask = graph.mask_of(("users", "items"))
+        assert gap_mask not in sets
+
+    def test_full_mask_nonempty(self, model):
+        query = make_chain_query(3)
+        sets = make_run(model, query).run()
+        graph = JoinGraph(query)
+        assert len(sets[graph.full_mask]) >= 1
+
+    def test_counters(self, model):
+        query = make_chain_query(2)
+        run = make_run(model, query)
+        sets = run.run()
+        counters = run.counters
+        assert counters.table_sets_completed == counters.table_sets_total == 3
+        assert counters.plans_considered > 0
+        assert counters.plans_stored_peak >= sum(len(s) for s in sets.values())
+        assert counters.pareto_last_complete == len(
+            sets[JoinGraph(query).full_mask]
+        )
+        assert counters.memory_kb > 0
+
+    def test_cartesian_fallback_for_disconnected_query(self, model):
+        from repro import Query, TableRef
+
+        query = Query(
+            "cross",
+            (TableRef("users", "users"), TableRef("orders", "orders")),
+        )
+        run = make_run(model, query)
+        sets = run.run()
+        graph = JoinGraph(query)
+        full = sets[graph.full_mask]
+        assert len(full) >= 1
+        # Only nested-loop joins for Cartesian products.
+        from repro.plans.operators import JoinMethod
+        from repro.plans.plan import JoinPlan
+
+        for _, plan in full:
+            assert isinstance(plan, JoinPlan)
+            assert plan.spec.method is JoinMethod.NESTED_LOOP
+
+
+class TestTimeout:
+    def test_expired_deadline_switches_to_fallback(self, model):
+        query = make_chain_query(3)
+        config = OptimizerConfig(
+            dop_values=(1, 2),
+            sampling_rates=(0.02,),
+            timeout_check_interval=1,
+        )
+        run = make_run(
+            model, query, deadline=time.perf_counter() - 1.0, config=config
+        )
+        sets = run.run()
+        assert run.timed_out
+        assert run.counters.timed_out
+        graph = JoinGraph(query)
+        # Table sets after the timeout keep a single plan.
+        assert isinstance(sets[graph.full_mask], SingleBestPlanSet)
+        assert len(sets[graph.full_mask]) == 1
+
+    def test_no_timeout_without_deadline(self, model):
+        query = make_chain_query(3)
+        run = make_run(model, query, deadline=None)
+        run.run()
+        assert not run.timed_out
+
+
+class TestApproximatePruning:
+    def test_alpha_shrinks_sets(self, model):
+        query = make_chain_query(3)
+        exact_sets = make_run(model, query, alpha=1.0).run()
+        approx_sets = make_run(model, query, alpha=1.6).run()
+        graph = JoinGraph(query)
+        assert len(approx_sets[graph.full_mask]) <= len(
+            exact_sets[graph.full_mask]
+        )

@@ -1,0 +1,126 @@
+"""EXA correctness: exact Pareto sets and optimal plans vs brute force."""
+
+import random
+
+import pytest
+
+from repro import Objective, Preferences
+from repro.core.exa import exact_moqo
+from repro.core.select_best import select_best
+from repro.cost.vector import pareto_filter, project, weighted_cost
+from repro.core.pareto import is_pareto_set
+
+from tests.conftest import TINY_CONFIG, make_chain_query
+from tests.helpers import enumerate_all_plans
+
+OBJECTIVES_3 = (
+    Objective.TOTAL_TIME,
+    Objective.BUFFER_FOOTPRINT,
+    Objective.TUPLE_LOSS,
+)
+
+
+@pytest.fixture(scope="module")
+def ground_truth(request):
+    """All plans for chain2/chain3 under the tiny config."""
+    from tests.conftest import make_small_schema
+    from repro.cost.model import CostModel
+
+    schema = make_small_schema()
+    model = CostModel(schema)
+    return {
+        n: (make_chain_query(n),
+            enumerate_all_plans(make_chain_query(n), model, TINY_CONFIG),
+            model)
+        for n in (2, 3)
+    }
+
+
+@pytest.mark.parametrize("num_tables", [2, 3])
+def test_exa_frontier_is_exact_pareto_set(ground_truth, num_tables):
+    query, all_plans, model = ground_truth[num_tables]
+    prefs = Preferences(objectives=OBJECTIVES_3, weights=(1.0, 1.0, 1.0))
+    result = exact_moqo(query, model, prefs, TINY_CONFIG)
+
+    all_costs = [project(p.cost, prefs.indices) for p in all_plans]
+    frontier = pareto_filter(all_costs)
+    exa_costs = sorted(set(result.frontier_costs))
+    assert exa_costs == sorted(frontier)
+    assert is_pareto_set(result.frontier_costs, all_costs)
+
+
+@pytest.mark.parametrize("num_tables", [2, 3])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_exa_plan_is_weighted_optimal(ground_truth, num_tables, seed):
+    query, all_plans, model = ground_truth[num_tables]
+    rng = random.Random(seed)
+    weights = tuple(rng.uniform(0.0, 1.0) for _ in OBJECTIVES_3)
+    prefs = Preferences(objectives=OBJECTIVES_3, weights=weights)
+    result = exact_moqo(query, model, prefs, TINY_CONFIG)
+
+    brute_optimum = min(
+        weighted_cost(project(p.cost, prefs.indices), weights)
+        for p in all_plans
+    )
+    assert result.weighted_cost == pytest.approx(brute_optimum, rel=1e-9)
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_exa_respects_bounds_when_feasible(ground_truth, seed):
+    query, all_plans, model = ground_truth[3]
+    rng = random.Random(seed)
+    prefs_unbounded = Preferences(
+        objectives=OBJECTIVES_3,
+        weights=tuple(rng.uniform(0.1, 1.0) for _ in OBJECTIVES_3),
+    )
+    # Derive a feasible bound from a random plan's cost.
+    anchor = project(
+        rng.choice(all_plans).cost, prefs_unbounded.indices
+    )
+    bounds = tuple(c * 1.5 + 1e-9 for c in anchor)
+    prefs = Preferences(
+        objectives=OBJECTIVES_3,
+        weights=prefs_unbounded.weights,
+        bounds=bounds,
+    )
+    result = exact_moqo(query, model, prefs, TINY_CONFIG)
+    assert result.respects_bounds
+
+    feasible = [
+        weighted_cost(project(p.cost, prefs.indices), prefs.weights)
+        for p in all_plans
+        if prefs.respects(project(p.cost, prefs.indices))
+    ]
+    assert result.weighted_cost == pytest.approx(min(feasible), rel=1e-9)
+
+
+def test_exa_select_best_consistency(ground_truth):
+    query, all_plans, model = ground_truth[3]
+    prefs = Preferences(objectives=OBJECTIVES_3, weights=(1.0, 0.0, 5.0))
+    result = exact_moqo(query, model, prefs, TINY_CONFIG)
+    best = select_best(result.frontier, prefs)
+    assert best[0] == result.plan_cost
+
+
+def test_exa_counters_populated(ground_truth):
+    query, all_plans, model = ground_truth[3]
+    prefs = Preferences(objectives=OBJECTIVES_3, weights=(1, 1, 1))
+    result = exact_moqo(query, model, prefs, TINY_CONFIG)
+    assert result.plans_considered > len(result.frontier)
+    assert result.pareto_last_complete == len(result.frontier)
+    assert result.memory_kb > 0
+    assert not result.timed_out
+    assert result.algorithm == "exa"
+
+
+def test_exa_single_table_query(ground_truth):
+    _, _, model = ground_truth[2]
+    query = make_chain_query(1)
+    prefs = Preferences(
+        objectives=(Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+        weights=(1.0, 1.0),
+    )
+    result = exact_moqo(query, model, prefs, TINY_CONFIG)
+    assert result.plan is not None
+    # seq scan and one sampling rate -> a 2-point frontier.
+    assert len(result.frontier) == 2

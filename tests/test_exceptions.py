@@ -1,0 +1,52 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro.exceptions import (
+    CatalogError,
+    CostModelError,
+    InvalidPrecisionError,
+    OptimizerError,
+    QueryModelError,
+    ReproError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+def test_single_base_class():
+    for error_type in (
+        CatalogError,
+        CostModelError,
+        InvalidPrecisionError,
+        OptimizerError,
+        QueryModelError,
+        UnknownColumnError,
+        UnknownTableError,
+    ):
+        assert issubclass(error_type, ReproError)
+
+
+def test_unknown_table_carries_name():
+    error = UnknownTableError("ghosts")
+    assert error.table_name == "ghosts"
+    assert "ghosts" in str(error)
+
+
+def test_unknown_column_carries_names():
+    error = UnknownColumnError("users", "ghost_column")
+    assert error.table_name == "users"
+    assert error.column_name == "ghost_column"
+    assert "users" in str(error) and "ghost_column" in str(error)
+
+
+def test_invalid_precision_carries_alpha():
+    error = InvalidPrecisionError(0.5)
+    assert error.alpha == 0.5
+    assert "0.5" in str(error)
+    assert isinstance(error, OptimizerError)
+
+
+def test_catalog_errors_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise UnknownTableError("t")

@@ -1,0 +1,90 @@
+"""Integration: the full optimizer across the complete TPC-H workload."""
+
+import pytest
+
+from repro import Objective, Preferences, tpch_query
+from repro.cost.objectives import ALL_OBJECTIVES
+from repro.query.tpch_queries import ALL_QUERY_NUMBERS
+
+THREE = (
+    Objective.TOTAL_TIME,
+    Objective.BUFFER_FOOTPRINT,
+    Objective.TUPLE_LOSS,
+)
+
+
+@pytest.mark.parametrize("number", ALL_QUERY_NUMBERS)
+def test_rta_optimizes_every_tpch_query(tpch_optimizer, number):
+    """RTA produces a plan covering all tables of every query block."""
+    query = tpch_query(number)
+    prefs = Preferences(objectives=THREE, weights=(1.0, 1e-6, 10.0))
+    result = tpch_optimizer.optimize(
+        query, prefs, algorithm="rta", alpha=2.0,
+        config=tpch_optimizer.config.with_timeout(20.0),
+    )
+    assert result.plan is not None
+    assert not result.timed_out, f"q{number} timed out"
+    # The main-block plan joins all its tables.
+    main = query.main_block
+    assert result.block_results == () or len(result.block_results) == len(
+        query.blocks
+    )
+    plan = result.plan
+    assert plan.aliases == frozenset(main.aliases)
+    assert result.weighted_cost > 0
+
+
+@pytest.mark.parametrize("number", [1, 6, 12, 3, 10])
+def test_ira_with_loss_bound_never_samples(tpch_optimizer, number):
+    prefs = Preferences.from_maps(
+        THREE,
+        weights={Objective.TOTAL_TIME: 1.0},
+        bounds={Objective.TUPLE_LOSS: 0.0},
+    )
+    result = tpch_optimizer.optimize(
+        tpch_query(number), prefs, algorithm="ira", alpha=1.5,
+        config=tpch_optimizer.config.with_timeout(20.0),
+    )
+    assert result.cost_of(Objective.TUPLE_LOSS) == 0.0
+    for block_result in result.block_results or (result,):
+        labels = " ".join(block_result.plan.operator_labels())
+        assert "SampleScan" not in labels
+
+
+def test_nine_objectives_on_q3(tpch_optimizer):
+    prefs = Preferences(objectives=ALL_OBJECTIVES, weights=tuple([1.0] * 9))
+    result = tpch_optimizer.optimize(
+        tpch_query(3), prefs, algorithm="rta", alpha=1.5
+    )
+    assert len(result.plan_cost) == 9
+    assert result.plan is not None
+
+
+def test_frontier_grows_with_finer_precision(tpch_optimizer):
+    prefs = Preferences(objectives=THREE, weights=(1.0, 1e-6, 10.0))
+    coarse = tpch_optimizer.optimize(
+        tpch_query(5), prefs, algorithm="rta", alpha=2.0,
+        config=tpch_optimizer.config.with_timeout(30.0),
+    )
+    fine = tpch_optimizer.optimize(
+        tpch_query(5), prefs, algorithm="rta", alpha=1.25,
+        config=tpch_optimizer.config.with_timeout(30.0),
+    )
+    # Figure 4: the finer approximation reveals at least as many plans.
+    assert len(fine.frontier) >= len(coarse.frontier)
+
+
+def test_weighted_cost_monotone_in_alpha_guarantee(tpch_optimizer):
+    """Plans from finer alpha are never worse beyond the guarantees."""
+    prefs = Preferences(objectives=THREE, weights=(1.0, 1e-6, 10.0))
+    results = {
+        alpha: tpch_optimizer.optimize(
+            tpch_query(10), prefs, algorithm="rta", alpha=alpha,
+            config=tpch_optimizer.config.with_timeout(30.0),
+        )
+        for alpha in (1.05, 2.0)
+    }
+    assert (
+        results[2.0].weighted_cost
+        <= results[1.05].weighted_cost * 2.0 / 1.05 + 1e-9
+    )

@@ -1,0 +1,126 @@
+"""Unit tests for the join graph: masks, connectivity, splits."""
+
+import pytest
+
+from repro import JoinPredicate, Query, TableRef, tpch_query
+from repro.query.join_graph import JoinGraph
+
+
+def make_graph(num_tables, edges):
+    """Graph over aliases t0..t{n-1} with the given edge list."""
+    refs = tuple(TableRef(f"t{i}", "users") for i in range(num_tables))
+    joins = tuple(
+        JoinPredicate(f"t{a}", "user_id", f"t{b}", "user_id")
+        for a, b in edges
+    )
+    return JoinGraph(Query("g", refs, joins=joins))
+
+
+class TestMasks:
+    def test_roundtrip(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        mask = graph.mask_of(("t0", "t2"))
+        assert graph.aliases_of(mask) == frozenset({"t0", "t2"})
+
+    def test_full_mask(self):
+        assert make_graph(4, []).full_mask == 0b1111
+
+
+class TestConnectivity:
+    def test_chain(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        assert graph.is_connected(0b111)
+        assert graph.is_connected(0b011)
+        assert not graph.is_connected(0b101)  # t0, t2 without middle
+        assert graph.is_connected(0b001)
+
+    def test_empty_mask_not_connected(self):
+        assert not make_graph(2, [(0, 1)]).is_connected(0)
+
+    def test_neighbors(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        assert graph.neighbors(0b001) == 0b010
+        assert graph.neighbors(0b010) == 0b101
+
+    def test_connects(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        assert graph.connects(0b001, 0b010)
+        assert not graph.connects(0b001, 0b100)
+
+
+class TestSplits:
+    def test_chain_splits_avoid_cartesian(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        splits = list(graph.splits(0b111))
+        # {t0}|{t1,t2} and {t0,t1}|{t2} and {t0,t2}|{t1} are all
+        # predicate-connected; cartesian split does not exist for a chain.
+        assert len(splits) == 3
+        for left, right in splits:
+            assert left | right == 0b111
+            assert left & right == 0
+            assert graph.connects(left, right)
+
+    def test_disconnected_pair_falls_back_to_cartesian(self):
+        graph = make_graph(2, [])
+        splits = list(graph.splits(0b11))
+        assert splits == [(0b01, 0b10)]
+
+    def test_each_unordered_split_once(self):
+        graph = make_graph(4, [(0, 1), (1, 2), (2, 3)])
+        splits = list(graph.splits(0b1111))
+        seen = {frozenset((l, r)) for l, r in splits}
+        assert len(seen) == len(splits)
+
+    def test_singleton_has_no_splits(self):
+        graph = make_graph(2, [(0, 1)])
+        assert list(graph.splits(0b01)) == []
+
+
+class TestConnectedSubsets:
+    def test_chain_excludes_gaps(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        subsets = graph.connected_subsets()
+        assert 0b101 not in subsets
+        assert subsets[-1] == 0b111
+        # Ascending cardinality.
+        cardinalities = [m.bit_count() for m in subsets]
+        assert cardinalities == sorted(cardinalities)
+
+    def test_disconnected_graph_keeps_all_subsets(self):
+        graph = make_graph(2, [])
+        assert graph.connected_subsets() == [0b01, 0b10, 0b11]
+
+    def test_clique_has_all_subsets(self):
+        graph = make_graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert len(graph.connected_subsets()) == 7
+
+
+class TestPredicatesBetween:
+    def test_finds_crossing_predicates(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        predicates = graph.predicates_between(0b001, 0b110)
+        assert len(predicates) == 1
+        predicates = graph.predicates_between(0b011, 0b100)
+        assert len(predicates) == 1
+
+    def test_no_predicates_within_side(self):
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        assert graph.predicates_between(0b001, 0b100) == ()
+
+    def test_q9_multiple_predicates_between(self):
+        block = tpch_query(9).main_block
+        graph = JoinGraph(block)
+        lineitem = graph.mask_of(("lineitem",))
+        partsupp = graph.mask_of(("partsupp",))
+        # ps_suppkey = l_suppkey AND ps_partkey = l_partkey.
+        assert len(graph.predicates_between(partsupp, lineitem)) == 2
+
+
+class TestCyclicQueries:
+    def test_q5_cycle_connected(self):
+        block = tpch_query(5).main_block
+        graph = JoinGraph(block)
+        assert graph.is_connected(graph.full_mask)
+        # Splits of the full set all stay predicate-connected.
+        for left, right in graph.splits(graph.full_mask):
+            assert graph.connects(left, right)

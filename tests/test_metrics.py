@@ -1,0 +1,136 @@
+"""Hypervolume and frontier-metric tests (with hypothesis properties)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import (
+    MetricError,
+    hypervolume,
+    normalized_hypervolume,
+)
+
+
+class TestHypervolume2D:
+    def test_single_point(self):
+        # Point (1, 1) toward reference (3, 4): box 2 x 3.
+        assert hypervolume([(1, 1)], (3, 4)) == pytest.approx(6.0)
+
+    def test_two_staircase_points(self):
+        # (1, 2) and (2, 1) toward (3, 3):
+        # union = 2x1 + 1x2 - 1x1 = 3.
+        assert hypervolume([(1, 2), (2, 1)], (3, 3)) == pytest.approx(3.0)
+
+    def test_dominated_point_ignored(self):
+        base = hypervolume([(1, 1)], (3, 3))
+        with_dominated = hypervolume([(1, 1), (2, 2)], (3, 3))
+        assert with_dominated == pytest.approx(base)
+
+    def test_point_beyond_reference_clipped(self):
+        assert hypervolume([(5, 5)], (3, 3)) == 0.0
+        assert hypervolume([(1, 1), (5, 0)], (3, 3)) == pytest.approx(4.0)
+
+    def test_empty_frontier(self):
+        assert hypervolume([], (1, 1)) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(MetricError):
+            hypervolume([(1, 2, 3)], (1, 1))
+
+
+class TestHypervolume3D:
+    def test_single_point_box(self):
+        assert hypervolume([(0, 0, 0)], (2, 3, 4)) == pytest.approx(24.0)
+
+    def test_two_disjoint_contributions(self):
+        # (0, 2, 2) and (2, 0, 0) toward (3, 3, 3).
+        value = hypervolume([(0.0, 2.0, 2.0), (2.0, 0.0, 0.0)], (3, 3, 3))
+        by_inclusion_exclusion = (3 * 1 * 1) + (1 * 3 * 3) - (1 * 1 * 1)
+        assert value == pytest.approx(by_inclusion_exclusion)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 10), st.floats(0, 10), st.floats(0, 10)),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_monte_carlo_inclusion_exclusion(self, points):
+        """3-D hypervolume equals inclusion-exclusion over point boxes."""
+        reference = (10.0, 10.0, 10.0)
+        value = hypervolume(points, reference)
+        # Inclusion-exclusion over the boxes [p, reference].
+        expected = 0.0
+        for size in range(1, len(points) + 1):
+            for subset in itertools.combinations(points, size):
+                box = 1.0
+                for dim in range(3):
+                    corner = max(p[dim] for p in subset)
+                    box *= max(reference[dim] - corner, 0.0)
+                expected += (-1) ** (size + 1) * box
+        assert value == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestHypervolumeProperties:
+    @given(
+        st.lists(st.tuples(st.floats(0, 10), st.floats(0, 10)),
+                 min_size=1, max_size=12),
+        st.tuples(st.floats(0, 10), st.floats(0, 10)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_extra_points(self, points, extra):
+        reference = (10.0, 10.0)
+        base = hypervolume(points, reference)
+        extended = hypervolume(points + [extra], reference)
+        assert extended >= base - 1e-9
+
+    @given(st.lists(st.tuples(st.floats(0, 10), st.floats(0, 10)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_best_box(self, points):
+        reference = (10.0, 10.0)
+        ideal = (
+            min(p[0] for p in points),
+            min(p[1] for p in points),
+        )
+        bound = (reference[0] - ideal[0]) * (reference[1] - ideal[1])
+        assert hypervolume(points, reference) <= bound + 1e-9
+
+
+class TestNormalized:
+    def test_single_point_is_one(self):
+        assert normalized_hypervolume([(1, 1)], (3, 3)) == pytest.approx(1.0)
+
+    def test_staircase_below_one(self):
+        value = normalized_hypervolume([(1, 2), (2, 1)], (3, 3))
+        assert 0.0 < value < 1.0
+
+    def test_reference_must_dominate_ideal(self):
+        with pytest.raises(MetricError):
+            normalized_hypervolume([(5, 5)], (3, 3), ideal=(4, 4))
+
+    def test_finer_rta_frontier_no_worse(self, tpch_optimizer):
+        """Frontier quality across alpha: finer alpha >= coarser."""
+        from repro import Objective, Preferences, tpch_query
+
+        prefs = Preferences(
+            objectives=(Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights=(1.0, 1.0),
+        )
+        config = tpch_optimizer.config.with_timeout(30.0)
+        frontiers = {}
+        for alpha in (2.0, 1.1):
+            result = tpch_optimizer.optimize(
+                tpch_query(3), prefs, algorithm="rta", alpha=alpha,
+                config=config,
+            )
+            frontiers[alpha] = result.frontier_costs
+        all_points = frontiers[2.0] + frontiers[1.1]
+        reference = tuple(
+            max(p[d] for p in all_points) * 1.01 + 1.0 for d in range(2)
+        )
+        ideal = tuple(min(p[d] for p in all_points) for d in range(2))
+        coarse = normalized_hypervolume(frontiers[2.0], reference, ideal)
+        fine = normalized_hypervolume(frontiers[1.1], reference, ideal)
+        assert fine >= coarse - 0.05

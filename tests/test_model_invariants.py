@@ -1,0 +1,187 @@
+"""Cost-model invariants backing the paper's formal analysis.
+
+Section 6.3 rests on three observations about the cost formulas; this
+module validates them (and the additional monotonicity premise of the
+strict pruning mode) directly against the implementation over the full
+enumerated plan space of small queries:
+
+* Observation 1 — single-table plan cost grows at most quadratically
+  in the table cardinality;
+* Observation 3 — per objective, plan costs are either zero or bounded
+  below by an intrinsic constant;
+* structural invariants — startup <= total time, tuple loss in [0, 1],
+  cores >= 1, all costs non-negative and finite;
+* strict-mode premise — join cost is monotone non-decreasing in each
+  child's output cardinality (everything else fixed).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cost.model import CostModel
+from repro.cost.objectives import Objective
+from repro.plans.operators import JoinMethod, JoinSpec, ScanMethod, ScanSpec
+from repro.plans.plan import ScanPlan
+
+from tests.conftest import TINY_CONFIG, make_chain_query, make_small_schema
+from tests.helpers import enumerate_all_plans
+
+_T = Objective.TOTAL_TIME.index
+_S = Objective.STARTUP_TIME.index
+_CORES = Objective.CORES.index
+_L = Objective.TUPLE_LOSS.index
+
+
+@pytest.fixture(scope="module")
+def all_plans():
+    schema = make_small_schema()
+    model = CostModel(schema)
+    query = make_chain_query(3)
+    return enumerate_all_plans(query, model, TINY_CONFIG)
+
+
+class TestStructuralInvariants:
+    def test_costs_finite_and_nonnegative(self, all_plans):
+        for plan in all_plans:
+            for value in plan.cost:
+                assert value >= 0.0
+                assert math.isfinite(value)
+
+    def test_startup_at_most_total(self, all_plans):
+        for plan in all_plans:
+            assert plan.cost[_S] <= plan.cost[_T] * (1 + 1e-9)
+
+    def test_loss_in_unit_interval(self, all_plans):
+        for plan in all_plans:
+            assert 0.0 <= plan.cost[_L] <= 1.0
+            assert plan.cost[_L] == plan.loss
+
+    def test_cores_at_least_one(self, all_plans):
+        for plan in all_plans:
+            assert plan.cost[_CORES] >= 1.0
+
+    def test_rows_consistent_with_loss(self, all_plans):
+        """Cardinality is the lossless cardinality scaled by 1 - loss."""
+        by_aliases = {}
+        for plan in all_plans:
+            by_aliases.setdefault(plan.aliases, []).append(plan)
+        for plans in by_aliases.values():
+            lossless = [p for p in plans if p.loss == 0.0]
+            if not lossless:
+                continue
+            full_rows = lossless[0].rows
+            for plan in plans:
+                expected = full_rows * (1.0 - plan.loss)
+                assert plan.rows == pytest.approx(expected, rel=1e-6)
+
+
+class TestObservation1:
+    """Scan cost grows at most quadratically in table cardinality."""
+
+    @pytest.mark.parametrize("factor", [2.0, 5.0, 10.0])
+    def test_seq_scan_growth(self, factor):
+        schema = make_small_schema()
+        grown = schema.scaled(factor)
+        query = make_chain_query(1, with_filters=False)
+        base_cost = CostModel(schema).scan_plan(
+            query, "users", ScanSpec(method=ScanMethod.SEQ)
+        ).cost
+        grown_cost = CostModel(grown).scan_plan(
+            query, "users", ScanSpec(method=ScanMethod.SEQ)
+        ).cost
+        for objective in Objective:
+            i = objective.index
+            if base_cost[i] > 0:
+                assert grown_cost[i] <= base_cost[i] * factor**2 * (1 + 1e-6)
+
+
+class TestObservation3:
+    """Nonzero costs are bounded below by an intrinsic constant."""
+
+    def test_tuple_loss_gap(self, all_plans):
+        # With discrete sampling rates, the smallest nonzero loss is
+        # bounded away from 0 (sampling one table at 2% loses >= 98%).
+        nonzero = sorted(
+            {p.cost[_L] for p in all_plans if p.cost[_L] > 0.0}
+        )
+        assert nonzero[0] >= 0.9  # TINY_CONFIG samples at 2%
+
+    def test_time_lower_bound(self, all_plans):
+        nonzero = [p.cost[_T] for p in all_plans if p.cost[_T] > 0]
+        assert min(nonzero) > 1e-6
+
+
+class TestMonotonicityInCardinality:
+    """Strict-mode premise: join cost never decreases with child rows."""
+
+    @pytest.fixture(scope="class")
+    def context(self):
+        schema = make_small_schema()
+        model = CostModel(schema)
+        query = make_chain_query(2)
+        return schema, model, query
+
+    def _leaf(self, context, alias, rows):
+        schema, model, query = context
+        table_name = query.table_name(alias)
+        width = schema.table(table_name).tuple_width
+        cost = (100.0, 10.0, 50.0, 20.0, 1.0, 0.0, 16384.0, 30.0, 0.0)
+        return ScanPlan(alias, table_name, ScanSpec(method=ScanMethod.SEQ),
+                        rows, width, cost, 0.0)
+
+    @pytest.mark.parametrize(
+        "method",
+        [JoinMethod.HASH, JoinMethod.MERGE, JoinMethod.NESTED_LOOP],
+    )
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.tuples(st.floats(1, 1e5), st.floats(1, 1e5)),
+        bump=st.floats(1.0, 10.0),
+        dop=st.sampled_from([1, 2, 4]),
+        side=st.sampled_from(["left", "right"]),
+    )
+    def test_generic_joins(self, context, method, rows, bump, dop, side):
+        _, model, _ = context
+        left_rows, right_rows = rows
+        spec = JoinSpec(method, dop=dop)
+        selectivity = 0.01
+
+        def cost_for(lr, rr):
+            left = self._leaf(context, "users", lr)
+            right = self._leaf(context, "orders", rr)
+            out_rows = lr * rr * selectivity
+            return model.join_cost(spec, left, right, out_rows)
+
+        base = cost_for(left_rows, right_rows)
+        if side == "left":
+            grown = cost_for(left_rows * bump, right_rows)
+        else:
+            grown = cost_for(left_rows, right_rows * bump)
+        for b, g in zip(base, grown):
+            assert g >= b * (1 - 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        left_rows=st.floats(1, 1e5),
+        bump=st.floats(1.0, 10.0),
+        dop=st.sampled_from([1, 2, 4]),
+    )
+    def test_index_nested_loop(self, context, left_rows, bump, dop):
+        _, model, query = context
+        probe = model.index_probe_plan(query, "orders", "orders_user_idx",
+                                       "user_id")
+        spec = JoinSpec(JoinMethod.INDEX_NESTED_LOOP, dop=dop)
+        selectivity = 0.005
+
+        def cost_for(lr):
+            left = self._leaf(context, "users", lr)
+            return model.join_cost(
+                spec, left, probe, lr * probe.rows * selectivity
+            )
+
+        base = cost_for(left_rows)
+        grown = cost_for(left_rows * bump)
+        for b, g in zip(base, grown):
+            assert g >= b * (1 - 1e-9)

@@ -1,0 +1,93 @@
+"""Tests for the objective registry and instrumentation counters."""
+
+import pytest
+
+from repro.core.instrumentation import BASE_MEMORY_KB, Counters
+from repro.cost.objectives import (
+    ALL_OBJECTIVES,
+    NUM_OBJECTIVES,
+    Objective,
+    objective_indices,
+    parse_objective,
+)
+from repro.plans.plan import PLAN_BYTES
+
+
+class TestObjectiveRegistry:
+    def test_nine_objectives(self):
+        assert NUM_OBJECTIVES == 9
+        assert len(ALL_OBJECTIVES) == 9
+
+    def test_vector_layout_is_dense(self):
+        assert [o.index for o in ALL_OBJECTIVES] == list(range(9))
+
+    def test_only_tuple_loss_bounded(self):
+        bounded = [o for o in ALL_OBJECTIVES if o.bounded_domain]
+        assert bounded == [Objective.TUPLE_LOSS]
+        assert Objective.TUPLE_LOSS.bounded_domain == (0.0, 1.0)
+
+    def test_units_and_descriptions(self):
+        for objective in ALL_OBJECTIVES:
+            assert objective.unit
+            assert objective.description
+
+    def test_objective_indices(self):
+        indices = objective_indices(
+            (Objective.ENERGY, Objective.TOTAL_TIME)
+        )
+        assert indices == (7, 0)
+
+    def test_objective_indices_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            objective_indices((Objective.ENERGY, Objective.ENERGY))
+
+    def test_parse_objective(self):
+        assert parse_objective("total_time") is Objective.TOTAL_TIME
+        assert parse_objective("TUPLE_LOSS") is Objective.TUPLE_LOSS
+        with pytest.raises(ValueError):
+            parse_objective("latency")
+
+
+class TestCounters:
+    def test_set_size_tracking(self):
+        counters = Counters()
+        counters.record_set_size(1, 10)
+        counters.record_set_size(2, 5)
+        assert counters.plans_stored == 15
+        assert counters.plans_stored_peak == 15
+        counters.record_set_size(1, 3)  # pruning shrank a set
+        assert counters.plans_stored == 8
+        assert counters.plans_stored_peak == 15
+
+    def test_complete_table_set(self):
+        counters = Counters()
+        counters.complete_table_set(1, 4)
+        counters.complete_table_set(3, 9)
+        assert counters.pareto_last_complete == 9
+        assert counters.table_sets_completed == 2
+
+    def test_fallback_sets_not_counted_as_complete(self):
+        counters = Counters()
+        counters.complete_table_set(1, 7)
+        counters.complete_table_set(3, 1, fallback=True)
+        assert counters.pareto_last_complete == 7
+        assert counters.table_sets_completed == 2
+
+    def test_memory_accounting(self):
+        counters = Counters()
+        counters.record_set_size(1, 100)
+        expected = BASE_MEMORY_KB + 100 * PLAN_BYTES / 1024.0
+        assert counters.memory_kb == pytest.approx(expected)
+
+    def test_merge_peak(self):
+        first = Counters()
+        first.plans_considered = 10
+        first.record_set_size(1, 50)
+        second = Counters()
+        second.plans_considered = 7
+        second.record_set_size(1, 80)
+        second.timed_out = True
+        first.merge_peak(second)
+        assert first.plans_considered == 17
+        assert first.plans_stored_peak == 80
+        assert first.timed_out

@@ -1,0 +1,154 @@
+"""Facade tests: algorithm dispatch, multi-block queries, timeouts."""
+
+import math
+
+import pytest
+
+from repro import (
+    FAST_CONFIG,
+    MultiObjectiveOptimizer,
+    Objective,
+    Preferences,
+    tpch_query,
+)
+from repro.core.optimizer import combine_block_costs
+from repro.exceptions import OptimizerError
+
+OBJS = (
+    Objective.TOTAL_TIME,
+    Objective.CORES,
+    Objective.BUFFER_FOOTPRINT,
+    Objective.TUPLE_LOSS,
+)
+
+
+class TestCombineBlockCosts:
+    def test_accumulative_sum(self):
+        combined = combine_block_costs(
+            [(10.0, 2.0, 100.0, 0.0), (5.0, 4.0, 200.0, 0.0)], OBJS
+        )
+        assert combined[0] == 15.0  # time adds
+
+    def test_occupancy_max(self):
+        combined = combine_block_costs(
+            [(1.0, 2.0, 100.0, 0.0), (1.0, 4.0, 50.0, 0.0)], OBJS
+        )
+        assert combined[1] == 4.0  # cores: max
+        assert combined[2] == 100.0  # buffer: max
+
+    def test_tuple_loss_formula(self):
+        combined = combine_block_costs(
+            [(0, 1, 0, 0.5), (0, 1, 0, 0.5)], OBJS
+        )
+        assert combined[3] == pytest.approx(0.75)
+
+    def test_empty_rejected(self):
+        with pytest.raises(OptimizerError):
+            combine_block_costs([], OBJS)
+
+
+class TestFacade:
+    @pytest.fixture(scope="class")
+    def prefs(self):
+        return Preferences.from_maps(
+            OBJS, weights={Objective.TOTAL_TIME: 1.0}
+        )
+
+    def test_unknown_algorithm(self, tpch_optimizer, prefs):
+        with pytest.raises(OptimizerError):
+            tpch_optimizer.optimize(tpch_query(1), prefs, algorithm="magic")
+
+    def test_selinger_needs_one_objective(self, tpch_optimizer, prefs):
+        with pytest.raises(OptimizerError):
+            tpch_optimizer.optimize(tpch_query(1), prefs,
+                                    algorithm="selinger")
+
+    def test_accepts_plain_query_block(self, tpch_optimizer, prefs):
+        block = tpch_query(3).main_block
+        result = tpch_optimizer.optimize(block, prefs, algorithm="rta",
+                                         alpha=2.0)
+        assert result.plan is not None
+        assert result.query_name == block.name
+
+    def test_rta_strips_bounds(self, tpch_optimizer):
+        bounded = Preferences.from_maps(
+            OBJS,
+            weights={Objective.TOTAL_TIME: 1.0},
+            bounds={Objective.TUPLE_LOSS: 0.0},
+        )
+        # RTA ignores bounds (weighted MOQO); must not raise.
+        result = tpch_optimizer.optimize(
+            tpch_query(1), bounded, algorithm="rta", alpha=2.0
+        )
+        assert result.plan is not None
+
+    def test_multi_block_aggregation(self, tpch_optimizer, prefs):
+        query = tpch_query(4)  # orders + EXISTS(lineitem): two blocks
+        result = tpch_optimizer.optimize(query, prefs, algorithm="rta",
+                                         alpha=2.0)
+        assert len(result.block_results) == 2
+        block_costs = [r.plan_cost for r in result.block_results]
+        assert result.plan_cost == combine_block_costs(block_costs, OBJS)
+        assert result.plans_considered == sum(
+            r.plans_considered for r in result.block_results
+        )
+        assert result.query_name == "tpch_q4"
+
+    def test_multi_block_time_is_sum(self, tpch_optimizer, prefs):
+        query = tpch_query(4)
+        result = tpch_optimizer.optimize(query, prefs, algorithm="rta",
+                                         alpha=2.0)
+        block_times = [
+            r.cost_of(Objective.TOTAL_TIME) for r in result.block_results
+        ]
+        assert result.cost_of(Objective.TOTAL_TIME) == pytest.approx(
+            sum(block_times)
+        )
+
+    def test_all_algorithms_on_small_query(self, tpch_optimizer):
+        prefs3 = Preferences.from_maps(
+            (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights={Objective.TOTAL_TIME: 1.0},
+        )
+        for algorithm in ("exa", "rta", "ira"):
+            result = tpch_optimizer.optimize(
+                tpch_query(1), prefs3, algorithm=algorithm, alpha=1.5
+            )
+            assert result.plan is not None, algorithm
+            assert result.algorithm == algorithm
+
+    def test_selinger_via_facade(self, tpch_optimizer):
+        prefs1 = Preferences(
+            objectives=(Objective.TOTAL_TIME,), weights=(1.0,)
+        )
+        result = tpch_optimizer.optimize(
+            tpch_query(1), prefs1, algorithm="selinger"
+        )
+        assert result.algorithm == "selinger"
+
+    def test_timeout_produces_plan_and_flag(self, tpch):
+        optimizer = MultiObjectiveOptimizer(
+            tpch, config=FAST_CONFIG.with_timeout(0.05)
+        )
+        from repro.cost.objectives import ALL_OBJECTIVES
+
+        prefs = Preferences(
+            objectives=ALL_OBJECTIVES, weights=tuple([1.0] * 9)
+        )
+        result = optimizer.optimize(tpch_query(8), prefs, algorithm="exa")
+        assert result.timed_out
+        assert result.plan is not None  # fallback still yields a plan
+        assert result.weighted_cost < math.inf
+
+    def test_result_summary_and_accessors(self, tpch_optimizer):
+        prefs = Preferences.from_maps(
+            (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights={Objective.TOTAL_TIME: 1.0},
+        )
+        result = tpch_optimizer.optimize(
+            tpch_query(1), prefs, algorithm="rta", alpha=1.5
+        )
+        text = result.summary()
+        assert "rta" in text and "tpch_q1" in text
+        assert result.cost_of(Objective.TOTAL_TIME) == result.plan_cost[0]
+        assert result.objectives == prefs.objectives

@@ -1,0 +1,189 @@
+"""Unit tests for operator specs, plan trees and the plan space."""
+
+import pytest
+
+from repro import FilterPredicate, Query, TableRef
+from repro.config import DEFAULT_CONFIG, FAST_CONFIG, OptimizerConfig
+from repro.cost.model import CostModel
+from repro.exceptions import OptimizerError
+from repro.plans.operators import (
+    DEFAULT_SAMPLING_RATES,
+    JoinMethod,
+    JoinSpec,
+    ScanMethod,
+    ScanSpec,
+)
+from repro.plans.plan import count_joins, is_left_deep, plan_depth
+from repro.plans.plan_space import PlanSpace
+
+from tests.conftest import make_chain_query
+
+
+class TestScanSpec:
+    def test_sample_requires_rate(self):
+        with pytest.raises(OptimizerError):
+            ScanSpec(method=ScanMethod.SAMPLE, sampling_rate=1.0)
+
+    def test_seq_rejects_rate(self):
+        with pytest.raises(OptimizerError):
+            ScanSpec(method=ScanMethod.SEQ, sampling_rate=0.5)
+
+    def test_index_requires_name(self):
+        with pytest.raises(OptimizerError):
+            ScanSpec(method=ScanMethod.INDEX)
+
+    def test_seq_rejects_index(self):
+        with pytest.raises(OptimizerError):
+            ScanSpec(method=ScanMethod.SEQ, index_name="i")
+
+    def test_labels(self):
+        assert ScanSpec(method=ScanMethod.SEQ).label == "SeqScan"
+        assert "2%" in ScanSpec(
+            method=ScanMethod.SAMPLE, sampling_rate=0.02
+        ).label
+
+
+class TestJoinSpec:
+    def test_dop_bounds(self):
+        with pytest.raises(OptimizerError):
+            JoinSpec(JoinMethod.HASH, dop=0)
+        with pytest.raises(OptimizerError):
+            JoinSpec(JoinMethod.HASH, dop=5)
+
+    def test_label_shows_dop(self):
+        assert JoinSpec(JoinMethod.HASH, dop=2).label == "HashJoin[dop=2]"
+        assert JoinSpec(JoinMethod.HASH, dop=1).label == "HashJoin"
+
+
+class TestConfig:
+    def test_default_join_configs(self):
+        assert DEFAULT_CONFIG.num_join_configs == 16
+
+    def test_rejects_duplicate_dops(self):
+        with pytest.raises(OptimizerError):
+            OptimizerConfig(dop_values=(1, 1))
+
+    def test_rejects_empty_joins(self):
+        with pytest.raises(OptimizerError):
+            OptimizerConfig(join_methods=())
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(OptimizerError):
+            OptimizerConfig(timeout_seconds=0)
+
+    def test_with_timeout_copies(self):
+        updated = FAST_CONFIG.with_timeout(9.0)
+        assert updated.timeout_seconds == 9.0
+        assert updated.dop_values == FAST_CONFIG.dop_values
+        assert FAST_CONFIG.timeout_seconds is None
+
+
+class TestPlanTrees:
+    @pytest.fixture
+    def plans(self, small_schema):
+        model = CostModel(small_schema)
+        query = make_chain_query(3)
+        users = model.scan_plan(query, "users",
+                                ScanSpec(method=ScanMethod.SEQ))
+        orders = model.scan_plan(query, "orders",
+                                 ScanSpec(method=ScanMethod.SEQ))
+        items = model.scan_plan(query, "items",
+                                ScanSpec(method=ScanMethod.SEQ))
+        inner = model.join_plan(
+            query, JoinSpec(JoinMethod.HASH), users, orders,
+            query.joins_between(frozenset({"users"}), frozenset({"orders"})),
+        )
+        root = model.join_plan(
+            query, JoinSpec(JoinMethod.MERGE), inner, items,
+            query.joins_between(
+                frozenset({"users", "orders"}), frozenset({"items"})
+            ),
+        )
+        return query, users, inner, root
+
+    def test_aliases_propagate(self, plans):
+        _, users, inner, root = plans
+        assert users.aliases == frozenset({"users"})
+        assert inner.aliases == frozenset({"users", "orders"})
+        assert root.aliases == frozenset({"users", "orders", "items"})
+
+    def test_walk_preorder(self, plans):
+        _, _, _, root = plans
+        nodes = list(root.walk())
+        assert nodes[0] is root
+        assert len(nodes) == 5
+
+    def test_depth_and_counts(self, plans):
+        _, users, inner, root = plans
+        assert plan_depth(users) == 1
+        assert plan_depth(root) == 3
+        assert count_joins(root) == 2
+        assert is_left_deep(root)
+
+    def test_describe_contains_operators(self, plans):
+        _, _, _, root = plans
+        text = root.describe()
+        assert "SortMergeJoin" in text
+        assert "HashJoin" in text
+        assert "SeqScan" in text
+
+    def test_operator_labels(self, plans):
+        _, _, _, root = plans
+        labels = root.operator_labels()
+        assert labels[0] == "SortMergeJoin"
+        assert labels.count("SeqScan") == 3
+
+
+class TestPlanSpace:
+    def test_access_path_count(self, small_schema):
+        space = PlanSpace(CostModel(small_schema), DEFAULT_CONFIG)
+        query = make_chain_query(3, with_filters=False)
+        paths = space.access_paths(query, "items")
+        # seq + 5 sampling rates, no index (no filter on leading column).
+        assert len(paths) == 1 + len(DEFAULT_SAMPLING_RATES)
+
+    def test_index_path_needs_leading_filter(self, small_schema):
+        space = PlanSpace(CostModel(small_schema), DEFAULT_CONFIG)
+        query = Query(
+            "q",
+            (TableRef("orders", "orders"),),
+            filters=(FilterPredicate("orders", "order_id", 0.01),),
+        )
+        paths = space.access_paths(query, "orders")
+        labels = [p.spec.label for p in paths]
+        assert any("IndexScan(orders_pk)" in label for label in labels)
+
+    def test_sampling_disabled(self, small_schema):
+        config = OptimizerConfig(sampling_rates=())
+        space = PlanSpace(CostModel(small_schema), config)
+        query = make_chain_query(2, with_filters=False)
+        assert len(space.access_paths(query, "users")) == 1
+
+    def test_generic_specs_cross_product(self, small_schema):
+        space = PlanSpace(CostModel(small_schema), DEFAULT_CONFIG)
+        # 3 generic methods x 4 DOPs.
+        assert len(space.generic_join_specs) == 12
+        assert len(space.index_nl_specs) == 4
+
+    def test_probe_inners_found(self, small_schema):
+        space = PlanSpace(CostModel(small_schema), DEFAULT_CONFIG)
+        query = make_chain_query(2)
+        predicates = query.joins
+        probes = space.index_probe_inners(query, "orders", predicates)
+        assert len(probes) == 1
+        assert probes[0].spec.index_name == "orders_user_idx"
+        # users.user_id also has an index (users_pk).
+        probes = space.index_probe_inners(query, "users", predicates)
+        assert len(probes) == 1
+
+    def test_probe_inners_empty_without_index(self, small_schema):
+        from repro import JoinPredicate
+
+        space = PlanSpace(CostModel(small_schema), DEFAULT_CONFIG)
+        predicate = JoinPredicate("u", "country", "o", "status")
+        query = Query(
+            "q",
+            (TableRef("u", "users"), TableRef("o", "orders")),
+            joins=(predicate,),
+        )
+        assert space.index_probe_inners(query, "o", (predicate,)) == []

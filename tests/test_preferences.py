@@ -1,0 +1,136 @@
+"""Tests for Preferences, weighted/relative cost and SelectBest."""
+
+import math
+
+import pytest
+
+from repro import INFINITY, Objective, Preferences, relative_cost, select_best
+from repro.exceptions import OptimizerError
+
+OBJS = (Objective.TOTAL_TIME, Objective.ENERGY)
+
+
+class TestPreferences:
+    def test_basic_construction(self):
+        prefs = Preferences(objectives=OBJS, weights=(1.0, 2.0))
+        assert prefs.num_objectives == 2
+        assert prefs.bounds == (INFINITY, INFINITY)
+        assert not prefs.has_bounds
+        assert prefs.indices == (0, 7)
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(OptimizerError):
+            Preferences(objectives=OBJS, weights=(1.0,))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(OptimizerError):
+            Preferences(objectives=OBJS, weights=(1.0, -0.1))
+
+    def test_bound_count_mismatch(self):
+        with pytest.raises(OptimizerError):
+            Preferences(objectives=OBJS, weights=(1, 1), bounds=(1.0,))
+
+    def test_requires_objectives(self):
+        with pytest.raises(OptimizerError):
+            Preferences(objectives=(), weights=())
+
+    def test_duplicate_objectives_rejected(self):
+        with pytest.raises(ValueError):
+            Preferences(
+                objectives=(Objective.TOTAL_TIME, Objective.TOTAL_TIME),
+                weights=(1, 1),
+            )
+
+    def test_from_maps_defaults(self):
+        prefs = Preferences.from_maps(
+            OBJS, weights={Objective.ENERGY: 2.0}
+        )
+        assert prefs.weights == (0.0, 2.0)
+        assert prefs.bounds == (INFINITY, INFINITY)
+
+    def test_from_maps_rejects_stray_keys(self):
+        with pytest.raises(OptimizerError):
+            Preferences.from_maps(OBJS, weights={Objective.CORES: 1.0})
+        with pytest.raises(OptimizerError):
+            Preferences.from_maps(OBJS, bounds={Objective.CORES: 1.0})
+
+    def test_bounded_objectives(self):
+        prefs = Preferences.from_maps(
+            OBJS, bounds={Objective.TOTAL_TIME: 100.0}
+        )
+        assert prefs.has_bounds
+        assert prefs.bounded_objectives == (Objective.TOTAL_TIME,)
+
+    def test_weighted_and_respects(self):
+        prefs = Preferences(
+            objectives=OBJS, weights=(1.0, 2.0), bounds=(10.0, INFINITY)
+        )
+        assert prefs.weighted((3.0, 4.0)) == 11.0
+        assert prefs.respects((10.0, 1e9))
+        assert not prefs.respects((10.1, 0.0))
+
+    def test_without_bounds(self):
+        prefs = Preferences(
+            objectives=OBJS, weights=(1.0, 2.0), bounds=(10.0, 20.0)
+        )
+        assert not prefs.without_bounds().has_bounds
+        assert prefs.without_bounds().weights == prefs.weights
+
+
+class TestRelativeCost:
+    def test_weighted_ratio(self):
+        prefs = Preferences(objectives=OBJS, weights=(1.0, 1.0))
+        assert relative_cost((2, 2), (1, 1), prefs) == pytest.approx(2.0)
+
+    def test_bound_violation_is_infinite(self):
+        prefs = Preferences(
+            objectives=OBJS, weights=(1.0, 1.0), bounds=(1.5, INFINITY)
+        )
+        assert relative_cost((2, 0), (1, 1), prefs) == math.inf
+
+    def test_no_feasible_plan_falls_back_to_weighted(self):
+        prefs = Preferences(
+            objectives=OBJS, weights=(1.0, 1.0), bounds=(0.5, INFINITY)
+        )
+        # The reference optimum itself violates the bounds: plain ratio.
+        assert relative_cost((2, 2), (1, 1), prefs) == pytest.approx(2.0)
+
+    def test_zero_optimum(self):
+        prefs = Preferences(objectives=OBJS, weights=(1.0, 1.0))
+        assert relative_cost((0.0, 0.0), (0.0, 0.0), prefs) == 1.0
+        assert relative_cost((1.0, 0.0), (0.0, 0.0), prefs) == math.inf
+
+
+class TestSelectBest:
+    def _entries(self):
+        return [((1.0, 10.0), "a"), ((5.0, 5.0), "b"), ((10.0, 1.0), "c")]
+
+    def test_weighted_only(self):
+        prefs = Preferences(objectives=OBJS, weights=(1.0, 0.1))
+        cost, plan = select_best(self._entries(), prefs)
+        assert plan == "a"
+
+    def test_bounds_filter(self):
+        prefs = Preferences(
+            objectives=OBJS, weights=(1.0, 0.1), bounds=(INFINITY, 6.0)
+        )
+        cost, plan = select_best(self._entries(), prefs)
+        assert plan == "b"
+
+    def test_infeasible_bounds_fall_back(self):
+        # Definition 2: if no plan respects B, minimize weighted cost.
+        prefs = Preferences(
+            objectives=OBJS, weights=(1.0, 0.1), bounds=(0.5, 0.5)
+        )
+        cost, plan = select_best(self._entries(), prefs)
+        assert plan == "a"
+
+    def test_empty_entries(self):
+        prefs = Preferences(objectives=OBJS, weights=(1.0, 1.0))
+        assert select_best([], prefs) is None
+
+    def test_tie_breaks_deterministically(self):
+        prefs = Preferences(objectives=OBJS, weights=(1.0, 1.0))
+        entries = [((2.0, 2.0), "first"), ((2.0, 2.0), "second")]
+        cost, plan = select_best(entries, prefs)
+        assert plan == "first"

@@ -1,0 +1,197 @@
+"""Unit tests for predicates, query blocks and the TPC-H query set."""
+
+import pytest
+
+from repro import (
+    FilterPredicate,
+    JoinPredicate,
+    MultiBlockQuery,
+    Query,
+    TableRef,
+    single_block,
+    tpch_query,
+)
+from repro.exceptions import QueryModelError
+from repro.query.tpch_queries import (
+    ALL_QUERY_NUMBERS,
+    PAPER_QUERY_ORDER,
+    all_tpch_queries,
+    queries_in_paper_order,
+)
+
+
+class TestPredicates:
+    def test_table_ref_requires_names(self):
+        with pytest.raises(QueryModelError):
+            TableRef("", "t")
+
+    def test_filter_selectivity_range(self):
+        with pytest.raises(QueryModelError):
+            FilterPredicate("a", "c", 0.0)
+        with pytest.raises(QueryModelError):
+            FilterPredicate("a", "c", 1.5)
+        assert FilterPredicate("a", "c", 1.0).selectivity == 1.0
+
+    def test_join_predicate_sides(self):
+        predicate = JoinPredicate("a", "x", "b", "y")
+        assert predicate.side("a") == ("a", "x")
+        assert predicate.other_side("a") == ("b", "y")
+        assert predicate.aliases == frozenset({"a", "b"})
+        with pytest.raises(QueryModelError):
+            predicate.side("c")
+
+    def test_join_predicate_rejects_self_reference(self):
+        with pytest.raises(QueryModelError):
+            JoinPredicate("a", "x", "a", "y")
+
+    def test_join_predicate_selectivity_range(self):
+        with pytest.raises(QueryModelError):
+            JoinPredicate("a", "x", "b", "y", selectivity=0.0)
+
+
+class TestQuery:
+    def _query(self):
+        return Query(
+            name="q",
+            table_refs=(TableRef("u", "users"), TableRef("o", "orders")),
+            filters=(FilterPredicate("u", "country", 0.5),),
+            joins=(JoinPredicate("u", "user_id", "o", "user_id"),),
+        )
+
+    def test_alias_resolution(self):
+        query = self._query()
+        assert query.table_name("u") == "users"
+        with pytest.raises(QueryModelError):
+            query.table_name("zzz")
+
+    def test_rejects_duplicate_alias(self):
+        with pytest.raises(QueryModelError):
+            Query("q", (TableRef("a", "t"), TableRef("a", "t")))
+
+    def test_rejects_dangling_filter(self):
+        with pytest.raises(QueryModelError):
+            Query(
+                "q",
+                (TableRef("a", "t"),),
+                filters=(FilterPredicate("b", "c", 0.5),),
+            )
+
+    def test_rejects_dangling_join(self):
+        with pytest.raises(QueryModelError):
+            Query(
+                "q",
+                (TableRef("a", "t"),),
+                joins=(JoinPredicate("a", "x", "b", "y"),),
+            )
+
+    def test_filters_on(self):
+        query = self._query()
+        assert len(query.filters_on("u")) == 1
+        assert query.filters_on("o") == ()
+
+    def test_joins_between(self):
+        query = self._query()
+        assert len(query.joins_between(frozenset({"u"}), frozenset({"o"}))) == 1
+        assert query.joins_between(frozenset({"u"}), frozenset({"u"})) == ()
+
+    def test_restricted_to(self):
+        query = self._query()
+        sub = query.restricted_to(frozenset({"u"}), "sub")
+        assert sub.aliases == ("u",)
+        assert sub.joins == ()
+        assert len(sub.filters) == 1
+
+    def test_restricted_to_unknown_alias(self):
+        with pytest.raises(QueryModelError):
+            self._query().restricted_to(frozenset({"zzz"}), "sub")
+
+    def test_self_join_aliases(self):
+        query = Query(
+            "q",
+            (TableRef("n1", "nation"), TableRef("n2", "nation")),
+            joins=(JoinPredicate("n1", "n_regionkey", "n2", "n_regionkey"),),
+        )
+        assert query.table_name("n1") == query.table_name("n2") == "nation"
+
+
+class TestMultiBlock:
+    def test_single_block_wrapper(self):
+        query = Query("q", (TableRef("a", "t"),))
+        multi = single_block(query)
+        assert multi.main_block is query
+        assert not multi.has_subqueries
+        assert multi.max_block_size == 1
+
+    def test_requires_blocks(self):
+        with pytest.raises(QueryModelError):
+            MultiBlockQuery("q", ())
+
+
+class TestTpchQueries:
+    def test_all_22_build(self):
+        queries = all_tpch_queries()
+        assert set(queries) == set(ALL_QUERY_NUMBERS)
+
+    def test_paper_order_is_permutation(self):
+        assert sorted(PAPER_QUERY_ORDER) == list(ALL_QUERY_NUMBERS)
+
+    def test_paper_order_ascending_block_size(self):
+        sizes = [q.max_block_size for _, q in queries_in_paper_order()]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_number_rejected(self):
+        with pytest.raises(ValueError):
+            tpch_query(23)
+
+    def test_q8_joins_eight_tables(self):
+        assert tpch_query(8).main_block.num_tables == 8
+
+    def test_q7_self_join_aliases(self):
+        q7 = tpch_query(7).main_block
+        names = [ref.table_name for ref in q7.table_refs]
+        assert names.count("nation") == 2
+
+    def test_subquery_blocks(self):
+        q2 = tpch_query(2)
+        assert q2.has_subqueries
+        assert q2.main_block.num_tables == 5
+        assert q2.subquery_blocks[0].num_tables == 4
+
+    def test_join_graphs_connected(self):
+        from repro.query.join_graph import JoinGraph
+
+        for number in ALL_QUERY_NUMBERS:
+            for block in tpch_query(number).blocks:
+                graph = JoinGraph(block)
+                assert graph.is_connected(graph.full_mask), (
+                    f"query {number} block {block.name} is disconnected"
+                )
+
+    def test_all_tables_exist_in_schema(self, tpch):
+        for number in ALL_QUERY_NUMBERS:
+            for block in tpch_query(number).blocks:
+                for ref in block.table_refs:
+                    assert tpch.has_table(ref.table_name)
+
+    def test_filter_columns_exist(self, tpch):
+        for number in ALL_QUERY_NUMBERS:
+            for block in tpch_query(number).blocks:
+                for flt in block.filters:
+                    table = tpch.table(block.table_name(flt.alias))
+                    assert table.has_column(flt.column), (
+                        f"q{number}: {flt.alias}.{flt.column}"
+                    )
+
+    def test_join_columns_exist(self, tpch):
+        for number in ALL_QUERY_NUMBERS:
+            for block in tpch_query(number).blocks:
+                for join in block.joins:
+                    for alias in join.aliases:
+                        _, column = join.side(alias)
+                        table = tpch.table(block.table_name(alias))
+                        assert table.has_column(column), (
+                            f"q{number}: {alias}.{column}"
+                        )
+
+    def test_queries_cached(self):
+        assert tpch_query(5) is tpch_query(5)

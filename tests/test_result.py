@@ -1,0 +1,63 @@
+"""Tests for OptimizationResult accessors."""
+
+import math
+
+import pytest
+
+from repro import INFINITY, Objective, Preferences
+from repro.core.result import OptimizationResult
+
+OBJS = (Objective.TOTAL_TIME, Objective.TUPLE_LOSS)
+
+
+def make_result(plan_cost=(10.0, 0.2), bounds=(), timed_out=False):
+    prefs = Preferences(
+        objectives=OBJS, weights=(1.0, 2.0),
+        bounds=bounds or (INFINITY, INFINITY),
+    )
+    return OptimizationResult(
+        algorithm="rta",
+        query_name="q",
+        preferences=prefs,
+        plan="fake-plan" if plan_cost else None,
+        plan_cost=plan_cost,
+        frontier=(((10.0, 0.2), "fake-plan"),),
+        optimization_time_ms=12.5,
+        memory_kb=77.0,
+        pareto_last_complete=1,
+        plans_considered=42,
+        timed_out=timed_out,
+        alpha=1.5,
+    )
+
+
+def test_weighted_cost():
+    assert make_result().weighted_cost == pytest.approx(10.4)
+
+
+def test_weighted_cost_without_plan():
+    assert make_result(plan_cost=None).weighted_cost == math.inf
+
+
+def test_respects_bounds():
+    assert make_result(bounds=(20.0, 1.0)).respects_bounds
+    assert not make_result(bounds=(5.0, 1.0)).respects_bounds
+    assert not make_result(plan_cost=None).respects_bounds
+
+
+def test_cost_of():
+    result = make_result()
+    assert result.cost_of(Objective.TUPLE_LOSS) == 0.2
+    with pytest.raises(ValueError):
+        result.cost_of(Objective.ENERGY)  # not a selected objective
+
+
+def test_frontier_costs_and_objectives():
+    result = make_result()
+    assert result.frontier_costs == [(10.0, 0.2)]
+    assert result.objectives == OBJS
+
+
+def test_summary_mentions_status():
+    assert "[ok]" in make_result().summary()
+    assert "[TIMEOUT]" in make_result(timed_out=True).summary()

@@ -1,0 +1,170 @@
+"""RTA guarantees: approximate Pareto sets and near-optimal plans.
+
+Theorem 3: the RTA generates an alpha_U-approximate Pareto set.
+Corollary 1: the selected plan is an alpha_U-approximate solution.
+Both are verified against brute-force ground truth on small queries,
+over randomized weights — plus the pruning-variant ablation showing why
+the aggressive variant loses the guarantee.
+"""
+
+import random
+
+import pytest
+
+from repro import Objective, Preferences
+from repro.core.exa import exact_moqo
+from repro.core.pareto import coverage_factor
+from repro.core.rta import internal_precision, rta
+from repro.cost.model import CostModel
+from repro.cost.vector import project, weighted_cost
+from repro.exceptions import InvalidPrecisionError, OptimizerError
+
+from tests.conftest import TINY_CONFIG, make_chain_query, make_small_schema
+from tests.helpers import enumerate_all_plans
+
+OBJECTIVES = (
+    Objective.TOTAL_TIME,
+    Objective.BUFFER_FOOTPRINT,
+    Objective.TUPLE_LOSS,
+)
+
+ALPHAS = (1.05, 1.15, 1.5, 2.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = make_small_schema()
+    model = CostModel(schema)
+    query = make_chain_query(3)
+    all_plans = enumerate_all_plans(query, model, TINY_CONFIG)
+    return schema, model, query, all_plans
+
+
+class TestInternalPrecision:
+    def test_nth_root(self):
+        assert internal_precision(2.0, 1) == pytest.approx(2.0)
+        assert internal_precision(8.0, 3) == pytest.approx(2.0)
+
+    def test_rejects_alpha_below_one(self):
+        with pytest.raises(InvalidPrecisionError):
+            internal_precision(0.99, 3)
+
+    def test_rejects_bad_table_count(self):
+        with pytest.raises(OptimizerError):
+            internal_precision(2.0, 0)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_rta_frontier_is_alpha_approximate_pareto_set(setup, alpha):
+    _, model, query, all_plans = setup
+    prefs = Preferences(objectives=OBJECTIVES, weights=(1.0, 1.0, 1.0))
+    result = rta(query, model, prefs, alpha, TINY_CONFIG)
+    all_costs = [project(p.cost, prefs.indices) for p in all_plans]
+    observed = coverage_factor(result.frontier_costs, all_costs)
+    assert observed <= alpha * (1 + 1e-9)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_rta_plan_within_alpha_of_optimum(setup, alpha, seed):
+    _, model, query, all_plans = setup
+    rng = random.Random(seed)
+    weights = tuple(rng.uniform(0.0, 1.0) for _ in OBJECTIVES)
+    prefs = Preferences(objectives=OBJECTIVES, weights=weights)
+    result = rta(query, model, prefs, alpha, TINY_CONFIG)
+    optimum = min(
+        weighted_cost(project(p.cost, prefs.indices), weights)
+        for p in all_plans
+    )
+    if optimum > 0:
+        assert result.weighted_cost <= optimum * alpha * (1 + 1e-9)
+
+
+def test_rta_alpha_one_matches_exa(setup):
+    _, model, query, _ = setup
+    prefs = Preferences(objectives=OBJECTIVES, weights=(0.7, 0.2, 0.9))
+    exact = exact_moqo(query, model, prefs, TINY_CONFIG)
+    approximate = rta(query, model, prefs, 1.0, TINY_CONFIG)
+    assert sorted(approximate.frontier_costs) == sorted(exact.frontier_costs)
+    assert approximate.weighted_cost == pytest.approx(exact.weighted_cost)
+
+
+def test_rta_stores_fewer_plans_for_coarser_alpha(setup):
+    _, model, query, _ = setup
+    prefs = Preferences(objectives=OBJECTIVES, weights=(1, 1, 1))
+    sizes = [
+        len(rta(query, model, prefs, alpha, TINY_CONFIG).frontier)
+        for alpha in (1.0, 1.5, 4.0)
+    ]
+    assert sizes[0] >= sizes[1] >= sizes[2]
+    assert sizes[2] >= 1
+
+
+def test_rta_faster_than_exa_on_many_objectives(tpch_optimizer):
+    """The headline claim, at reduced scale: RTA beats EXA on Q3/9 obj."""
+    from repro import tpch_query
+    from repro.cost.objectives import ALL_OBJECTIVES
+
+    prefs = Preferences(
+        objectives=ALL_OBJECTIVES, weights=tuple([1.0] * 9)
+    )
+    query = tpch_query(3)
+    exa_result = tpch_optimizer.optimize(query, prefs, algorithm="exa")
+    rta_result = tpch_optimizer.optimize(
+        query, prefs, algorithm="rta", alpha=2.0
+    )
+    assert rta_result.plans_considered < exa_result.plans_considered
+    assert len(rta_result.frontier) < len(exa_result.frontier)
+    # Near-optimality of the returned plan vs the exact optimum.
+    assert rta_result.weighted_cost <= exa_result.weighted_cost * 2.0
+
+
+def test_rta_rejects_bounds(setup):
+    _, model, query, _ = setup
+    prefs = Preferences(
+        objectives=OBJECTIVES, weights=(1, 1, 1), bounds=(1e9, 1e9, 0.5)
+    )
+    with pytest.raises(OptimizerError):
+        rta(query, model, prefs, 1.5, TINY_CONFIG)
+
+
+def test_rta_rejects_bad_alpha(setup):
+    _, model, query, _ = setup
+    prefs = Preferences(objectives=OBJECTIVES, weights=(1, 1, 1))
+    with pytest.raises(InvalidPrecisionError):
+        rta(query, model, prefs, 0.5, TINY_CONFIG)
+
+
+class TestPruningVariantAblation:
+    """Section 6.2's warning, demonstrated on plan-set level.
+
+    The aggressive variant discards approximately dominated stored
+    plans; repeated insertions can then drift arbitrarily far from the
+    frontier. We verify the *mechanism* (drift beyond alpha) on a
+    crafted sequence.
+    """
+
+    def test_aggressive_set_drifts_beyond_alpha(self):
+        from repro.core.pruning import AggressivePlanSet
+        from repro.cost.vector import approx_dominates
+
+        alpha = 1.5
+        plan_set = AggressivePlanSet(alpha=alpha)
+        # Chain of vectors, each approx-dominating (and evicting) its
+        # predecessor without being covered by it; drift compounds along
+        # the second dimension. Step factors: dim 0 shrinks by slightly
+        # more than alpha (so the new vector is not covered), dim 1
+        # grows by slightly less than alpha (so the old one is evicted).
+        chain = [(100.0, 1.0)]
+        while len(chain) < 6:
+            previous = chain[-1]
+            chain.append(
+                (previous[0] / (alpha * 1.01), previous[1] * alpha * 0.99)
+            )
+        for index, vector in enumerate(chain):
+            plan_set.insert(vector, index)
+        # The surviving set no longer alpha-covers the first vector.
+        stored = plan_set.costs
+        assert not any(
+            approx_dominates(c, chain[0], alpha) for c in stored
+        )

@@ -1,0 +1,58 @@
+"""The run_all reproduction runner (fast figures only)."""
+
+import pytest
+
+from repro.bench.run_all import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.figures == "1,3,4,5,7,9,10"
+        assert args.cases is None
+
+    def test_custom_scale(self):
+        args = build_parser().parse_args(
+            ["--cases", "20", "--timeout", "7200", "--figures", "9"]
+        )
+        assert args.cases == 20
+        assert args.timeout == 7200.0
+
+
+class TestRunner:
+    def test_fast_figures(self, tmp_path, capsys):
+        exit_code = main([
+            "--figures", "1,7",
+            "--output", str(tmp_path),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "running example" in captured.out
+        assert "complexity curves" in captured.out
+        assert (tmp_path / "run_all_fig1.txt").exists()
+        assert (tmp_path / "run_all_fig7.txt").exists()
+
+    def test_figure3(self, tmp_path, capsys):
+        exit_code = main(["--figures", "3", "--output", str(tmp_path)])
+        assert exit_code == 0
+        text = (tmp_path / "run_all_fig3.txt").read_text()
+        assert "HashJoin" in text
+        assert "IdxNL" in text
+
+    def test_small_figure5(self, tmp_path, capsys):
+        import os
+
+        # Restrict to the two fastest queries via the env override.
+        os.environ["REPRO_BENCH_QUERIES"] = "1,6"
+        try:
+            exit_code = main([
+                "--figures", "5",
+                "--cases", "1",
+                "--timeout", "2",
+                "--output", str(tmp_path),
+            ])
+        finally:
+            del os.environ["REPRO_BENCH_QUERIES"]
+        assert exit_code == 0
+        text = (tmp_path / "run_all_fig5.txt").read_text()
+        assert "EXA" in text and "q1/l=1" in text

@@ -1,0 +1,91 @@
+"""Selinger baseline: single-objective optimality and tiny footprints."""
+
+import pytest
+
+from repro import Objective, Preferences
+from repro.core.exa import exact_moqo
+from repro.core.selinger import minimum_cost, selinger
+from repro.cost.model import CostModel
+from repro.cost.objectives import ALL_OBJECTIVES
+from repro.cost.vector import project
+
+from tests.conftest import TINY_CONFIG, make_chain_query, make_small_schema
+from tests.helpers import enumerate_all_plans
+
+
+#: Selinger strips sampling from its plan space (see its docstring), so
+#: the brute-force reference must enumerate the same space.
+NO_SAMPLING = TINY_CONFIG.without_sampling()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    schema = make_small_schema()
+    model = CostModel(schema)
+    query = make_chain_query(3)
+    all_plans = enumerate_all_plans(query, model, NO_SAMPLING)
+    return model, query, all_plans
+
+
+@pytest.mark.parametrize(
+    "objective",
+    [o for o in ALL_OBJECTIVES if o is not Objective.STARTUP_TIME],
+)
+def test_selinger_matches_brute_force_minimum(setup, objective):
+    model, query, all_plans = setup
+    result = selinger(query, model, objective, TINY_CONFIG)
+    brute = min(p.cost[objective.index] for p in all_plans)
+    assert result.plan_cost[0] == pytest.approx(brute, rel=1e-9)
+
+
+def test_selinger_startup_uses_pairwise_pruning(setup):
+    model, query, all_plans = setup
+    result = selinger(query, model, Objective.STARTUP_TIME, TINY_CONFIG)
+    brute = min(p.cost[Objective.STARTUP_TIME.index] for p in all_plans)
+    assert result.plan_cost[0] == pytest.approx(brute, rel=1e-9)
+    # Pruned over (startup, total).
+    assert result.preferences.objectives == (
+        Objective.STARTUP_TIME,
+        Objective.TOTAL_TIME,
+    )
+
+
+def test_selinger_agrees_with_single_objective_exa(setup):
+    model, query, _ = setup
+    objective = Objective.TOTAL_TIME
+    prefs = Preferences(objectives=(objective,), weights=(1.0,))
+    exact = exact_moqo(query, model, prefs, NO_SAMPLING)
+    baseline = selinger(query, model, objective, NO_SAMPLING)
+    assert baseline.plan_cost[0] == pytest.approx(
+        exact.plan_cost[0], rel=1e-9
+    )
+
+
+def test_selinger_considers_fewer_plans_than_exa(setup):
+    model, query, _ = setup
+    prefs = Preferences(
+        objectives=(
+            Objective.TOTAL_TIME,
+            Objective.BUFFER_FOOTPRINT,
+            Objective.TUPLE_LOSS,
+        ),
+        weights=(1, 1, 1),
+    )
+    exact = exact_moqo(query, model, prefs, TINY_CONFIG)
+    baseline = selinger(query, model, Objective.TOTAL_TIME, TINY_CONFIG)
+    assert baseline.plans_considered <= exact.plans_considered
+    assert baseline.pareto_last_complete <= 2
+
+
+def test_minimum_cost_helper(setup):
+    model, query, all_plans = setup
+    value = minimum_cost(query, model, Objective.IO_LOAD, TINY_CONFIG)
+    brute = min(p.cost[Objective.IO_LOAD.index] for p in all_plans)
+    assert value == pytest.approx(brute, rel=1e-9)
+
+
+def test_minimum_cost_zero_for_lossless(setup):
+    model, query, _ = setup
+    # Tuple loss minimum is 0 (no sampling).
+    assert minimum_cost(query, model, Objective.TUPLE_LOSS,
+                        TINY_CONFIG) == 0.0

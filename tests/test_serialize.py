@@ -1,0 +1,75 @@
+"""Plan/result serialization tests."""
+
+import json
+
+import pytest
+
+from repro import Objective, Preferences, tpch_query
+from repro.exceptions import ReproError
+from repro.plans.serialize import plan_to_dict, result_to_dict, result_to_json
+
+
+@pytest.fixture(scope="module")
+def result(tpch_optimizer):
+    prefs = Preferences.from_maps(
+        (Objective.TOTAL_TIME, Objective.BUFFER_FOOTPRINT,
+         Objective.TUPLE_LOSS),
+        weights={Objective.TOTAL_TIME: 1.0},
+        bounds={Objective.TUPLE_LOSS: 0.0},
+    )
+    return tpch_optimizer.optimize(tpch_query(3), prefs, algorithm="ira",
+                                   alpha=1.5)
+
+
+class TestPlanToDict:
+    def test_tree_structure(self, result):
+        tree = plan_to_dict(result.plan)
+        assert tree["node"] == "join"
+        assert {"left", "right", "operator", "cost"} <= set(tree)
+
+    def test_scan_leaves_carry_tables(self, result):
+        tree = plan_to_dict(result.plan)
+
+        def leaves(node):
+            if node["node"] == "scan":
+                yield node
+            else:
+                yield from leaves(node["left"])
+                yield from leaves(node["right"])
+
+        tables = {leaf["table"] for leaf in leaves(tree)}
+        assert tables == {"customer", "orders", "lineitem"}
+
+    def test_cost_has_all_nine_objectives(self, result):
+        tree = plan_to_dict(result.plan)
+        assert len(tree["cost"]) == 9
+        assert tree["cost"]["tuple_loss"] == 0.0
+
+    def test_rejects_foreign_objects(self):
+        with pytest.raises(ReproError):
+            plan_to_dict(object())
+
+
+class TestResultToDict:
+    def test_fields(self, result):
+        data = result_to_dict(result)
+        assert data["algorithm"] == "ira"
+        assert data["objectives"] == [
+            "total_time", "buffer_footprint", "tuple_loss",
+        ]
+        assert data["bounds"] == [None, None, 0.0]
+        assert data["respects_bounds"] is True
+        assert data["metrics"]["plans_considered"] > 0
+        assert data["frontier_size"] == len(data["frontier"])
+
+    def test_json_round_trip(self, result):
+        text = result_to_json(result)
+        parsed = json.loads(text)
+        assert parsed["query"] == "tpch_q3"
+        assert parsed["plan"]["node"] == "join"
+
+    def test_infinite_values_mapped_to_null(self, result):
+        data = result_to_dict(result)
+        # Unbounded objectives serialize as null, keeping strict JSON.
+        assert data["bounds"][0] is None
+        json.dumps(data)  # must not raise

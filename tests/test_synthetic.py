@@ -1,0 +1,130 @@
+"""Synthetic schema and query-shape generation."""
+
+import pytest
+
+from repro.exceptions import QueryModelError
+from repro.query.join_graph import JoinGraph
+from repro.query.synthetic import (
+    GraphShape,
+    MAX_TABLES,
+    shape_suite,
+    synthetic_query,
+    synthetic_schema,
+)
+
+
+class TestSchema:
+    def test_size_and_growth(self):
+        schema = synthetic_schema(num_tables=5, base_rows=100, growth=2.0)
+        assert len(schema.tables) == 5
+        rows = [t.row_count for t in schema.tables]
+        assert rows == sorted(rows)
+        assert rows[0] == 100 and rows[4] == 1600
+
+    def test_indexes_present(self):
+        schema = synthetic_schema(num_tables=3)
+        assert schema.index_on_column("t0", "key") is not None
+        assert schema.index_on_column("t2", "ref") is not None
+
+    def test_deterministic(self):
+        first = synthetic_schema(num_tables=4, seed=5)
+        second = synthetic_schema(num_tables=4, seed=5)
+        assert [t.column("ref").n_distinct for t in first.tables] == [
+            t.column("ref").n_distinct for t in second.tables
+        ]
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryModelError):
+            synthetic_schema(num_tables=0)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("shape", list(GraphShape))
+    def test_connected(self, shape):
+        query = synthetic_query(shape, 5)
+        graph = JoinGraph(query)
+        assert graph.is_connected(graph.full_mask)
+
+    def test_chain_edge_count(self):
+        query = synthetic_query(GraphShape.CHAIN, 6)
+        assert len(query.joins) == 5
+
+    def test_star_hub(self):
+        query = synthetic_query(GraphShape.STAR, 6)
+        hub_edges = [j for j in query.joins if "t0" in j.aliases]
+        assert len(hub_edges) == 5
+
+    def test_cycle_closes(self):
+        query = synthetic_query(GraphShape.CYCLE, 5)
+        assert len(query.joins) == 5
+        endpoints = [j for j in query.joins
+                     if j.aliases == frozenset({"t0", "t4"})]
+        assert endpoints
+
+    def test_clique_edge_count(self):
+        query = synthetic_query(GraphShape.CLIQUE, 5)
+        assert len(query.joins) == 10
+
+    def test_size_limits(self):
+        with pytest.raises(QueryModelError):
+            synthetic_query(GraphShape.CHAIN, MAX_TABLES + 1)
+        with pytest.raises(QueryModelError):
+            synthetic_query(GraphShape.CHAIN, 0)
+
+    def test_single_table(self):
+        query = synthetic_query(GraphShape.CHAIN, 1)
+        assert query.joins == ()
+        assert query.num_tables == 1
+
+    def test_shape_suite(self):
+        suite = shape_suite(4)
+        assert set(suite) == set(GraphShape)
+        tiny = shape_suite(2)
+        assert GraphShape.CLIQUE not in tiny
+
+
+class TestOptimization:
+    @pytest.mark.parametrize(
+        "shape", [GraphShape.CHAIN, GraphShape.STAR, GraphShape.CLIQUE]
+    )
+    def test_rta_optimizes_each_shape(self, shape):
+        from repro import (
+            MultiObjectiveOptimizer,
+            Objective,
+            Preferences,
+        )
+        from tests.conftest import TINY_CONFIG
+
+        schema = synthetic_schema(num_tables=5, base_rows=1000)
+        optimizer = MultiObjectiveOptimizer(schema, config=TINY_CONFIG)
+        query = synthetic_query(shape, 5)
+        prefs = Preferences(
+            objectives=(Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights=(1.0, 1.0),
+        )
+        result = optimizer.optimize(query, prefs, algorithm="rta",
+                                    alpha=1.5)
+        assert result.plan is not None
+        assert result.plan.aliases == frozenset(query.aliases)
+
+    def test_clique_considers_more_than_chain(self):
+        """Denser graphs mean more connected splits -> more candidates."""
+        from repro import MultiObjectiveOptimizer, Objective, Preferences
+        from tests.conftest import TINY_CONFIG
+
+        schema = synthetic_schema(num_tables=5, base_rows=1000)
+        optimizer = MultiObjectiveOptimizer(schema, config=TINY_CONFIG)
+        prefs = Preferences(
+            objectives=(Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights=(1.0, 1.0),
+        )
+        results = {
+            shape: optimizer.optimize(
+                synthetic_query(shape, 5), prefs, algorithm="exa"
+            )
+            for shape in (GraphShape.CHAIN, GraphShape.CLIQUE)
+        }
+        assert (
+            results[GraphShape.CLIQUE].plans_considered
+            > results[GraphShape.CHAIN].plans_considered
+        )

@@ -1,0 +1,139 @@
+"""Tests for ASCII visualization and the CLI."""
+
+import pytest
+
+from repro import Objective, Preferences, tpch_query
+from repro.cli import build_parser, main
+from repro.viz import (
+    VisualizationError,
+    frontier_scatter,
+    frontier_table,
+    scatter,
+)
+
+
+def _grid_markers(plot: str, marker: str = "o") -> int:
+    """Count markers inside the plot grid (axis labels contain letters)."""
+    return sum(
+        line.count(marker)
+        for line in plot.splitlines()
+        if line.startswith("  |")
+    )
+
+
+class TestScatter:
+    def test_marks_points(self):
+        plot = scatter([1, 2, 3], [3, 2, 1])
+        assert _grid_markers(plot) == 3
+        assert "3 points" in plot
+
+    def test_highlight(self):
+        plot = scatter([1, 2], [1, 2], highlight=(1, 1))
+        assert "*" in plot
+
+    def test_log_axes_label(self):
+        plot = scatter([1, 10, 100], [1, 1, 2], log_x=True, log_y=True)
+        assert "(log)" in plot
+
+    def test_single_point_degenerate(self):
+        plot = scatter([5.0], [7.0])
+        assert _grid_markers(plot) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(VisualizationError):
+            scatter([], [])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(VisualizationError):
+            scatter([1], [1, 2])
+
+
+class TestFrontierViews:
+    @pytest.fixture(scope="class")
+    def result(self, tpch_optimizer):
+        prefs = Preferences.from_maps(
+            (Objective.TOTAL_TIME, Objective.BUFFER_FOOTPRINT,
+             Objective.TUPLE_LOSS),
+            weights={Objective.TOTAL_TIME: 1.0},
+        )
+        return tpch_optimizer.optimize(
+            tpch_query(3), prefs, algorithm="rta", alpha=1.5
+        )
+
+    def test_frontier_scatter(self, result):
+        plot = frontier_scatter(
+            result, Objective.BUFFER_FOOTPRINT, Objective.TOTAL_TIME
+        )
+        assert "total_time vs buffer_footprint" in plot
+        assert "*" in plot  # chosen plan marked
+
+    def test_rejects_unselected_objective(self, result):
+        with pytest.raises(VisualizationError):
+            frontier_scatter(result, Objective.ENERGY,
+                             Objective.TOTAL_TIME)
+
+    def test_frontier_table(self, result):
+        table = frontier_table(result)
+        assert "total_time" in table
+        assert len(table.splitlines()) == 1 + len(result.frontier)
+
+    def test_frontier_table_limit(self, result):
+        if len(result.frontier) > 1:
+            table = frontier_table(result, limit=1)
+            assert "more)" in table
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["--query", "3", "--objectives", "total_time"]
+        )
+        assert args.algorithm == "rta"
+        assert args.alpha == 1.5
+
+    def test_end_to_end(self, capsys):
+        exit_code = main([
+            "--query", "1",
+            "--objectives", "total_time,tuple_loss",
+            "--weight", "total_time=1",
+            "--weight", "tuple_loss=100",
+            "--algorithm", "rta",
+            "--fast",
+            "--frontier",
+            "--plot", "tuple_loss:total_time",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "rta on tpch_q1" in captured.out
+        assert "approximate Pareto frontier" in captured.out
+        assert "total_time vs tuple_loss" in captured.out
+
+    def test_bounded_run(self, capsys):
+        exit_code = main([
+            "--query", "1",
+            "--objectives", "total_time,tuple_loss",
+            "--weight", "total_time=1",
+            "--bound", "tuple_loss=0",
+            "--algorithm", "ira",
+            "--fast",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ira on tpch_q1" in captured.out
+        assert "tuple_loss" in captured.out
+
+    def test_bad_objective_name(self):
+        with pytest.raises(SystemExit):
+            main(["--query", "1", "--objectives", "latency"])
+
+    def test_malformed_weight(self):
+        with pytest.raises(SystemExit):
+            main([
+                "--query", "1",
+                "--objectives", "total_time",
+                "--weight", "total_time",
+            ])
+
+    def test_bad_query_number(self):
+        with pytest.raises(SystemExit):
+            main(["--query", "99", "--objectives", "total_time"])
