@@ -15,8 +15,9 @@ from repro import (
     DataType,
     FAST_CONFIG,
     Index,
-    MultiObjectiveOptimizer,
     Objective,
+    OptimizationRequest,
+    OptimizerService,
     Preferences,
     build_schema,
     JoinPredicate,
@@ -63,7 +64,7 @@ def main() -> None:
         table_refs=(TableRef("users", "users"), TableRef("events", "events")),
         joins=(JoinPredicate("users", "user_id", "events", "user_id"),),
     )
-    optimizer = MultiObjectiveOptimizer(schema, config=FAST_CONFIG)
+    service = OptimizerService(schema, config=FAST_CONFIG)
     generator = DataGenerator(schema, seed=42)
     executor = Executor(generator, query, seed=42)
 
@@ -79,8 +80,10 @@ def main() -> None:
         ),
     }
     for label, preferences in scenarios.items():
-        result = optimizer.optimize(query, preferences, algorithm="ira",
-                                    alpha=1.1)
+        result = service.submit(OptimizationRequest(
+            query=query, preferences=preferences, algorithm="ira", alpha=1.1,
+            tags=("execution-demo",),
+        ))
         rows = executor.execute(result.plan)
         print(f"=== {label} ===")
         print(result.plan.describe())

@@ -6,19 +6,23 @@ disk space, I/O bandwidth, and number of cores) that are dedicated for
 processing one specific query and minimizing that query's execution
 time are conflicting objectives."
 
-The administrator defines weights and bounds per tenant class; each
-incoming query is optimized with the IRA. This example shows how the
-chosen plan shifts as resource limits tighten — and prints the Pareto
-frontier so the administrator can inspect available tradeoffs before
-adjusting the limits.
+The administrator defines weights and bounds per tenant class; incoming
+queries become :class:`OptimizationRequest`s tagged with their tenant
+and are fanned out as one batch over the :class:`OptimizerService`
+thread pool — the request/response shape a real server front end would
+use. Repeated queries from the same tenant class hit the plan cache
+instead of re-optimizing. The example also prints the Pareto frontier
+so the administrator can inspect available tradeoffs before adjusting
+the limits.
 
 Run:  python examples/multi_tenant_server.py
 """
 
 from repro import (
     FAST_CONFIG,
-    MultiObjectiveOptimizer,
     Objective,
+    OptimizationRequest,
+    OptimizerService,
     Preferences,
     tpch_query,
     tpch_schema,
@@ -60,18 +64,35 @@ TENANT_CLASSES = {
 }
 
 
+def tenant_request(tenant: str, policy: dict) -> OptimizationRequest:
+    """One incoming query, optimized under the tenant's resource policy."""
+    preferences = Preferences.from_maps(
+        OBJECTIVES, weights=policy["weights"], bounds=policy["bounds"]
+    )
+    return OptimizationRequest(
+        query=tpch_query(5),
+        preferences=preferences,
+        algorithm="ira",  # bounded-weighted MOQO -> iterative refinement
+        alpha=1.5,
+        tags=(tenant,),
+    )
+
+
 def main() -> None:
-    optimizer = MultiObjectiveOptimizer(tpch_schema(), config=FAST_CONFIG)
+    service = OptimizerService(tpch_schema(), config=FAST_CONFIG)
     query = tpch_query(5)
     print(f"query: {query.name} ({query.main_block.num_tables} joined tables)")
     print()
-    for tenant, policy in TENANT_CLASSES.items():
-        preferences = Preferences.from_maps(
-            OBJECTIVES, weights=policy["weights"], bounds=policy["bounds"]
-        )
-        result = optimizer.optimize(
-            query, preferences, algorithm="ira", alpha=1.5
-        )
+
+    # One concurrent batch: every tenant class submits the same query
+    # under its own policy. Results come back in request order.
+    requests = [
+        tenant_request(tenant, policy)
+        for tenant, policy in TENANT_CLASSES.items()
+    ]
+    results = service.optimize_many(requests, max_workers=len(requests))
+
+    for tenant, result in zip(TENANT_CLASSES, results):
         print(f"--- {tenant} ---")
         print(result.plan.describe())
         for objective in OBJECTIVES:
@@ -81,6 +102,14 @@ def main() -> None:
               f"opt time: {result.optimization_time_ms:.0f} ms")
         print()
 
+    # The same tenants submit the same queries again — every request is
+    # now served from the plan cache (no re-optimization).
+    service.optimize_many(requests)
+    stats = service.metrics.snapshot()
+    print(f"second wave served from plan cache: "
+          f"{stats['cache_hits']}/{stats['requests']} requests were hits")
+    print()
+
     # The frontier lets an administrator see what relaxing a bound buys
     # (Section 4: "a user might want to relax the bound on one objective,
     # knowing that this allows significant savings in another").
@@ -88,7 +117,10 @@ def main() -> None:
         (Objective.TOTAL_TIME, Objective.BUFFER_FOOTPRINT),
         weights={Objective.TOTAL_TIME: 1.0},
     )
-    result = optimizer.optimize(query, preferences, algorithm="rta", alpha=1.2)
+    result = service.submit(OptimizationRequest(
+        query=query, preferences=preferences, algorithm="rta", alpha=1.2,
+        tags=("admin-frontier",),
+    ))
     print("=== time / buffer tradeoffs (approximate Pareto frontier) ===")
     print(f"{'total time':>14s}  {'buffer (MB)':>12s}")
     for time_cost, buffer_cost in sorted(result.frontier_costs):

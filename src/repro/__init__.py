@@ -8,28 +8,48 @@ for Many-Objective Query Optimization" (SIGMOD 2014 / arXiv:1404.0046):
   sampling scans and parallel joins, nine-objective cost model);
 * the paper's algorithms — the exact multi-objective algorithm (EXA),
   the representative-tradeoffs approximation scheme (RTA) and the
-  iterative-refinement approximation scheme (IRA) — plus a
-  single-objective Selinger baseline;
+  iterative-refinement approximation scheme (IRA) — plus baselines,
+  all published through a pluggable algorithm registry
+  (:func:`available_algorithms`, :class:`AlgorithmSpec`);
+* a service-oriented front end: immutable :class:`OptimizationRequest`s
+  executed by an :class:`OptimizerService` with a memoizing plan cache,
+  thread-pool batching and per-request metrics hooks;
 * a benchmark harness regenerating every figure of the paper's
   evaluation.
 
 Quickstart::
 
     from repro import (
-        MultiObjectiveOptimizer, Objective, Preferences, tpch_schema,
-        tpch_query,
+        Objective, OptimizationRequest, OptimizerService, Preferences,
+        tpch_schema, tpch_query,
     )
 
-    optimizer = MultiObjectiveOptimizer(tpch_schema())
+    service = OptimizerService(tpch_schema())
     prefs = Preferences.from_maps(
         objectives=(Objective.TOTAL_TIME, Objective.BUFFER_FOOTPRINT,
                     Objective.TUPLE_LOSS),
         weights={Objective.TOTAL_TIME: 1.0, Objective.BUFFER_FOOTPRINT: 0.5,
                  Objective.TUPLE_LOSS: 2.0},
     )
+    request = OptimizationRequest(
+        query=tpch_query(3), preferences=prefs, algorithm="rta", alpha=1.5,
+    )
+    result = service.submit(request)        # repeats hit the plan cache
+    print(result.plan.describe())
+
+    # Batch fan-out over a thread pool (order-preserving):
+    results = service.optimize_many(
+        [request.replace(alpha=a) for a in (1.15, 1.5, 2.0)], max_workers=3,
+    )
+    print(service.metrics.snapshot())
+
+The keyword-style facade remains supported as a thin shim over the same
+execution path::
+
+    from repro import MultiObjectiveOptimizer
+    optimizer = MultiObjectiveOptimizer(tpch_schema())
     result = optimizer.optimize(tpch_query(3), prefs, algorithm="rta",
                                 alpha=1.5)
-    print(result.plan.describe())
 """
 
 from repro.catalog import (
@@ -49,12 +69,22 @@ from repro.config import (
 )
 from repro.core import (
     INFINITY,
+    AlgorithmSpec,
     MultiObjectiveOptimizer,
+    OptimizationRequest,
     OptimizationResult,
+    OptimizerService,
+    PlanCache,
     Preferences,
+    RequestMetrics,
+    ServiceMetrics,
+    algorithm_specs,
+    available_algorithms,
     exact_moqo,
+    get_algorithm,
     ira,
     minimum_cost,
+    register_algorithm,
     relative_cost,
     rta,
     select_best,
@@ -75,6 +105,7 @@ from repro.exceptions import (
     OptimizerError,
     QueryModelError,
     ReproError,
+    RequestValidationError,
 )
 from repro.plans import JoinMethod, JoinPlan, Plan, ScanMethod, ScanPlan
 from repro.query import (
@@ -89,10 +120,11 @@ from repro.query import (
 )
 from repro.workload import TestCase, WorkloadGenerator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_OBJECTIVES",
+    "AlgorithmSpec",
     "CatalogError",
     "Column",
     "CostModel",
@@ -112,28 +144,38 @@ __all__ = [
     "MultiBlockQuery",
     "MultiObjectiveOptimizer",
     "Objective",
+    "OptimizationRequest",
     "OptimizationResult",
     "OptimizerConfig",
     "OptimizerError",
+    "OptimizerService",
     "PAPER_QUERY_ORDER",
     "Plan",
+    "PlanCache",
     "Preferences",
     "Query",
     "QueryModelError",
     "ReproError",
+    "RequestMetrics",
+    "RequestValidationError",
     "SERIAL_CONFIG",
     "Schema",
     "ScanMethod",
     "ScanPlan",
+    "ServiceMetrics",
     "Table",
     "TableRef",
     "TestCase",
     "WorkloadGenerator",
+    "algorithm_specs",
+    "available_algorithms",
     "build_schema",
     "exact_moqo",
+    "get_algorithm",
     "ira",
     "minimum_cost",
     "parse_objective",
+    "register_algorithm",
     "relative_cost",
     "rta",
     "select_best",

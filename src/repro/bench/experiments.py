@@ -23,6 +23,7 @@ from repro.catalog.tpch import tpch_schema
 from repro.config import OptimizerConfig
 from repro.core.optimizer import MultiObjectiveOptimizer
 from repro.core.preferences import Preferences
+from repro.core.service import OptimizerService
 from repro.core.rta import rta
 from repro.cost.objectives import Objective
 from repro.bench.runner import (
@@ -76,6 +77,30 @@ def make_optimizer(
     base = config or BENCH_CONFIG
     return MultiObjectiveOptimizer(
         tpch_schema(scale_factor), config=base.with_timeout(timeout_seconds)
+    )
+
+
+def make_service(
+    timeout_seconds: float | None = None,
+    scale_factor: float = 1.0,
+    config: OptimizerConfig | None = None,
+    cache_size: int = 0,
+) -> OptimizerService:
+    """Optimizer *service* over the TPC-H schema (benchmark config).
+
+    The service front end adds request metrics and (optionally) the
+    plan cache. Caching defaults to *off* here: a cache hit would
+    replay the first run's timing counters as if they were a fresh
+    sample and skew the figures' averaged optimization times. Pass
+    ``cache_size > 0`` for non-timing workloads.
+    """
+    if timeout_seconds is None:
+        timeout_seconds = DEFAULT_TIMEOUT_SECONDS
+    base = config or BENCH_CONFIG
+    return OptimizerService(
+        tpch_schema(scale_factor),
+        config=base.with_timeout(timeout_seconds),
+        cache_size=cache_size,
     )
 
 
@@ -317,10 +342,10 @@ def _workload_experiment(
         query_numbers = bench_query_numbers()
     if cases is None:
         cases = DEFAULT_CASES
-    optimizer = make_optimizer(timeout_seconds=timeout_seconds)
+    service = make_service(timeout_seconds=timeout_seconds)
     # Bound generation must not be cut short by the benchmark timeout.
     generator = WorkloadGenerator(
-        optimizer.schema, config=BENCH_CONFIG, seed=seed
+        service.schema, config=BENCH_CONFIG, seed=seed
     )
     cells: list[FigureCell] = []
     for query_number in query_numbers:
@@ -333,7 +358,7 @@ def _workload_experiment(
                 test_cases = generator.weighted_cases(
                     query_number, num_objectives=parameter, count=cases
                 )
-            aggregates = run_comparison(optimizer, test_cases, variants)
+            aggregates = run_comparison(service, test_cases, variants)
             cells.append(FigureCell(query_number, parameter, aggregates))
             if progress is not None:
                 summary = ", ".join(

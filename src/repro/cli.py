@@ -18,8 +18,10 @@ import sys
 
 from repro.catalog.tpch import tpch_schema
 from repro.config import DEFAULT_CONFIG, FAST_CONFIG
-from repro.core.optimizer import ALGORITHMS, MultiObjectiveOptimizer
 from repro.core.preferences import Preferences
+from repro.core.registry import available_algorithms
+from repro.core.request import OptimizationRequest
+from repro.core.service import OptimizerService
 from repro.cost.objectives import Objective, parse_objective
 from repro.query.tpch_queries import tpch_query
 from repro.viz import frontier_scatter, frontier_table
@@ -38,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="TPC-H query number (1..22)",
     )
     parser.add_argument(
-        "--algorithm", choices=ALGORITHMS, default="rta",
+        "--algorithm", choices=available_algorithms(), default="rta",
         help="optimization algorithm (default: rta)",
     )
     parser.add_argument(
@@ -116,14 +118,23 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(str(error))
 
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
-    config = config.with_timeout(args.timeout)
-    optimizer = MultiObjectiveOptimizer(
-        tpch_schema(args.scale_factor), config=config
-    )
-    result = optimizer.optimize(
-        query, preferences, algorithm=args.algorithm, alpha=args.alpha,
-        strict=args.strict,
-    )
+    try:
+        config = config.with_timeout(args.timeout)
+    except Exception as error:  # e.g. negative --timeout
+        raise SystemExit(str(error))
+    service = OptimizerService(tpch_schema(args.scale_factor), config=config)
+    try:
+        request = OptimizationRequest(
+            query=query,
+            preferences=preferences,
+            algorithm=args.algorithm,
+            alpha=args.alpha,
+            strict=args.strict,
+            tags=(f"cli:q{args.query}",),
+        )
+    except Exception as error:  # invalid request -> CLI error, no traceback
+        raise SystemExit(str(error))
+    result = service.submit(request)
 
     print(result.summary())
     print()

@@ -88,6 +88,26 @@ class OptimizerConfig:
         """Number of join operator configurations (method x DOP)."""
         return len(self.join_methods) * len(self.dop_values)
 
+    def fingerprint(self) -> str:
+        """Stable canonical string for cache keys.
+
+        Operator sets are order-normalized (sorted) so two configs that
+        list the same join methods or DOPs in a different order
+        canonicalize identically. All fields participate — including
+        the timeout, since it changes which plans a run can produce.
+        """
+        return (
+            "cfg["
+            f"dop={tuple(sorted(self.dop_values))!r};"
+            f"rates={tuple(sorted(self.sampling_rates))!r};"
+            f"joins={tuple(sorted(m.value for m in self.join_methods))!r};"
+            f"index={self.enable_index_scans};"
+            f"shape={self.plan_shape.value};"
+            f"timeout={self.timeout_seconds!r};"
+            f"interval={self.timeout_check_interval}"
+            "]"
+        )
+
     def with_timeout(self, timeout_seconds: float | None) -> "OptimizerConfig":
         """Copy of this configuration with a different timeout."""
         return OptimizerConfig(

@@ -1,15 +1,24 @@
-"""Counters collected during an optimizer run.
+"""Counters collected during optimizer runs.
 
-The benchmark harness reports the same metrics as the paper's figures:
-optimization time, allocated memory, the number of Pareto plans for the
-last table set that was treated completely, and whether a timeout
-occurred. Memory is accounted analytically (stored plans x bytes per
-plan), matching the paper's observation that "the space consumption of
-the EXA directly relates to the number of Pareto plans".
+Two layers of metrics live here:
+
+* :class:`Counters` — per-run (per query block) counters the benchmark
+  harness reports, matching the paper's figures: optimization time,
+  allocated memory, the number of Pareto plans for the last table set
+  that was treated completely, and whether a timeout occurred. Memory
+  is accounted analytically (stored plans x bytes per plan), matching
+  the paper's observation that "the space consumption of the EXA
+  directly relates to the number of Pareto plans".
+* :class:`ServiceMetrics` / :class:`RequestMetrics` — per-service
+  aggregates fed by :class:`repro.core.service.OptimizerService`: total
+  requests, plan-cache hits/misses, per-algorithm request counts and
+  cumulative optimization time. Metrics hooks registered on the service
+  receive one :class:`RequestMetrics` record per completed request.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.plans.plan import PLAN_BYTES
@@ -76,3 +85,72 @@ class Counters:
         self.table_sets_completed += other.table_sets_completed
         self.table_sets_total += other.table_sets_total
         self.timed_out = self.timed_out or other.timed_out
+
+
+# ----------------------------------------------------------------------
+# Service-level metrics (OptimizerService)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestMetrics:
+    """Immutable per-request record handed to service metrics hooks."""
+
+    fingerprint: str
+    query_name: str
+    algorithm: str
+    tags: tuple[str, ...]
+    cache_hit: bool
+    elapsed_ms: float
+    timed_out: bool
+
+
+@dataclass
+class ServiceMetrics:
+    """Thread-safe aggregate counters for one :class:`OptimizerService`.
+
+    ``cache_hits``/``cache_misses`` implement the plan-cache hit counter
+    the batch API's acceptance test observes; ``by_algorithm`` counts
+    executed (non-cached) requests per algorithm name.
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    timeouts: int = 0
+    total_optimization_ms: float = 0.0
+    by_algorithm: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, metrics: RequestMetrics) -> None:
+        """Fold one completed request into the aggregates."""
+        with self._lock:
+            self.requests += 1
+            if metrics.cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+                self.total_optimization_ms += metrics.elapsed_ms
+                self.by_algorithm[metrics.algorithm] = (
+                    self.by_algorithm.get(metrics.algorithm, 0) + 1
+                )
+            if metrics.timed_out:
+                self.timeouts += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Plan-cache hit rate over all requests (0 when none served)."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        """Point-in-time copy of the counters (safe to serialize)."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "timeouts": self.timeouts,
+                "total_optimization_ms": self.total_optimization_ms,
+                "by_algorithm": dict(self.by_algorithm),
+                "hit_rate": self.hit_rate,
+            }

@@ -1,37 +1,38 @@
 """High-level optimizer facade — the "extended Postgres optimizer".
 
 :class:`MultiObjectiveOptimizer` wires the substrates together (catalog,
-cost model, plan space) and exposes the three MOQO algorithms plus the
-single-objective baseline behind one ``optimize()`` call. Like the
-paper's prototype it optimizes the blocks of a query with subqueries
-*separately* (Postgres heuristic ii) — which, as the paper notes,
-weakens the formal approximation guarantee for queries containing
-subqueries, while rarely mattering in practice.
+cost model, plan space) and executes :class:`OptimizationRequest`s by
+dispatching through the pluggable algorithm registry
+(:mod:`repro.core.registry`). Like the paper's prototype it optimizes
+the blocks of a query with subqueries *separately* (Postgres heuristic
+ii) — which, as the paper notes, weakens the formal approximation
+guarantee for queries containing subqueries, while rarely mattering in
+practice.
+
+The keyword-style :meth:`MultiObjectiveOptimizer.optimize` call is kept
+as a thin backwards-compatible shim over :meth:`execute`; new code
+should build requests explicitly and submit them through
+:class:`repro.core.service.OptimizerService`, which adds plan caching,
+batching and metrics on top of this facade.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time as _time
 from typing import Sequence
 
 from repro.catalog.schema import Schema
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
-from repro.core.baselines import idp_moqo, weighted_sum_baseline
-from repro.core.exa import exact_moqo
-from repro.core.ira import ira
 from repro.core.preferences import Preferences
+from repro.core.registry import get_algorithm
+from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
-from repro.core.rta import rta
-from repro.core.selinger import selinger
 from repro.cost.model import CostModel
 from repro.cost.objectives import Objective
 from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
 from repro.exceptions import OptimizerError
-from repro.query.query import MultiBlockQuery, Query, single_block
-
-#: Algorithms selectable via ``optimize(algorithm=...)``. The last two
-#: are guarantee-free baselines (see :mod:`repro.core.baselines`).
-ALGORITHMS = ("exa", "rta", "ira", "selinger", "wsum", "idp")
+from repro.query.query import MultiBlockQuery, Query
 
 
 def combine_block_costs(
@@ -61,7 +62,7 @@ def combine_block_costs(
 
 
 class MultiObjectiveOptimizer:
-    """Facade over the catalog, cost model and MOQO algorithms."""
+    """Facade over the catalog, cost model and registered algorithms."""
 
     def __init__(
         self,
@@ -74,6 +75,42 @@ class MultiObjectiveOptimizer:
         self.cost_model = CostModel(schema, params)
 
     # ------------------------------------------------------------------
+    def execute(self, request: OptimizationRequest) -> OptimizationResult:
+        """Execute one validated request and return its result.
+
+        Results are treated as immutable: single-block queries get an
+        updated *copy* carrying the query's name rather than a mutation
+        of the block-level result, so results can safely be cached and
+        shared.
+        """
+        spec = get_algorithm(request.algorithm)
+        preferences = spec.prepare_preferences(request.preferences)
+        config = request.effective_config(self.config)
+        start = _time.perf_counter()
+        deadline = (
+            start + config.timeout_seconds
+            if config.timeout_seconds is not None
+            else None
+        )
+        block_results = tuple(
+            spec.runner(
+                block,
+                self.cost_model,
+                preferences,
+                alpha=request.alpha,
+                config=config,
+                deadline=deadline,
+                strict=request.strict,
+            )
+            for block in request.query.blocks
+        )
+        if len(block_results) == 1:
+            return dataclasses.replace(
+                block_results[0], query_name=request.query.name
+            )
+        return self._merge_block_results(request.query, block_results, start)
+
+    # ------------------------------------------------------------------
     def optimize(
         self,
         query: MultiBlockQuery | Query,
@@ -83,99 +120,31 @@ class MultiObjectiveOptimizer:
         config: OptimizerConfig | None = None,
         strict: bool = False,
     ) -> OptimizationResult:
-        """Optimize a query with the chosen algorithm.
+        """Optimize a query with the chosen algorithm (legacy shim).
 
+        Thin wrapper that packs the arguments into an
+        :class:`OptimizationRequest` and calls :meth:`execute`.
         ``alpha`` is the user precision for the approximation schemes
         (``rta``/``ira``) and ignored for the exact algorithms.
-        ``selinger`` requires exactly one selected objective.
-        ``strict`` enables the strict pruning closure that restores the
-        formal guarantees for objective subsets that are not closed
-        under the cost model's recursive dependencies (DESIGN.md).
+        ``selinger`` requires exactly one selected objective. ``strict``
+        enables the strict pruning closure that restores the formal
+        guarantees for objective subsets that are not closed under the
+        cost model's recursive dependencies (DESIGN.md).
         """
-        if algorithm not in ALGORITHMS:
-            raise OptimizerError(
-                f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
-            )
-        if isinstance(query, Query):
-            query = single_block(query)
-        config = config or self.config
-        start = _time.perf_counter()
-        deadline = (
-            start + config.timeout_seconds
-            if config.timeout_seconds is not None
-            else None
+        request = OptimizationRequest(
+            query=query,
+            preferences=preferences,
+            algorithm=algorithm,
+            alpha=alpha,
+            strict=strict,
+            config=config,
         )
-        block_results = tuple(
-            self._optimize_block(
-                block, preferences, algorithm, alpha, config, deadline,
-                strict,
-            )
-            for block in query.blocks
-        )
-        if len(block_results) == 1:
-            result = block_results[0]
-            result.query_name = query.name
-            return result
-        return self._merge_block_results(query, preferences, block_results, start)
+        return self.execute(request)
 
     # ------------------------------------------------------------------
-    def _optimize_block(
-        self,
-        block: Query,
-        preferences: Preferences,
-        algorithm: str,
-        alpha: float,
-        config: OptimizerConfig,
-        deadline: float | None,
-        strict: bool = False,
-    ) -> OptimizationResult:
-        if algorithm == "exa":
-            return exact_moqo(
-                block, self.cost_model, preferences, config,
-                deadline=deadline, strict=strict,
-            )
-        if algorithm == "rta":
-            return rta(
-                block,
-                self.cost_model,
-                preferences.without_bounds(),
-                alpha,
-                config,
-                deadline=deadline,
-                strict=strict,
-            )
-        if algorithm == "ira":
-            return ira(
-                block, self.cost_model, preferences, alpha, config,
-                deadline=deadline, strict=strict,
-            )
-        if algorithm == "wsum":
-            return weighted_sum_baseline(
-                block, self.cost_model, preferences.without_bounds(),
-                config, deadline=deadline,
-            )
-        if algorithm == "idp":
-            return idp_moqo(
-                block, self.cost_model, preferences.without_bounds(),
-                alpha_u=alpha, config=config, deadline=deadline,
-            )
-        # selinger
-        if preferences.num_objectives != 1:
-            raise OptimizerError(
-                "the selinger baseline optimizes exactly one objective"
-            )
-        return selinger(
-            block,
-            self.cost_model,
-            preferences.objectives[0],
-            config,
-            deadline=deadline,
-        )
-
     def _merge_block_results(
         self,
         query: MultiBlockQuery,
-        preferences: Preferences,
         block_results: tuple[OptimizationResult, ...],
         start: float,
     ) -> OptimizationResult:
@@ -211,3 +180,15 @@ class MultiObjectiveOptimizer:
             alpha=main.alpha,
             block_results=block_results,
         )
+
+
+def __getattr__(name: str):
+    if name == "ALGORITHMS":
+        raise ImportError(
+            "the module-level ALGORITHMS tuple was removed in the "
+            "service-oriented API redesign; call "
+            "repro.available_algorithms() (repro.core.registry) for the "
+            "registered algorithm names, or register custom algorithms "
+            "with repro.core.registry.register_algorithm"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -118,6 +118,32 @@ class Preferences:
         """Same objectives/weights with all bounds removed."""
         return Preferences(objectives=self.objectives, weights=self.weights)
 
+    # ------------------------------------------------------------------
+    def canonical_items(self) -> tuple[tuple[int, float, float], ...]:
+        """``(objective index, weight, bound)`` triples in index order.
+
+        The stable ordering makes two preference sets that select the
+        same objectives with the same weights/bounds — but list them in
+        a different order — canonicalize identically, which is what lets
+        preferences serve as plan-cache key components.
+        """
+        return tuple(
+            sorted(
+                (objective.index, weight, bound)
+                for objective, weight, bound in zip(
+                    self.objectives, self.weights, self.bounds
+                )
+            )
+        )
+
+    def fingerprint(self) -> str:
+        """Stable canonical string for cache keys and deduplication."""
+        items = ";".join(
+            f"{index}:{weight!r}:{bound!r}"
+            for index, weight, bound in self.canonical_items()
+        )
+        return f"prefs[{items}]"
+
 
 def relative_cost(
     candidate: Sequence[float],

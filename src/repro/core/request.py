@@ -1,0 +1,154 @@
+"""Immutable optimization requests — the unit of work of the service API.
+
+An :class:`OptimizationRequest` bundles everything one optimizer call
+needs: the query, the user preferences, the chosen algorithm and its
+precision, an optional per-request config override and deadline, and
+free-form tags for routing/metrics. Requests validate declaratively on
+construction (against the algorithm registry's capability declarations)
+and expose a canonical :meth:`~OptimizationRequest.fingerprint` so
+identical requests can be deduplicated and served from the plan cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+from repro.config import OptimizerConfig
+from repro.core.preferences import Preferences
+from repro.core.registry import get_algorithm
+from repro.exceptions import InvalidPrecisionError, RequestValidationError
+from repro.query.query import MultiBlockQuery, Query, single_block
+
+#: Default approximation precision for the schemes that take one.
+DEFAULT_ALPHA = 1.5
+
+
+@dataclass(frozen=True)
+class OptimizationRequest:
+    """One immutable unit of optimization work.
+
+    ``query`` accepts a plain :class:`Query` block and normalizes it to
+    a single-block :class:`MultiBlockQuery`. ``config`` overrides the
+    executing service's default configuration; ``timeout_seconds``
+    overrides the (effective) config's timeout — a per-request deadline.
+    ``tags`` are free-form labels carried through to metrics hooks; they
+    never affect the result or the cache key.
+    """
+
+    query: MultiBlockQuery
+    preferences: Preferences
+    algorithm: str = "rta"
+    alpha: float = DEFAULT_ALPHA
+    strict: bool = False
+    config: OptimizerConfig | None = None
+    timeout_seconds: float | None = None
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.query, Query):
+            object.__setattr__(self, "query", single_block(self.query))
+        if not isinstance(self.query, MultiBlockQuery):
+            raise RequestValidationError(
+                f"query must be a Query or MultiBlockQuery, "
+                f"got {type(self.query).__name__}"
+            )
+        if not isinstance(self.preferences, Preferences):
+            raise RequestValidationError(
+                f"preferences must be a Preferences instance, "
+                f"got {type(self.preferences).__name__}"
+            )
+        spec = get_algorithm(self.algorithm)  # raises on unknown names
+        spec.validate(self.preferences)
+        if self.strict and not spec.supports_strict:
+            raise RequestValidationError(
+                f"the {self.algorithm} algorithm does not implement the "
+                f"strict pruning closure (strict=True)"
+            )
+        if spec.uses_alpha:
+            if not isinstance(self.alpha, (int, float)):
+                raise RequestValidationError(
+                    f"alpha must be a number, got {type(self.alpha).__name__}"
+                )
+            if self.alpha < 1.0:
+                raise InvalidPrecisionError(self.alpha)
+        if self.config is not None and not isinstance(
+            self.config, OptimizerConfig
+        ):
+            raise RequestValidationError(
+                f"config must be an OptimizerConfig or None, "
+                f"got {type(self.config).__name__}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise RequestValidationError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        tags = tuple(self.tags)
+        if any(not isinstance(tag, str) for tag in tags):
+            raise RequestValidationError("tags must be strings")
+        object.__setattr__(self, "tags", tags)
+
+    # ------------------------------------------------------------------
+    @property
+    def query_name(self) -> str:
+        """Name of the query being optimized."""
+        return self.query.name
+
+    def effective_config(self, default: OptimizerConfig) -> OptimizerConfig:
+        """Resolve the configuration this request runs under.
+
+        The request-level config (if any) wins over the service default;
+        a request-level timeout then overrides the config's timeout.
+        """
+        config = self.config if self.config is not None else default
+        if self.timeout_seconds is not None:
+            config = config.with_timeout(self.timeout_seconds)
+        return config
+
+    def replace(self, **changes) -> "OptimizationRequest":
+        """A copy of this request with some fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    def cache_payload(self, default_config: OptimizerConfig | None = None) -> str:
+        """Human-readable canonical form backing :meth:`fingerprint`.
+
+        Covers everything that can change the produced plan: query
+        structure, canonicalized preferences (as the algorithm sees them
+        — bounds an algorithm strips are normalized away), algorithm,
+        precision (normalized away for algorithms that ignore it),
+        strict mode and the effective configuration. Tags are
+        deliberately excluded.
+        """
+        spec = get_algorithm(self.algorithm)
+        preferences = spec.prepare_preferences(self.preferences)
+        alpha = repr(float(self.alpha)) if spec.uses_alpha else "-"
+        if self.config is not None or default_config is not None:
+            config_fp = self.effective_config(
+                self.config or default_config
+            ).fingerprint()
+        else:
+            config_fp = f"default;timeout={self.timeout_seconds!r}"
+        return "|".join(
+            (
+                f"query={self.query!r}",
+                preferences.fingerprint(),
+                f"algorithm={self.algorithm}",
+                f"alpha={alpha}",
+                f"strict={self.strict}",
+                config_fp,
+            )
+        )
+
+    def fingerprint(self, default_config: OptimizerConfig | None = None) -> str:
+        """Canonical cache key for this request (sha256 hex digest).
+
+        Two requests with the same fingerprint are guaranteed to produce
+        equivalent plans (modulo timeouts — the executing service avoids
+        caching timed-out results). Pass the executing service's default
+        config so config-less requests key on the actual effective
+        configuration.
+        """
+        payload = self.cache_payload(default_config)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -11,13 +11,17 @@ from repro.plans.plan import Plan
 CostTuple = tuple[float, ...]
 
 
-@dataclass
+@dataclass(frozen=True)
 class OptimizationResult:
     """Outcome of optimizing one query (or one query block).
 
     ``frontier`` is the (approximate) Pareto set for the full table set
     — the by-product all of the paper's algorithms expose for tradeoff
     visualization (Figure 4).
+
+    Results are immutable: the optimizer service caches and shares them
+    across requests (and threads), so derived variants are produced
+    with :func:`dataclasses.replace` rather than in-place edits.
     """
 
     algorithm: str

@@ -1,0 +1,183 @@
+"""Batch optimizer service: plan cache, thread-pool fan-out, metrics.
+
+The paper motivates many-objective query optimization with server
+scenarios — a multi-tenant server rationing resources across concurrent
+user queries. :class:`OptimizerService` is the request/response front
+end for that setting:
+
+* :meth:`OptimizerService.submit` executes one
+  :class:`~repro.core.request.OptimizationRequest`, consulting a
+  memoizing plan cache keyed by the request's canonical fingerprint
+  (query structure, canonicalized preferences, algorithm, precision,
+  effective configuration — never tags);
+* :meth:`OptimizerService.optimize_many` fans a batch of requests out
+  over a thread pool, preserving input order in the returned results;
+* per-request metrics hooks receive one
+  :class:`~repro.core.instrumentation.RequestMetrics` record per
+  completed request, and aggregate counters (cache hits/misses,
+  per-algorithm request counts) accumulate in a
+  :class:`~repro.core.instrumentation.ServiceMetrics`.
+
+Timed-out results are never cached: a rerun with more budget (or on a
+faster machine) could do better, so serving them from cache would pin
+the degraded plan.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+from repro.catalog.schema import Schema
+from repro.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.core.instrumentation import RequestMetrics, ServiceMetrics
+from repro.core.optimizer import MultiObjectiveOptimizer
+from repro.core.request import OptimizationRequest
+from repro.core.result import OptimizationResult
+from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
+
+#: Callable invoked with one record per completed request.
+MetricsHook = Callable[[RequestMetrics], None]
+
+
+class PlanCache:
+    """Thread-safe LRU cache from request fingerprints to results.
+
+    ``max_size <= 0`` disables caching (every lookup misses, nothing is
+    stored) without callers needing a separate code path.
+    """
+
+    def __init__(self, max_size: int = 256) -> None:
+        self.max_size = max_size
+        self._entries: OrderedDict[str, OptimizationResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def get(self, key: str) -> OptimizationResult | None:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+            return result
+
+    def put(self, key: str, result: OptimizationResult) -> None:
+        if self.max_size <= 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class OptimizerService:
+    """Request/response front end over :class:`MultiObjectiveOptimizer`.
+
+    One service owns one schema (catalog + statistics), one default
+    configuration, one plan cache and one metrics aggregate; per-request
+    deviations travel inside the request (config override, deadline).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        config: OptimizerConfig = DEFAULT_CONFIG,
+        params: CostParams = DEFAULT_PARAMS,
+        *,
+        cache_size: int = 256,
+        metrics: ServiceMetrics | None = None,
+        hooks: Iterable[MetricsHook] = (),
+    ) -> None:
+        self._optimizer = MultiObjectiveOptimizer(schema, config, params)
+        self.cache = PlanCache(cache_size)
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._hooks: list[MetricsHook] = list(hooks)
+
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._optimizer.schema
+
+    @property
+    def config(self) -> OptimizerConfig:
+        return self._optimizer.config
+
+    @property
+    def optimizer(self) -> MultiObjectiveOptimizer:
+        """The underlying facade (for callers needing direct access)."""
+        return self._optimizer
+
+    def add_hook(self, hook: MetricsHook) -> None:
+        """Register a per-request metrics hook."""
+        self._hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    def submit(self, request: OptimizationRequest) -> OptimizationResult:
+        """Execute one request, serving identical repeats from the cache."""
+        key = request.fingerprint(self.config)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._report(request, key, cached, cache_hit=True)
+            return cached
+        result = self._optimizer.execute(request)
+        if not result.timed_out:
+            self.cache.put(key, result)
+        self._report(request, key, result, cache_hit=False)
+        return result
+
+    def optimize_many(
+        self,
+        requests: Sequence[OptimizationRequest],
+        max_workers: int | None = None,
+    ) -> list[OptimizationResult]:
+        """Execute a batch of requests; results keep the input order.
+
+        ``max_workers`` caps the thread-pool fan-out; the default scales
+        with the batch (at most 8 threads). ``max_workers=1`` degrades
+        to sequential execution in the calling thread, which is also the
+        fallback for empty batches.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if max_workers is None:
+            max_workers = min(8, len(requests))
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_workers == 1 or len(requests) == 1:
+            return [self.submit(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(self.submit, requests))
+
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        request: OptimizationRequest,
+        fingerprint: str,
+        result: OptimizationResult,
+        *,
+        cache_hit: bool,
+    ) -> None:
+        record = RequestMetrics(
+            fingerprint=fingerprint,
+            query_name=request.query_name,
+            algorithm=request.algorithm,
+            tags=request.tags,
+            cache_hit=cache_hit,
+            elapsed_ms=0.0 if cache_hit else result.optimization_time_ms,
+            timed_out=result.timed_out,
+        )
+        self.metrics.record(record)
+        for hook in self._hooks:
+            hook(record)

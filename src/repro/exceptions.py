@@ -45,6 +45,12 @@ class OptimizerError(ReproError):
     """Raised for invalid optimizer invocations (bad weights, bounds...)."""
 
 
+class RequestValidationError(OptimizerError):
+    """Raised when an :class:`~repro.core.request.OptimizationRequest`
+    fails declarative validation (bad field types, invalid deadline,
+    capability mismatch with the chosen algorithm)."""
+
+
 class InvalidPrecisionError(OptimizerError):
     """Raised when an approximation factor alpha < 1 is requested."""
 

@@ -24,6 +24,7 @@ from repro.catalog.schema import Schema
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.core.optimizer import combine_block_costs
 from repro.core.preferences import INFINITY, Preferences
+from repro.core.request import DEFAULT_ALPHA, OptimizationRequest
 from repro.core.selinger import selinger
 from repro.cost.model import CostModel
 from repro.cost.objectives import ALL_OBJECTIVES, Objective
@@ -46,6 +47,35 @@ class TestCase:
     def is_bounded(self) -> bool:
         """Whether the instance carries finite bounds."""
         return self.preferences.has_bounds
+
+    def to_request(
+        self,
+        algorithm: str = "rta",
+        alpha: float = DEFAULT_ALPHA,
+        *,
+        strict: bool = False,
+        config: OptimizerConfig | None = None,
+        timeout_seconds: float | None = None,
+        tags: tuple[str, ...] | None = None,
+    ) -> OptimizationRequest:
+        """Package this test case for :class:`~repro.core.service.OptimizerService`.
+
+        The default tags identify the case within a batch
+        (``q<query>``/``case<index>``) so metrics hooks can attribute
+        per-request records back to the workload.
+        """
+        if tags is None:
+            tags = (f"q{self.query_number}", f"case{self.case_index}")
+        return OptimizationRequest(
+            query=self.query,
+            preferences=self.preferences,
+            algorithm=algorithm,
+            alpha=alpha,
+            strict=strict,
+            config=config,
+            timeout_seconds=timeout_seconds,
+            tags=tags,
+        )
 
 
 class WorkloadGenerator:

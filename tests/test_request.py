@@ -1,0 +1,249 @@
+"""OptimizationRequest: declarative validation and cache fingerprints."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    FAST_CONFIG,
+    MultiBlockQuery,
+    Objective,
+    OptimizationRequest,
+    OptimizerConfig,
+    Preferences,
+    single_block,
+    tpch_query,
+)
+from repro.exceptions import (
+    InvalidPrecisionError,
+    OptimizerError,
+    RequestValidationError,
+)
+
+PREFS = Preferences.from_maps(
+    (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+    weights={Objective.TOTAL_TIME: 1.0},
+)
+
+
+def make_request(**overrides) -> OptimizationRequest:
+    fields = dict(query=tpch_query(3), preferences=PREFS, algorithm="rta",
+                  alpha=1.5)
+    fields.update(overrides)
+    return OptimizationRequest(**fields)
+
+
+class TestValidation:
+    def test_plain_block_normalized_to_multi_block(self, chain2):
+        request = make_request(query=chain2)
+        assert isinstance(request.query, MultiBlockQuery)
+        assert request.query_name == chain2.name
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(OptimizerError, match="unknown algorithm"):
+            make_request(algorithm="magic")
+
+    def test_selinger_needs_single_objective(self):
+        with pytest.raises(OptimizerError, match="exactly one"):
+            make_request(algorithm="selinger")
+
+    def test_alpha_below_one_rejected_for_approximation_schemes(self):
+        with pytest.raises(InvalidPrecisionError):
+            make_request(algorithm="rta", alpha=0.9)
+        with pytest.raises(InvalidPrecisionError):
+            make_request(algorithm="ira", alpha=0.5)
+
+    def test_alpha_ignored_for_exact_algorithms(self):
+        # exa does not consume alpha; nonsense values must not fail.
+        request = make_request(algorithm="exa", alpha=0.1)
+        assert request.algorithm == "exa"
+
+    def test_bad_preferences_type(self):
+        with pytest.raises(RequestValidationError, match="Preferences"):
+            make_request(preferences={"weights": 1.0})
+
+    def test_bad_query_type(self):
+        with pytest.raises(RequestValidationError, match="query"):
+            make_request(query="SELECT 1")
+
+    def test_bad_config_type(self):
+        with pytest.raises(RequestValidationError, match="OptimizerConfig"):
+            make_request(config="fast")
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(RequestValidationError, match="timeout"):
+            make_request(timeout_seconds=0.0)
+        with pytest.raises(RequestValidationError, match="timeout"):
+            make_request(timeout_seconds=-1.0)
+
+    def test_strict_requires_capability(self):
+        # exa/rta/ira implement the strict closure; the baselines don't.
+        assert make_request(algorithm="rta", strict=True).strict
+        assert make_request(algorithm="exa", strict=True).strict
+        for algorithm in ("wsum", "idp"):
+            with pytest.raises(RequestValidationError, match="strict"):
+                make_request(algorithm=algorithm, strict=True)
+
+    def test_tags_normalized_and_validated(self):
+        request = make_request(tags=["a", "b"])
+        assert request.tags == ("a", "b")
+        with pytest.raises(RequestValidationError, match="tags"):
+            make_request(tags=(1, 2))
+
+    def test_requests_are_immutable(self):
+        request = make_request()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.alpha = 2.0
+
+    def test_replace_revalidates(self):
+        request = make_request()
+        assert request.replace(alpha=2.0).alpha == 2.0
+        with pytest.raises(OptimizerError):
+            request.replace(algorithm="selinger")
+
+
+class TestEffectiveConfig:
+    def test_default_passthrough(self):
+        request = make_request()
+        assert request.effective_config(FAST_CONFIG) is FAST_CONFIG
+
+    def test_request_config_wins(self):
+        request = make_request(config=FAST_CONFIG)
+        other = OptimizerConfig()
+        assert request.effective_config(other) is FAST_CONFIG
+
+    def test_timeout_overrides_config_timeout(self):
+        request = make_request(timeout_seconds=7.0)
+        resolved = request.effective_config(FAST_CONFIG)
+        assert resolved.timeout_seconds == 7.0
+        assert resolved.dop_values == FAST_CONFIG.dop_values
+
+
+class TestFingerprint:
+    def test_identical_requests_agree(self):
+        assert make_request().fingerprint() == make_request().fingerprint()
+
+    def test_alpha_changes_fingerprint(self):
+        assert (
+            make_request(alpha=1.5).fingerprint()
+            != make_request(alpha=2.0).fingerprint()
+        )
+
+    def test_alpha_normalized_away_for_exact_algorithms(self):
+        a = make_request(algorithm="exa", alpha=1.5)
+        b = make_request(algorithm="exa", alpha=2.0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_tags_do_not_affect_fingerprint(self):
+        assert (
+            make_request(tags=("tenant-a",)).fingerprint()
+            == make_request(tags=("tenant-b",)).fingerprint()
+        )
+
+    def test_preference_order_canonicalized(self):
+        flipped = Preferences.from_maps(
+            (Objective.TUPLE_LOSS, Objective.TOTAL_TIME),
+            weights={Objective.TOTAL_TIME: 1.0},
+        )
+        assert (
+            make_request(preferences=flipped).fingerprint()
+            == make_request().fingerprint()
+        )
+
+    def test_stripped_bounds_normalized_away(self):
+        # rta strips bounds before running, so a bounded request computes
+        # the identical plan and must share the cache entry.
+        bounded = Preferences.from_maps(
+            (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights={Objective.TOTAL_TIME: 1.0},
+            bounds={Objective.TUPLE_LOSS: 0.5},
+        )
+        assert (
+            make_request(preferences=bounded).fingerprint()
+            == make_request().fingerprint()
+        )
+        # ira honors bounds natively -> the bound must split the key.
+        assert (
+            make_request(algorithm="ira", preferences=bounded).fingerprint()
+            != make_request(algorithm="ira").fingerprint()
+        )
+
+    def test_strict_mode_changes_fingerprint(self):
+        assert (
+            make_request(strict=True).fingerprint()
+            != make_request().fingerprint()
+        )
+
+    def test_config_override_changes_fingerprint(self):
+        assert (
+            make_request(config=FAST_CONFIG).fingerprint()
+            != make_request().fingerprint()
+        )
+
+    def test_default_config_parameter_distinguishes_services(self):
+        request = make_request()
+        assert (
+            request.fingerprint(FAST_CONFIG)
+            != request.fingerprint(OptimizerConfig())
+        )
+
+    def test_query_changes_fingerprint(self):
+        assert (
+            make_request(query=tpch_query(5)).fingerprint()
+            != make_request().fingerprint()
+        )
+
+
+class TestCanonicalization:
+    """The hashable/canonicalizable building blocks under the fingerprint."""
+
+    def test_preferences_hashable_and_equal(self):
+        a = Preferences.from_maps(
+            (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights={Objective.TOTAL_TIME: 1.0},
+        )
+        b = Preferences.from_maps(
+            (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights={Objective.TOTAL_TIME: 1.0},
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_preferences_fingerprint_sorted_by_objective_index(self):
+        flipped = Preferences.from_maps(
+            (Objective.TUPLE_LOSS, Objective.TOTAL_TIME),
+            weights={Objective.TOTAL_TIME: 1.0},
+        )
+        assert flipped.fingerprint() == PREFS.fingerprint()
+        items = PREFS.canonical_items()
+        assert items == tuple(sorted(items))
+
+    def test_preferences_fingerprint_distinguishes_bounds(self):
+        bounded = Preferences.from_maps(
+            (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights={Objective.TOTAL_TIME: 1.0},
+            bounds={Objective.TUPLE_LOSS: 0.5},
+        )
+        assert bounded.fingerprint() != PREFS.fingerprint()
+
+    def test_config_hashable(self):
+        assert hash(OptimizerConfig()) == hash(OptimizerConfig())
+        assert len({OptimizerConfig(), OptimizerConfig()}) == 1
+
+    def test_config_fingerprint_order_normalized(self):
+        a = OptimizerConfig(dop_values=(1, 2))
+        b = OptimizerConfig(dop_values=(2, 1))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != OptimizerConfig(dop_values=(1,)).fingerprint()
+
+    def test_config_fingerprint_includes_timeout(self):
+        assert (
+            OptimizerConfig().fingerprint()
+            != OptimizerConfig(timeout_seconds=5.0).fingerprint()
+        )
+
+    def test_plain_block_and_wrapper_fingerprint_identically(self, chain2):
+        direct = make_request(query=chain2)
+        wrapped = make_request(query=single_block(chain2))
+        assert direct.fingerprint() == wrapped.fingerprint()

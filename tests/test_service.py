@@ -1,0 +1,250 @@
+"""OptimizerService: plan cache semantics, batching, metrics hooks."""
+
+import pytest
+
+from repro import (
+    FAST_CONFIG,
+    MultiBlockQuery,
+    MultiObjectiveOptimizer,
+    Objective,
+    OptimizationRequest,
+    OptimizerService,
+    Preferences,
+    WorkloadGenerator,
+    tpch_query,
+)
+from repro.core.service import PlanCache
+
+PREFS = Preferences.from_maps(
+    (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+    weights={Objective.TOTAL_TIME: 1.0},
+)
+
+
+@pytest.fixture()
+def small_service(small_schema):
+    from tests.conftest import TINY_CONFIG
+
+    return OptimizerService(small_schema, config=TINY_CONFIG)
+
+
+@pytest.fixture()
+def tpch_service(tpch):
+    return OptimizerService(tpch, config=FAST_CONFIG)
+
+
+def chain_request(chain, **overrides):
+    fields = dict(query=chain, preferences=PREFS, algorithm="rta", alpha=1.5)
+    fields.update(overrides)
+    return OptimizationRequest(**fields)
+
+
+class TestCache:
+    def test_repeat_request_served_from_cache(self, small_service, chain2):
+        request = chain_request(chain2)
+        first = small_service.submit(request)
+        second = small_service.submit(request)
+        assert second is first  # memoized, not re-optimized
+        assert small_service.metrics.cache_hits == 1
+        assert small_service.metrics.cache_misses == 1
+        assert small_service.metrics.requests == 2
+        assert small_service.metrics.hit_rate == 0.5
+
+    def test_equal_but_distinct_request_objects_hit(self, small_service,
+                                                    chain2):
+        small_service.submit(chain_request(chain2))
+        small_service.submit(chain_request(chain2))
+        assert small_service.metrics.cache_hits == 1
+
+    def test_different_alpha_misses(self, small_service, chain2):
+        small_service.submit(chain_request(chain2, alpha=1.5))
+        small_service.submit(chain_request(chain2, alpha=2.0))
+        assert small_service.metrics.cache_hits == 0
+        assert small_service.metrics.cache_misses == 2
+
+    def test_different_query_misses(self, small_service, chain2, chain3):
+        small_service.submit(chain_request(chain2))
+        small_service.submit(chain_request(chain3))
+        assert small_service.metrics.cache_hits == 0
+
+    def test_tags_do_not_split_cache_entries(self, small_service, chain2):
+        small_service.submit(chain_request(chain2, tags=("tenant-a",)))
+        small_service.submit(chain_request(chain2, tags=("tenant-b",)))
+        assert small_service.metrics.cache_hits == 1
+
+    def test_cache_disabled(self, small_schema, chain2):
+        from tests.conftest import TINY_CONFIG
+
+        service = OptimizerService(
+            small_schema, config=TINY_CONFIG, cache_size=0
+        )
+        request = chain_request(chain2)
+        service.submit(request)
+        service.submit(request)
+        assert service.metrics.cache_hits == 0
+        assert len(service.cache) == 0
+
+    def test_lru_eviction(self, small_schema, chain2, chain3):
+        from tests.conftest import TINY_CONFIG
+
+        service = OptimizerService(
+            small_schema, config=TINY_CONFIG, cache_size=1
+        )
+        service.submit(chain_request(chain2))
+        service.submit(chain_request(chain3))  # evicts chain2
+        assert service.cache.evictions == 1
+        service.submit(chain_request(chain2))  # miss again
+        assert service.metrics.cache_hits == 0
+        assert service.metrics.cache_misses == 3
+
+    def test_timed_out_results_not_cached(self, tpch):
+        service = OptimizerService(
+            tpch, config=FAST_CONFIG.with_timeout(0.01)
+        )
+        from repro.cost.objectives import ALL_OBJECTIVES
+
+        prefs = Preferences(
+            objectives=ALL_OBJECTIVES, weights=(1.0,) * len(ALL_OBJECTIVES)
+        )
+        request = OptimizationRequest(
+            query=tpch_query(8), preferences=prefs, algorithm="exa"
+        )
+        result = service.submit(request)
+        assert result.timed_out
+        assert len(service.cache) == 0
+        service.submit(request)
+        assert service.metrics.cache_hits == 0
+        assert service.metrics.timeouts == 2
+
+    def test_plan_cache_standalone(self):
+        cache = PlanCache(max_size=2)
+        cache.put("a", "ra")
+        cache.put("b", "rb")
+        assert cache.get("a") == "ra"  # refreshes a's recency
+        cache.put("c", "rc")  # evicts b (least recently used)
+        assert cache.get("b") is None
+        assert cache.get("a") == "ra"
+        assert cache.get("c") == "rc"
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestResultIntegrity:
+    def test_cached_result_name_not_mutated_by_wrappers(self, small_service,
+                                                        chain2):
+        """Regression: single-block results used to be renamed in place."""
+        plain = small_service.submit(chain_request(chain2))
+        assert plain.query_name == chain2.name
+        wrapped = MultiBlockQuery(name="outer_wrapper", blocks=(chain2,))
+        renamed = small_service.submit(chain_request(wrapped))
+        assert renamed.query_name == "outer_wrapper"
+        # The earlier (cached) result must be untouched by the rename.
+        assert plain.query_name == chain2.name
+        assert small_service.submit(chain_request(chain2)) is plain
+
+    def test_results_are_frozen(self, small_service, chain2):
+        import dataclasses
+
+        result = small_service.submit(chain_request(chain2))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.query_name = "hacked"
+
+    def test_execute_returns_fresh_copy_per_call(self, small_schema, chain2):
+        from tests.conftest import TINY_CONFIG
+
+        optimizer = MultiObjectiveOptimizer(small_schema, config=TINY_CONFIG)
+        a = optimizer.execute(chain_request(chain2))
+        b = optimizer.execute(chain_request(chain2))
+        assert a is not b
+        assert a.plan_cost == b.plan_cost
+
+
+class TestBatch:
+    def test_empty_batch(self, small_service):
+        assert small_service.optimize_many([]) == []
+
+    def test_invalid_worker_count(self, small_service, chain2):
+        with pytest.raises(ValueError):
+            small_service.optimize_many([chain_request(chain2)],
+                                        max_workers=0)
+
+    def test_batch_matches_sequential_on_ten_query_workload(self, tpch):
+        """Acceptance: concurrent batch == sequential optimize() calls."""
+        generator = WorkloadGenerator(tpch, config=FAST_CONFIG, seed=7)
+        cases = [
+            generator.weighted_case(number, num_objectives=3, case_index=i)
+            for i, number in enumerate((1, 6, 12, 14, 4, 1, 6, 12, 14, 4))
+        ]
+        requests = [case.to_request("rta", alpha=2.0) for case in cases]
+        assert len(requests) == 10
+
+        optimizer = MultiObjectiveOptimizer(tpch, config=FAST_CONFIG)
+        sequential = [
+            optimizer.optimize(
+                case.query, case.preferences, algorithm="rta", alpha=2.0
+            )
+            for case in cases
+        ]
+        service = OptimizerService(tpch, config=FAST_CONFIG)
+        batched = service.optimize_many(requests, max_workers=4)
+
+        assert len(batched) == len(sequential) == 10
+        for got, want, case in zip(batched, sequential, cases):
+            assert got.query_name == want.query_name == case.query.name
+            assert got.plan_cost == want.plan_cost
+            assert got.weighted_cost == want.weighted_cost
+            assert got.algorithm == "rta"
+
+    def test_batch_results_keep_request_order(self, small_service, chain2,
+                                              chain3):
+        requests = [
+            chain_request(chain3, alpha=1.2),
+            chain_request(chain2, alpha=1.5),
+            chain_request(chain3, alpha=2.0),
+            chain_request(chain2, alpha=1.1),
+        ]
+        results = small_service.optimize_many(requests, max_workers=4)
+        assert [r.query_name for r in results] == [
+            "chain3", "chain2", "chain3", "chain2"
+        ]
+        assert [r.alpha for r in results] == [1.2, 1.5, 2.0, 1.1]
+
+    def test_sequential_fallback_single_worker(self, small_service, chain2):
+        results = small_service.optimize_many(
+            [chain_request(chain2), chain_request(chain2)], max_workers=1
+        )
+        assert len(results) == 2
+        assert small_service.metrics.cache_hits == 1
+
+
+class TestHooksAndMetrics:
+    def test_hooks_receive_per_request_records(self, small_service, chain2):
+        records = []
+        small_service.add_hook(records.append)
+        request = chain_request(chain2, tags=("tenant-a",))
+        small_service.submit(request)
+        small_service.submit(request)
+        assert len(records) == 2
+        assert [r.cache_hit for r in records] == [False, True]
+        assert all(r.query_name == "chain2" for r in records)
+        assert all(r.algorithm == "rta" for r in records)
+        assert all(r.tags == ("tenant-a",) for r in records)
+        assert records[0].fingerprint == records[1].fingerprint
+        assert records[0].elapsed_ms > 0.0
+        assert records[1].elapsed_ms == 0.0
+
+    def test_by_algorithm_counts_executed_requests(self, small_service,
+                                                   chain2):
+        small_service.submit(chain_request(chain2, algorithm="rta"))
+        small_service.submit(chain_request(chain2, algorithm="exa"))
+        small_service.submit(chain_request(chain2, algorithm="rta"))  # hit
+        assert small_service.metrics.by_algorithm == {"rta": 1, "exa": 1}
+
+    def test_snapshot_is_serializable_copy(self, small_service, chain2):
+        small_service.submit(chain_request(chain2))
+        snapshot = small_service.metrics.snapshot()
+        assert snapshot["requests"] == 1
+        assert snapshot["cache_misses"] == 1
+        snapshot["by_algorithm"]["rta"] = 999  # copy, not a live view
+        assert small_service.metrics.by_algorithm["rta"] == 1
