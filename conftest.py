@@ -1,0 +1,38 @@
+"""Repository-level pytest configuration.
+
+Defines the ``--workers`` option used by the parallel-backend tests and
+benchmarks: the number of worker processes to exercise. CI runs the
+parallel suite with ``--workers 2`` under a hard timeout so a hung
+worker pool fails the job fast instead of stalling it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "parallel: tests that spin up real worker processes "
+        "(selectable with -m parallel)",
+    )
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--workers",
+        action="store",
+        type=int,
+        default=2,
+        help="worker-process count for parallel backend tests (default 2)",
+    )
+
+
+@pytest.fixture(scope="session")
+def parallel_workers(request: pytest.FixtureRequest) -> int:
+    """Worker-process count selected via ``--workers``."""
+    workers = request.config.getoption("--workers")
+    if workers < 1:
+        raise pytest.UsageError("--workers must be >= 1")
+    return workers

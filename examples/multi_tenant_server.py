@@ -9,11 +9,12 @@ time are conflicting objectives."
 The administrator defines weights and bounds per tenant class; incoming
 queries become :class:`OptimizationRequest`s tagged with their tenant
 and are fanned out as one batch over the :class:`OptimizerService`
-thread pool — the request/response shape a real server front end would
-use. Repeated queries from the same tenant class hit the plan cache
-instead of re-optimizing. The example also prints the Pareto frontier
-so the administrator can inspect available tradeoffs before adjusting
-the limits.
+*process* backend — warm worker processes that sidestep the GIL, the
+deployment shape a real CPU-bound server front end needs. Repeated
+queries from the same tenant class hit the plan cache instead of
+re-optimizing. The example also prints the Pareto frontier so the
+administrator can inspect available tradeoffs before adjusting the
+limits.
 
 Run:  python examples/multi_tenant_server.py
 """
@@ -27,6 +28,7 @@ from repro import (
     tpch_query,
     tpch_schema,
 )
+from repro.parallel.pool import default_worker_count
 
 #: Resource objectives of the server scenario (one objective per
 #: system resource, plus execution time).
@@ -79,9 +81,14 @@ def tenant_request(tenant: str, policy: dict) -> OptimizationRequest:
 
 
 def main() -> None:
-    service = OptimizerService(tpch_schema(), config=FAST_CONFIG)
+    workers = min(default_worker_count(), len(TENANT_CLASSES))
+    service = OptimizerService(
+        tpch_schema(), config=FAST_CONFIG,
+        backend="processes", workers=workers,
+    )
     query = tpch_query(5)
-    print(f"query: {query.name} ({query.main_block.num_tables} joined tables)")
+    print(f"query: {query.name} ({query.main_block.num_tables} joined "
+          f"tables), {workers} worker processes")
     print()
 
     # One concurrent batch: every tenant class submits the same query
@@ -90,7 +97,7 @@ def main() -> None:
         tenant_request(tenant, policy)
         for tenant, policy in TENANT_CLASSES.items()
     ]
-    results = service.optimize_many(requests, max_workers=len(requests))
+    results = service.optimize_many(requests)
 
     for tenant, result in zip(TENANT_CLASSES, results):
         print(f"--- {tenant} ---")
@@ -125,6 +132,8 @@ def main() -> None:
     print(f"{'total time':>14s}  {'buffer (MB)':>12s}")
     for time_cost, buffer_cost in sorted(result.frontier_costs):
         print(f"{time_cost:14.4g}  {buffer_cost / 1048576.0:12.2f}")
+
+    service.close()  # shut the worker processes down
 
 
 if __name__ == "__main__":

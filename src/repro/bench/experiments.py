@@ -85,6 +85,8 @@ def make_service(
     scale_factor: float = 1.0,
     config: OptimizerConfig | None = None,
     cache_size: int = 0,
+    backend: str = "threads",
+    workers: int | None = None,
 ) -> OptimizerService:
     """Optimizer *service* over the TPC-H schema (benchmark config).
 
@@ -92,7 +94,11 @@ def make_service(
     plan cache. Caching defaults to *off* here: a cache hit would
     replay the first run's timing counters as if they were a fresh
     sample and skew the figures' averaged optimization times. Pass
-    ``cache_size > 0`` for non-timing workloads.
+    ``cache_size > 0`` for non-timing workloads. ``backend`` and
+    ``workers`` select the batch execution backend — the throughput
+    benchmark compares ``"threads"`` against ``"processes"`` (close the
+    service, or use it as a context manager, when requesting the
+    process backend).
     """
     if timeout_seconds is None:
         timeout_seconds = DEFAULT_TIMEOUT_SECONDS
@@ -101,6 +107,8 @@ def make_service(
         tpch_schema(scale_factor),
         config=base.with_timeout(timeout_seconds),
         cache_size=cache_size,
+        backend=backend,
+        workers=workers,
     )
 
 

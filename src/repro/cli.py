@@ -21,7 +21,7 @@ from repro.config import DEFAULT_CONFIG, FAST_CONFIG
 from repro.core.preferences import Preferences
 from repro.core.registry import available_algorithms
 from repro.core.request import OptimizationRequest
-from repro.core.service import OptimizerService
+from repro.core.service import BACKENDS, OptimizerService
 from repro.cost.objectives import Objective, parse_objective
 from repro.query.tpch_queries import tpch_query
 from repro.viz import frontier_scatter, frontier_table
@@ -70,6 +70,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--fast", action="store_true",
         help="use the reduced operator space (faster, smaller plan space)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="threads",
+        help="execution backend for batch work (default: threads; "
+             "'processes' runs warm spawn-safe worker processes)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for the chosen backend (default: auto)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="intra-query plan-space shards for exa/rta (default: off); "
+             "the sharded frontier is identical to the unsharded one",
+    )
+    parser.add_argument(
+        "--sweep-alpha", metavar="A1,A2,...", default=None,
+        help="optimize the query at several precisions as one batch "
+             "through the chosen backend; prints one summary per alpha",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -122,7 +141,10 @@ def main(argv: list[str] | None = None) -> int:
         config = config.with_timeout(args.timeout)
     except Exception as error:  # e.g. negative --timeout
         raise SystemExit(str(error))
-    service = OptimizerService(tpch_schema(args.scale_factor), config=config)
+    service = OptimizerService(
+        tpch_schema(args.scale_factor), config=config,
+        backend=args.backend, workers=args.workers,
+    )
     try:
         request = OptimizationRequest(
             query=query,
@@ -134,7 +156,35 @@ def main(argv: list[str] | None = None) -> int:
         )
     except Exception as error:  # invalid request -> CLI error, no traceback
         raise SystemExit(str(error))
-    result = service.submit(request)
+    if args.sweep_alpha and args.shards:
+        raise SystemExit("--sweep-alpha and --shards are mutually exclusive")
+    try:
+        if args.sweep_alpha:
+            try:
+                alphas = tuple(
+                    float(part)
+                    for part in args.sweep_alpha.split(",")
+                    if part.strip()
+                )
+                if not alphas:
+                    raise ValueError("no values")
+                batch = [request.replace(alpha=a) for a in alphas]
+            except ValueError as error:
+                raise SystemExit(f"bad --sweep-alpha: {error}")
+            results = service.optimize_many(batch)
+            print(f"alpha sweep over {alphas} ({args.backend} backend):")
+            for alpha, sweep_result in zip(alphas, results):
+                print(f"  alpha={alpha:<6} {sweep_result.summary()}")
+            print()
+            result = results[-1]
+        elif args.shards:
+            result = service.submit_sharded(request, num_shards=args.shards)
+        else:
+            result = service.submit(request)
+    except Exception as error:
+        raise SystemExit(str(error))
+    finally:
+        service.close()
 
     print(result.summary())
     print()

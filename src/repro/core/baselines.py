@@ -29,7 +29,7 @@ from __future__ import annotations
 import time as _time
 
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
-from repro.core.dp import DPRun, strip_entries
+from repro.core.dp import DPRun, deadline_exceeded, strip_entries
 from repro.core.instrumentation import Counters
 from repro.core.preferences import Preferences
 from repro.core.pruning import PlanSet, SingleBestPlanSet
@@ -95,6 +95,7 @@ def weighted_sum_baseline(
         plans_considered=counters.plans_considered,
         timed_out=counters.timed_out,
         alpha=None,
+        deadline_hit=counters.timed_out or deadline_exceeded(deadline),
     )
 
 
@@ -202,6 +203,7 @@ def idp_moqo(
         timed_out=counters_total.timed_out,
         iterations=rounds,
         alpha=None,
+        deadline_hit=counters_total.timed_out or deadline_exceeded(deadline),
     )
 
 

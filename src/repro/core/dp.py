@@ -59,6 +59,16 @@ def strip_entries(entries, width: int):
     return [(cost[:width], plan) for cost, plan in entries]
 
 
+def deadline_exceeded(deadline: float | None) -> bool:
+    """Whether an absolute ``perf_counter`` deadline has already passed.
+
+    Algorithms call this once at the end of a run to report
+    ``deadline_hit`` even when the enumeration's coarse periodic check
+    (every ``timeout_check_interval`` candidates) never fired.
+    """
+    return deadline is not None and _time.perf_counter() > deadline
+
+
 class DPRun:
     """One bottom-up enumeration over a single query block."""
 
@@ -157,9 +167,24 @@ class DPRun:
 
     def _build_composite(self, mask: int, sets: dict[int, PlanSet]) -> PlanSet:
         plan_set = self._new_set()
+        self._combine_splits(plan_set, self.graph.splits(mask), sets)
+        return plan_set
+
+    def _combine_splits(
+        self,
+        plan_set: PlanSet,
+        splits,
+        sets: dict[int, PlanSet],
+    ) -> None:
+        """Prune ``plan_set`` with every join built from ``splits``.
+
+        Factored out of :meth:`_build_composite` so plan-space sharding
+        (:mod:`repro.parallel.sharding`) can drive the same combination
+        logic over a sub-range of a table set's splits.
+        """
         graph = self.graph
         left_deep = self.config.plan_shape is PlanShape.LEFT_DEEP
-        for left_mask, right_mask in graph.splits(mask):
+        for left_mask, right_mask in splits:
             left_set = sets.get(left_mask)
             right_set = sets.get(right_mask)
             if left_set is None or right_set is None or not left_set or not right_set:
@@ -182,7 +207,6 @@ class DPRun:
             if not left_deep or left_mask.bit_count() == 1:
                 self._combine_pair(plan_set, right_set, left_mask,
                                    left_set, predicates, selectivity)
-        return plan_set
 
     def _combine_pair(
         self,

@@ -17,7 +17,7 @@ from __future__ import annotations
 import time as _time
 
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
-from repro.core.dp import DPRun, strict_closure, strip_entries
+from repro.core.dp import DPRun, deadline_exceeded, strict_closure, strip_entries
 from repro.core.instrumentation import Counters
 from repro.core.preferences import Preferences
 from repro.core.result import OptimizationResult
@@ -81,4 +81,5 @@ def exact_moqo(
         plans_considered=counters.plans_considered,
         timed_out=counters.timed_out,
         alpha=1.0,
+        deadline_hit=counters.timed_out or deadline_exceeded(deadline),
     )

@@ -92,7 +92,15 @@ class Counters:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RequestMetrics:
-    """Immutable per-request record handed to service metrics hooks."""
+    """Immutable per-request record handed to service metrics hooks.
+
+    ``worker`` identifies the process that executed the request: ``""``
+    for the in-process path, the worker process name (e.g.
+    ``SpawnProcess-2``) when the request ran on the parallel backend.
+    ``rerouted`` marks requests the deadline scheduler redirected to
+    the anytime algorithm; their results must not be cached under the
+    original request's fingerprint.
+    """
 
     fingerprint: str
     query_name: str
@@ -101,6 +109,9 @@ class RequestMetrics:
     cache_hit: bool
     elapsed_ms: float
     timed_out: bool
+    deadline_hit: bool = False
+    worker: str = ""
+    rerouted: bool = False
 
 
 @dataclass
@@ -116,8 +127,10 @@ class ServiceMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     timeouts: int = 0
+    deadline_hits: int = 0
     total_optimization_ms: float = 0.0
     by_algorithm: dict[str, int] = field(default_factory=dict)
+    by_worker: dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -136,6 +149,12 @@ class ServiceMetrics:
                 )
             if metrics.timed_out:
                 self.timeouts += 1
+            if metrics.deadline_hit:
+                self.deadline_hits += 1
+            if metrics.worker:
+                self.by_worker[metrics.worker] = (
+                    self.by_worker.get(metrics.worker, 0) + 1
+                )
 
     @property
     def hit_rate(self) -> float:
@@ -150,7 +169,9 @@ class ServiceMetrics:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "timeouts": self.timeouts,
+                "deadline_hits": self.deadline_hits,
                 "total_optimization_ms": self.total_optimization_ms,
                 "by_algorithm": dict(self.by_algorithm),
+                "by_worker": dict(self.by_worker),
                 "hit_rate": self.hit_rate,
             }

@@ -20,7 +20,7 @@ import time as _time
 from typing import Callable
 
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
-from repro.core.dp import DPRun, strict_closure, strip_entries
+from repro.core.dp import DPRun, deadline_exceeded, strict_closure, strip_entries
 from repro.core.instrumentation import Counters
 from repro.core.preferences import Preferences
 from repro.core.result import OptimizationResult
@@ -165,6 +165,7 @@ def ira(
         timed_out=timed_out,
         iterations=iteration,
         alpha=alpha_u,
+        deadline_hit=timed_out or deadline_exceeded(deadline),
     )
 
 

@@ -179,6 +179,7 @@ class MultiObjectiveOptimizer:
             iterations=max(r.iterations for r in block_results),
             alpha=main.alpha,
             block_results=block_results,
+            deadline_hit=any(r.deadline_hit for r in block_results),
         )
 
 

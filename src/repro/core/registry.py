@@ -13,6 +13,15 @@ All runners share one uniform signature::
     runner(block, cost_model, preferences, *,
            alpha, config, deadline, strict) -> OptimizationResult
 
+``deadline`` is an absolute ``time.perf_counter`` instant (or ``None``)
+shared across the blocks of one request so multi-block queries consume
+a single budget. Every runner is expected to honor it *and* to report
+it honestly: the returned result must set ``deadline_hit`` whenever the
+deadline had passed by the end of the run — even if the enumeration's
+coarse-grained periodic check never tripped into fallback mode (see
+:func:`repro.core.dp.deadline_exceeded`). All six built-in algorithms
+do; the deadline-aware scheduler and the service's metrics rely on it.
+
 The built-in algorithms — the paper's EXA/RTA/IRA, the single-objective
 Selinger baseline and the guarantee-free ``wsum``/``idp`` baselines —
 are registered at the bottom of this module; external code can register

@@ -19,6 +19,15 @@ class OptimizationResult:
     — the by-product all of the paper's algorithms expose for tradeoff
     visualization (Figure 4).
 
+    ``timed_out`` and ``deadline_hit`` are related but distinct:
+    ``timed_out`` means the enumeration's periodic check tripped and the
+    run switched to the paper's single-plan fallback mode, while
+    ``deadline_hit`` means the deadline had passed by the time the run
+    finished — even when the coarse-grained check never fired (small
+    queries finish a full level between checks). Deadline enforcement
+    (e.g. the parallel backend's scheduler) keys on ``deadline_hit`` so
+    a late answer is never reported as an on-time one.
+
     Results are immutable: the optimizer service caches and shares them
     across requests (and threads), so derived variants are produced
     with :func:`dataclasses.replace` rather than in-place edits.
@@ -38,6 +47,7 @@ class OptimizationResult:
     iterations: int = 1
     alpha: float | None = None
     block_results: tuple["OptimizationResult", ...] = field(default=())
+    deadline_hit: bool = False
 
     @property
     def weighted_cost(self) -> float:
@@ -72,7 +82,12 @@ class OptimizationResult:
 
     def summary(self) -> str:
         """One-line human-readable run summary."""
-        status = "TIMEOUT" if self.timed_out else "ok"
+        if self.timed_out:
+            status = "TIMEOUT"
+        elif self.deadline_hit:
+            status = "DEADLINE"
+        else:
+            status = "ok"
         return (
             f"{self.algorithm} on {self.query_name}: "
             f"weighted={self.weighted_cost:.4g} "

@@ -17,7 +17,13 @@ from __future__ import annotations
 import time as _time
 
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
-from repro.core.dp import DPRun, PlanSetFactory, strict_closure, strip_entries
+from repro.core.dp import (
+    DPRun,
+    PlanSetFactory,
+    deadline_exceeded,
+    strict_closure,
+    strip_entries,
+)
 from repro.core.instrumentation import Counters
 from repro.core.preferences import Preferences
 from repro.core.result import OptimizationResult
@@ -106,4 +112,5 @@ def rta(
         plans_considered=counters.plans_considered,
         timed_out=counters.timed_out,
         alpha=alpha_u,
+        deadline_hit=counters.timed_out or deadline_exceeded(deadline),
     )

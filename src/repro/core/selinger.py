@@ -22,7 +22,7 @@ from __future__ import annotations
 import time as _time
 
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
-from repro.core.dp import DPRun
+from repro.core.dp import DPRun, deadline_exceeded
 from repro.core.instrumentation import Counters
 from repro.core.preferences import Preferences
 from repro.core.result import OptimizationResult
@@ -95,6 +95,7 @@ def selinger(
         plans_considered=counters.plans_considered,
         timed_out=counters.timed_out,
         alpha=1.0,
+        deadline_hit=counters.timed_out or deadline_exceeded(deadline),
     )
 
 

@@ -1,4 +1,4 @@
-"""Batch optimizer service: plan cache, thread-pool fan-out, metrics.
+"""Batch optimizer service: plan cache, pluggable backends, metrics.
 
 The paper motivates many-objective query optimization with server
 scenarios — a multi-tenant server rationing resources across concurrent
@@ -11,23 +11,39 @@ end for that setting:
   (query structure, canonicalized preferences, algorithm, precision,
   effective configuration — never tags);
 * :meth:`OptimizerService.optimize_many` fans a batch of requests out
-  over a thread pool, preserving input order in the returned results;
+  over a pluggable backend, preserving input order in the returned
+  results:
+
+  - ``"inline"`` — sequential execution in the calling thread;
+  - ``"threads"`` — a thread pool; cheap, but the GIL serializes the
+    CPU-bound optimization work, so it only overlaps bookkeeping;
+  - ``"processes"`` — a warm :class:`~repro.parallel.pool.WorkerPool`
+    of spawn-safe worker processes, each with its own registry, cost
+    model and plan cache (see :mod:`repro.parallel`);
+
 * per-request metrics hooks receive one
   :class:`~repro.core.instrumentation.RequestMetrics` record per
-  completed request, and aggregate counters (cache hits/misses,
-  per-algorithm request counts) accumulate in a
-  :class:`~repro.core.instrumentation.ServiceMetrics`.
+  completed request — from worker processes the records ship back
+  pickled — and aggregate counters accumulate in a
+  :class:`~repro.core.instrumentation.ServiceMetrics`;
+* an optional :class:`~repro.parallel.deadline.DeadlineScheduler`
+  enforces per-request deadlines end to end: the clock starts at batch
+  admission (queueing counts), near-deadline requests reroute to the
+  anytime IRA, and misses surface as ``deadline_hit`` on the result.
 
-Timed-out results are never cached: a rerun with more budget (or on a
-faster machine) could do better, so serving them from cache would pin
-the degraded plan.
+Timed-out and deadline-missed results are never cached: a rerun with
+more budget (or on a faster machine) could do better, so serving them
+from cache would pin the degraded plan.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 from typing import Callable, Iterable, Sequence
 
 from repro.catalog.schema import Schema
@@ -37,9 +53,13 @@ from repro.core.optimizer import MultiObjectiveOptimizer
 from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
 from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
+from repro.exceptions import OptimizerError
 
 #: Callable invoked with one record per completed request.
 MetricsHook = Callable[[RequestMetrics], None]
+
+#: Execution backends optimize_many() can fan a batch out over.
+BACKENDS = ("inline", "threads", "processes")
 
 
 class PlanCache:
@@ -85,8 +105,13 @@ class OptimizerService:
     """Request/response front end over :class:`MultiObjectiveOptimizer`.
 
     One service owns one schema (catalog + statistics), one default
-    configuration, one plan cache and one metrics aggregate; per-request
+    configuration, one plan cache, one metrics aggregate and (lazily,
+    for the process backend) one warm worker pool; per-request
     deviations travel inside the request (config override, deadline).
+
+    Services with a process backend hold OS resources — use the service
+    as a context manager or call :meth:`close` when done; the inline and
+    thread backends need no cleanup.
     """
 
     def __init__(
@@ -98,11 +123,24 @@ class OptimizerService:
         cache_size: int = 256,
         metrics: ServiceMetrics | None = None,
         hooks: Iterable[MetricsHook] = (),
+        backend: str = "threads",
+        workers: int | None = None,
+        scheduler=None,
     ) -> None:
+        if backend not in BACKENDS:
+            raise OptimizerError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self._optimizer = MultiObjectiveOptimizer(schema, config, params)
+        self._params = params
         self.cache = PlanCache(cache_size)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._hooks: list[MetricsHook] = list(hooks)
+        self.backend = backend
+        self.workers = workers
+        self.scheduler = scheduler
+        self._pool = None
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -122,16 +160,160 @@ class OptimizerService:
         """Register a per-request metrics hook."""
         self._hooks.append(hook)
 
+    def remove_hook(self, hook: MetricsHook) -> None:
+        """Unregister a previously added metrics hook."""
+        self._hooks.remove(hook)
+
     # ------------------------------------------------------------------
-    def submit(self, request: OptimizationRequest) -> OptimizationResult:
-        """Execute one request, serving identical repeats from the cache."""
+    # Lifecycle (process backend owns worker processes)
+    # ------------------------------------------------------------------
+    def worker_pool(self):
+        """The warm worker pool, created on first use."""
+        from repro.parallel.pool import WorkerPool
+
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    self.schema,
+                    self.config,
+                    self._params,
+                    workers=self.workers,
+                    cache_size=self.cache.max_size,
+                    scheduler=self.scheduler,
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started (idempotent)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+    def __enter__(self) -> "OptimizerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: OptimizationRequest,
+        *,
+        admitted_epoch: float | None = None,
+        deadline_epoch: float | None = None,
+    ) -> OptimizationResult:
+        """Execute one request, serving identical repeats from the cache.
+
+        ``admitted_epoch`` (wall clock) is when the request entered the
+        system; under a deadline scheduler the remaining budget is
+        measured from it, so queueing time between admission and this
+        call counts against the request's deadline. ``deadline_epoch``
+        passes an already-admitted absolute deadline instead (the
+        worker-process path, where admission happened in the parent).
+
+        Cache semantics under a scheduler: lookups always key on the
+        *original* request's fingerprint, so repeats are served
+        instantly regardless of their remaining budget. A freshly
+        computed result is cached only if the run completed (neither
+        ``timed_out`` nor ``deadline_hit`` — a completed run under a
+        shortened timeout is identical to a full-budget run) and the
+        scheduler did not reroute it to another algorithm (a rerouted
+        result would poison the original algorithm's cache key).
+        """
         key = request.fingerprint(self.config)
         cached = self.cache.get(key)
         if cached is not None:
             self._report(request, key, cached, cache_hit=True)
             return cached
-        result = self._optimizer.execute(request)
-        if not result.timed_out:
+        executed = request
+        rerouted = False
+        if self.scheduler is not None:
+            default_timeout = self.config.timeout_seconds
+            if deadline_epoch is None:
+                if admitted_epoch is None:
+                    admitted_epoch = time.time()
+                deadline_epoch = self.scheduler.admit(
+                    request, admitted_epoch, default_timeout
+                )
+            if deadline_epoch is not None:
+                scheduled = self.scheduler.resolve(
+                    request, deadline_epoch, time.time(), default_timeout
+                )
+                executed = scheduled.request
+                rerouted = scheduled.rerouted
+        result = self._optimizer.execute(executed)
+        if not result.timed_out and not result.deadline_hit and not rerouted:
+            self.cache.put(key, result)
+        self._report(
+            executed, key, result, cache_hit=False, rerouted=rerouted
+        )
+        return result
+
+    def submit_sharded(
+        self,
+        request: OptimizationRequest,
+        num_shards: int | None = None,
+    ) -> OptimizationResult:
+        """Execute one EXA/RTA request with intra-query sharding.
+
+        The request's top-level split space is partitioned into
+        ``num_shards`` shard tasks (default: the worker count) and the
+        shard frontiers are merged deterministically — the result is
+        bit-for-bit what :meth:`submit` would produce. Shards run on the
+        worker pool under the process backend and in-process otherwise.
+        Only single-block queries and the single-pass algorithms
+        (``exa``/``rta``) are shardable; others raise
+        :class:`~repro.exceptions.OptimizerError`.
+        """
+        from repro.parallel.pool import default_worker_count
+        from repro.parallel.sharding import (
+            SHARDABLE_ALGORITHMS,
+            sharded_moqo,
+        )
+
+        if request.algorithm not in SHARDABLE_ALGORITHMS:
+            raise OptimizerError(
+                f"intra-query sharding supports {SHARDABLE_ALGORITHMS}, "
+                f"got {request.algorithm!r}"
+            )
+        if request.query.has_subqueries:
+            raise OptimizerError(
+                "intra-query sharding supports single-block queries; "
+                "optimize multi-block queries per request instead"
+            )
+        key = request.fingerprint(self.config)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._report(request, key, cached, cache_hit=True)
+            return cached
+        if num_shards is None:
+            num_shards = (
+                self.workers
+                if self.workers is not None
+                else default_worker_count()
+            )
+        config = request.effective_config(self.config)
+        run_tasks = (
+            self.worker_pool().execute_shards
+            if self.backend == "processes"
+            else None
+        )
+        result = sharded_moqo(
+            request.query.main_block,
+            self._optimizer.cost_model,
+            request.preferences,
+            request.alpha,
+            config,
+            algorithm=request.algorithm,
+            num_shards=num_shards,
+            strict=request.strict,
+            budget_seconds=config.timeout_seconds,
+            run_tasks=run_tasks,
+        )
+        result = dataclasses.replace(result, query_name=request.query.name)
+        if not result.timed_out and not result.deadline_hit:
             self.cache.put(key, result)
         self._report(request, key, result, cache_hit=False)
         return result
@@ -140,25 +322,105 @@ class OptimizerService:
         self,
         requests: Sequence[OptimizationRequest],
         max_workers: int | None = None,
+        *,
+        backend: str | None = None,
+        shard_by_fingerprint: bool | None = None,
     ) -> list[OptimizationResult]:
         """Execute a batch of requests; results keep the input order.
 
-        ``max_workers`` caps the thread-pool fan-out; the default scales
-        with the batch (at most 8 threads). ``max_workers=1`` degrades
-        to sequential execution in the calling thread, which is also the
-        fallback for empty batches.
+        ``backend`` overrides the service default for this batch.
+        ``max_workers`` caps the thread-pool fan-out (thread backend
+        only; the process pool's size is fixed when it starts). For the
+        thread backend the default scales with the batch (at most 8
+        threads) and ``max_workers=1`` degrades to sequential execution.
+        ``shard_by_fingerprint`` (process backend) routes fingerprint-
+        equal requests to the same worker so repeats hit that worker's
+        plan cache; the default (``None``) enables it exactly when the
+        batch contains repeats.
         """
         requests = list(requests)
         if not requests:
             return []
+        backend = backend if backend is not None else self.backend
+        if backend not in BACKENDS:
+            raise OptimizerError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        admitted_epoch = time.time()
+        if backend == "processes":
+            return self._optimize_many_processes(
+                requests, admitted_epoch, shard_by_fingerprint
+            )
+        submit = partial(self.submit, admitted_epoch=admitted_epoch)
         if max_workers is None:
             max_workers = min(8, len(requests))
-        if max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        if max_workers == 1 or len(requests) == 1:
-            return [self.submit(request) for request in requests]
+        if backend == "inline" or max_workers == 1 or len(requests) == 1:
+            return [submit(request) for request in requests]
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(self.submit, requests))
+            return list(pool.map(submit, requests))
+
+    # ------------------------------------------------------------------
+    def _optimize_many_processes(
+        self,
+        requests: list[OptimizationRequest],
+        admitted_epoch: float,
+        shard_by_fingerprint: bool | None,
+    ) -> list[OptimizationResult]:
+        """Fan a batch out over the worker pool.
+
+        The parent cache is consulted first (known answers never travel
+        to a worker); worker results flow back into the parent cache so
+        later batches and ``submit`` calls see them.
+        """
+        keys = [request.fingerprint(self.config) for request in requests]
+        if self.scheduler is not None:
+            epochs = [
+                self.scheduler.admit(
+                    request, admitted_epoch, self.config.timeout_seconds
+                )
+                for request in requests
+            ]
+        else:
+            epochs = [None] * len(requests)
+        results: list[OptimizationResult | None] = [None] * len(requests)
+        shipped: list[int] = []
+        for position, request in enumerate(requests):
+            cached = self.cache.get(keys[position])
+            if cached is not None:
+                results[position] = cached
+                self._report(
+                    request, keys[position], cached, cache_hit=True
+                )
+            else:
+                shipped.append(position)
+        if shipped:
+            if shard_by_fingerprint is None:
+                shipped_keys = [keys[position] for position in shipped]
+                shard_by_fingerprint = (
+                    len(set(shipped_keys)) < len(shipped_keys)
+                )
+            outputs = self.worker_pool().execute_many(
+                [requests[position] for position in shipped],
+                [epochs[position] for position in shipped],
+                shard_by_fingerprint=shard_by_fingerprint,
+                default_config=self.config,
+            )
+            for position, (result, record) in zip(shipped, outputs):
+                results[position] = result
+                # Same cache rule as submit(): completed runs only, and
+                # never a result the worker's scheduler rerouted away
+                # from what the fingerprint promises (the worker ships
+                # the reroute decision back on the record).
+                if (
+                    not result.timed_out
+                    and not result.deadline_hit
+                    and not record.rerouted
+                ):
+                    self.cache.put(keys[position], result)
+                self._dispatch(record)
+        return results
 
     # ------------------------------------------------------------------
     def _report(
@@ -168,6 +430,7 @@ class OptimizerService:
         result: OptimizationResult,
         *,
         cache_hit: bool,
+        rerouted: bool = False,
     ) -> None:
         record = RequestMetrics(
             fingerprint=fingerprint,
@@ -177,7 +440,13 @@ class OptimizerService:
             cache_hit=cache_hit,
             elapsed_ms=0.0 if cache_hit else result.optimization_time_ms,
             timed_out=result.timed_out,
+            deadline_hit=result.deadline_hit,
+            rerouted=rerouted,
         )
+        self._dispatch(record)
+
+    def _dispatch(self, record: RequestMetrics) -> None:
+        """Fold one record (local or shipped from a worker) in."""
         self.metrics.record(record)
         for hook in self._hooks:
             hook(record)

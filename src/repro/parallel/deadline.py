@@ -1,0 +1,185 @@
+"""Deadline-aware scheduling for optimization requests.
+
+A request's ``timeout_seconds`` is a *total* latency budget: under the
+:class:`DeadlineScheduler` the clock starts when the request is admitted
+to a batch, not when a worker finally picks it up, so time spent queueing
+behind other requests counts against the deadline. At execution time the
+scheduler resolves what is left of the budget and adapts:
+
+* plenty of budget left — run the request as submitted, with the
+  remaining time as the effective timeout;
+* running low (less than ``route_fraction`` of the budget remains) —
+  route to the anytime-capable IRA path, whose iterative refinement
+  yields a usable plan after every iteration instead of betting the
+  whole remaining budget on one deep enumeration;
+* budget exhausted before execution even starts — run with an
+  already-expired deadline, which makes the enumerator produce the
+  paper's single-plan fallback almost immediately. The result carries
+  ``deadline_hit=True`` so callers see the miss instead of mistaking a
+  greedy fallback plan for an on-time answer.
+
+Deadlines are exchanged between processes as wall-clock epochs
+(``time.time()``): ``perf_counter`` epochs are not guaranteed to be
+comparable across processes, wall clocks on one machine are.
+
+The scheduler is an immutable policy object — picklable, so the parent
+process can ship it to pool workers, which apply it at dequeue time
+(that is what makes queueing time count end-to-end).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.registry import get_algorithm
+from repro.core.request import OptimizationRequest
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """Outcome of resolving one request against its deadline.
+
+    ``request`` is what should actually execute (possibly rerouted, with
+    the timeout rewritten to the remaining budget); ``expired`` flags
+    requests whose budget ran out while queueing; ``rerouted`` flags the
+    anytime reroute; ``deadline_epoch`` is the absolute wall-clock
+    deadline (``None`` when the request carries no budget).
+    """
+
+    request: OptimizationRequest
+    deadline_epoch: float | None
+    expired: bool = False
+    rerouted: bool = False
+
+
+@dataclass(frozen=True)
+class DeadlineScheduler:
+    """Policy turning per-request budgets into end-to-end deadlines.
+
+    ``route_fraction`` is the near-deadline threshold: once less than
+    that fraction of the original budget remains at execution start, the
+    request is rerouted to ``anytime_algorithm`` (default IRA — the only
+    scheme of the paper that produces a valid, bound-aware plan after
+    every refinement iteration). ``min_slice_seconds`` is the smallest
+    slice worth starting a real enumeration for; below it the run starts
+    with an expired deadline and degrades to the single-plan fallback.
+    """
+
+    route_fraction: float = 0.25
+    anytime_algorithm: str = "ira"
+    anytime_alpha: float = 1.5
+    min_slice_seconds: float = 0.005
+    #: Effective timeout handed to already-expired runs; must be > 0 to
+    #: satisfy request validation, small enough to trip immediately.
+    expired_slice_seconds: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.route_fraction <= 1.0:
+            raise ValueError(
+                f"route_fraction must be in [0, 1], got {self.route_fraction}"
+            )
+        if self.anytime_alpha < 1.0:
+            raise ValueError(
+                f"anytime_alpha must be >= 1, got {self.anytime_alpha}"
+            )
+        get_algorithm(self.anytime_algorithm)  # raises on unknown names
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        request: OptimizationRequest,
+        now: float | None = None,
+        default_timeout: float | None = None,
+    ) -> float | None:
+        """Absolute wall-clock deadline for a request admitted ``now``.
+
+        ``default_timeout`` is the executing service's config-level
+        timeout — the budget for requests that carry none of their own.
+        Returns ``None`` only when no budget exists at any level.
+        """
+        budget = self._budget(request, default_timeout)
+        if budget is None:
+            return None
+        if now is None:
+            now = time.time()
+        return now + budget
+
+    def resolve(
+        self,
+        request: OptimizationRequest,
+        deadline_epoch: float | None,
+        now: float | None = None,
+        default_timeout: float | None = None,
+    ) -> ScheduledRequest:
+        """Adapt ``request`` to the budget remaining at execution start."""
+        budget = self._budget(request, default_timeout)
+        if budget is None or deadline_epoch is None:
+            return ScheduledRequest(request=request, deadline_epoch=None)
+        if now is None:
+            now = time.time()
+        remaining = deadline_epoch - now
+        if remaining <= self.min_slice_seconds:
+            expired = request.replace(
+                timeout_seconds=self.expired_slice_seconds
+            )
+            return ScheduledRequest(
+                request=expired, deadline_epoch=deadline_epoch, expired=True
+            )
+        if (
+            remaining < self.route_fraction * budget
+            and request.algorithm != self.anytime_algorithm
+        ):
+            rerouted = self._reroute(request, remaining)
+            if rerouted is not None:
+                return ScheduledRequest(
+                    request=rerouted,
+                    deadline_epoch=deadline_epoch,
+                    rerouted=True,
+                )
+        return ScheduledRequest(
+            request=request.replace(timeout_seconds=remaining),
+            deadline_epoch=deadline_epoch,
+        )
+
+    # ------------------------------------------------------------------
+    def _budget(
+        self,
+        request: OptimizationRequest,
+        default_timeout: float | None = None,
+    ) -> float | None:
+        """Total latency budget of a request.
+
+        Resolution order mirrors ``effective_config``: the per-request
+        timeout wins, then a request-level config's timeout, then the
+        executing service's default config timeout.
+        """
+        if request.timeout_seconds is not None:
+            return request.timeout_seconds
+        if request.config is not None:
+            return request.config.timeout_seconds
+        return default_timeout
+
+    def _reroute(
+        self, request: OptimizationRequest, remaining: float
+    ) -> OptimizationRequest | None:
+        """Near-deadline reroute onto the anytime algorithm.
+
+        Keeps the caller's precision when the original algorithm used
+        one; otherwise falls back to ``anytime_alpha`` (the original
+        alpha may be meaningless — EXA requests carry the field unused).
+        Returns ``None`` when the rerouted request does not validate
+        (e.g. a custom algorithm's preferences are outside what the
+        anytime scheme accepts) — better the original near-deadline run
+        than a refused request.
+        """
+        spec = get_algorithm(request.algorithm)
+        alpha = request.alpha if spec.uses_alpha else self.anytime_alpha
+        try:
+            return request.replace(
+                algorithm=self.anytime_algorithm,
+                alpha=alpha,
+                timeout_seconds=remaining,
+            )
+        except Exception:
+            return None

@@ -1,0 +1,177 @@
+"""Process-pool backend: warm worker processes executing requests.
+
+The GIL serializes the thread-pool backend — the paper's approximation
+schemes are CPU-bound Python dynamic programs, so threads only overlap
+their bookkeeping, never their real work. :class:`WorkerPool` runs
+requests in separate processes instead: each worker is a fresh
+interpreter (spawn start method — safe regardless of parent threads,
+and identical behavior on every platform) initialized once with the
+service's schema/config/params, after which it stays warm and reuses
+its algorithm registry, cost model and plan cache across requests.
+
+Results and per-request :class:`RequestMetrics` ship back pickled; the
+owning :class:`~repro.core.service.OptimizerService` merges the records
+into its :class:`ServiceMetrics`, so observability is identical across
+backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.catalog.schema import Schema
+from repro.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.core.instrumentation import RequestMetrics
+from repro.core.request import OptimizationRequest
+from repro.core.result import OptimizationResult
+from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
+from repro.parallel.sharding import ShardOutcome, ShardPlanner, ShardTask
+from repro.parallel.worker import (
+    WorkerSetup,
+    execute_request,
+    execute_request_group,
+    execute_shard_task,
+    initialize_worker,
+    ping,
+)
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        import os
+
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return multiprocessing.cpu_count()
+
+
+def default_worker_count() -> int:
+    """Default worker-process count: usable CPUs, capped at 8 (matching
+    the thread backend's cap)."""
+    return max(1, min(8, usable_cpu_count()))
+
+
+class WorkerPool:
+    """A warm pool of optimizer worker processes.
+
+    The pool is cheap to keep around and expensive to start (each spawn
+    imports the package and rebuilds the cost model), so services hold
+    one pool for their lifetime rather than one per batch. ``warm_up``
+    forces all workers to finish initializing — call it before timing
+    anything against the pool.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        config: OptimizerConfig = DEFAULT_CONFIG,
+        params: CostParams = DEFAULT_PARAMS,
+        *,
+        workers: int | None = None,
+        cache_size: int = 256,
+        scheduler=None,
+        extra_initializer=None,
+    ) -> None:
+        self.workers = workers if workers is not None else default_worker_count()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self._setup = WorkerSetup(
+            schema=schema,
+            config=config,
+            params=params,
+            cache_size=cache_size,
+            scheduler=scheduler,
+            extra_initializer=extra_initializer,
+        )
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=initialize_worker,
+            initargs=(self._setup,),
+        )
+
+    # ------------------------------------------------------------------
+    def warm_up(self, timeout: float = 60.0) -> list[str]:
+        """Block until *every* worker process is initialized.
+
+        The probes rendezvous at a barrier sized to the pool, so a fast
+        worker cannot answer its siblings' probes — all ``workers``
+        names come back distinct, each from a fully initialized worker.
+        A worker that fails to come up within ``timeout`` seconds
+        surfaces as a ``BrokenBarrierError`` instead of a silent hang.
+        """
+        with multiprocessing.Manager() as manager:
+            barrier = manager.Barrier(self.workers)
+            futures = [
+                self._executor.submit(ping, barrier, timeout)
+                for _ in range(self.workers)
+            ]
+            return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    def execute_many(
+        self,
+        requests: Sequence[OptimizationRequest],
+        deadline_epochs: Sequence[float | None] | None = None,
+        *,
+        shard_by_fingerprint: bool = False,
+        default_config: OptimizerConfig | None = None,
+    ) -> list[tuple[OptimizationResult, RequestMetrics]]:
+        """Execute a batch on the pool; results keep the input order.
+
+        ``shard_by_fingerprint=True`` routes the batch through
+        :meth:`ShardPlanner.partition_requests`: one task per shard,
+        each executing its requests sequentially on one worker, so
+        fingerprint-equal requests hit that worker's plan cache.
+        The default submits one task per request — best load balance
+        when the batch has no repeats.
+        """
+        requests = list(requests)
+        if deadline_epochs is None:
+            deadline_epochs = [None] * len(requests)
+        deadline_epochs = list(deadline_epochs)
+        if len(deadline_epochs) != len(requests):
+            raise ValueError("one deadline epoch per request is required")
+        if not requests:
+            return []
+        if shard_by_fingerprint:
+            planner = ShardPlanner(num_shards=self.workers)
+            groups = planner.partition_requests(requests, default_config)
+            futures = [
+                self._executor.submit(
+                    execute_request_group,
+                    tuple(requests[position] for position in group),
+                    tuple(deadline_epochs[position] for position in group),
+                )
+                for group in groups
+            ]
+            outputs: list = [None] * len(requests)
+            for group, future in zip(groups, futures):
+                for position, output in zip(group, future.result()):
+                    outputs[position] = output
+            return outputs
+        futures = [
+            self._executor.submit(execute_request, request, epoch)
+            for request, epoch in zip(requests, deadline_epochs)
+        ]
+        return [future.result() for future in futures]
+
+    def execute_shards(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
+        """Fan one query's shard tasks out over the workers."""
+        futures = [
+            self._executor.submit(execute_shard_task, task) for task in tasks
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Terminate the worker processes (idempotent)."""
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

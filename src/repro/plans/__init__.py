@@ -19,10 +19,20 @@ from repro.plans.plan import (
     plan_depth,
 )
 from repro.plans.plan_space import PlanSpace
-from repro.plans.serialize import plan_to_dict, result_to_dict, result_to_json
+from repro.plans.serialize import (
+    plan_from_dict,
+    plan_to_dict,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
 
 __all__ = [
+    "plan_from_dict",
     "plan_to_dict",
+    "result_from_dict",
+    "result_from_json",
     "result_to_dict",
     "result_to_json",
     "DEFAULT_SAMPLING_RATES",

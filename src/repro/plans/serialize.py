@@ -1,8 +1,20 @@
-"""Plan and result serialization to JSON-compatible dictionaries.
+"""Plan and result serialization: JSON dictionaries and back.
 
 EXPLAIN-style structured output: plan trees and optimization results
 rendered as plain dictionaries for logging, diffing across optimizer
-versions, or feeding external visualization tools.
+versions, or feeding external visualization tools — plus the inverse
+direction (:func:`plan_from_dict`, :func:`result_from_dict`) so plans
+and results survive a round trip through JSON, e.g. when a result is
+produced in one process or machine and inspected in another.
+
+The round trip preserves everything cost comparisons and plan display
+need (operators, cardinalities, the full nine-dimensional cost vectors,
+run metrics). Two things are deliberately not reconstructed: per-probe
+index statistics (``ScanPlan.probe_info`` — derived data the cost model
+only reads while *building* plans) and the frontier's plan trees
+(``result_to_dict`` stores frontier cost vectors only; rebuilding gives
+``(cost, None)`` entries). For full-fidelity transport inside one
+Python ecosystem use ``pickle`` — all plan/result types support it.
 """
 
 from __future__ import annotations
@@ -10,8 +22,9 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Any
 
-from repro.cost.objectives import ALL_OBJECTIVES
+from repro.cost.objectives import ALL_OBJECTIVES, parse_objective
 from repro.exceptions import ReproError
+from repro.plans.operators import JoinMethod, JoinSpec, ScanMethod, ScanSpec
 from repro.plans.plan import JoinPlan, Plan, ScanPlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (the core
@@ -62,6 +75,53 @@ def plan_to_dict(plan: Plan) -> dict[str, Any]:
     )
 
 
+def plan_from_dict(node: dict[str, Any]) -> Plan:
+    """Rebuild a plan tree serialized by :func:`plan_to_dict`.
+
+    The accumulated tuple-loss fraction is recovered from the cost
+    vector (the enumerator stores it as the tuple-loss dimension);
+    ``probe_info`` is not reconstructed (see the module docstring).
+    """
+    try:
+        kind = node["node"]
+        cost = tuple(
+            float(node["cost"][objective.name.lower()])
+            for objective in ALL_OBJECTIVES
+        )
+        loss = cost[8]
+        if kind == "scan":
+            spec = ScanSpec(
+                method=ScanMethod(node["method"]),
+                sampling_rate=node.get("sampling_rate", 1.0),
+                index_name=node.get("index"),
+            )
+            return ScanPlan(
+                alias=node["alias"],
+                table_name=node["table"],
+                spec=spec,
+                rows=node["rows"],
+                width=node["width"],
+                cost=cost,
+                loss=loss,
+            )
+        if kind == "join":
+            spec = JoinSpec(
+                method=JoinMethod(node["method"]), dop=node["dop"]
+            )
+            return JoinPlan(
+                spec,
+                plan_from_dict(node["left"]),
+                plan_from_dict(node["right"]),
+                node["rows"],
+                node["width"],
+                cost,
+                loss,
+            )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ReproError(f"malformed plan dictionary: {error}") from error
+    raise ReproError(f"cannot deserialize plan node kind {kind!r}")
+
+
 def result_to_dict(result: "OptimizationResult") -> dict[str, Any]:
     """Serialize an optimization result (run metrics + chosen plan)."""
     preferences = result.preferences
@@ -81,6 +141,9 @@ def result_to_dict(result: "OptimizationResult") -> dict[str, Any]:
         ),
         "respects_bounds": result.respects_bounds,
         "plan": plan_to_dict(result.plan) if result.plan else None,
+        "plan_cost": (
+            None if result.plan_cost is None else list(result.plan_cost)
+        ),
         "frontier_size": len(result.frontier),
         "frontier": [list(cost) for cost in result.frontier_costs],
         "metrics": {
@@ -90,8 +153,67 @@ def result_to_dict(result: "OptimizationResult") -> dict[str, Any]:
             "plans_considered": result.plans_considered,
             "iterations": result.iterations,
             "timed_out": result.timed_out,
+            "deadline_hit": result.deadline_hit,
         },
     }
+
+
+def result_from_dict(payload: dict[str, Any]) -> "OptimizationResult":
+    """Rebuild a result serialized by :func:`result_to_dict`.
+
+    Frontier entries come back as ``(cost, None)`` — the serialized form
+    stores frontier *costs*, not the full plan trees (see the module
+    docstring). Everything else round-trips, including preferences and
+    run metrics.
+    """
+    from repro.core.preferences import Preferences
+    from repro.core.result import OptimizationResult
+
+    try:
+        preferences = Preferences(
+            objectives=tuple(
+                parse_objective(name) for name in payload["objectives"]
+            ),
+            weights=tuple(payload["weights"]),
+            bounds=tuple(
+                float("inf") if bound is None else bound
+                for bound in payload["bounds"]
+            ),
+        )
+        metrics = payload["metrics"]
+        return OptimizationResult(
+            algorithm=payload["algorithm"],
+            query_name=payload["query"],
+            preferences=preferences,
+            plan=(
+                plan_from_dict(payload["plan"])
+                if payload["plan"] is not None
+                else None
+            ),
+            plan_cost=(
+                tuple(payload["plan_cost"])
+                if payload.get("plan_cost") is not None
+                else None
+            ),
+            frontier=tuple(
+                (tuple(cost), None) for cost in payload["frontier"]
+            ),
+            optimization_time_ms=metrics["optimization_time_ms"],
+            memory_kb=metrics["memory_kb"],
+            pareto_last_complete=metrics["pareto_last_complete"],
+            plans_considered=metrics["plans_considered"],
+            timed_out=metrics["timed_out"],
+            iterations=metrics["iterations"],
+            alpha=payload["alpha"],
+            deadline_hit=metrics.get("deadline_hit", False),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ReproError(f"malformed result dictionary: {error}") from error
+
+
+def result_from_json(text: str) -> "OptimizationResult":
+    """Rebuild a result from :func:`result_to_json` output."""
+    return result_from_dict(json.loads(text))
 
 
 def result_to_json(result: "OptimizationResult", indent: int = 2) -> str:

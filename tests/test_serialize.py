@@ -6,7 +6,14 @@ import pytest
 
 from repro import Objective, Preferences, tpch_query
 from repro.exceptions import ReproError
-from repro.plans.serialize import plan_to_dict, result_to_dict, result_to_json
+from repro.plans.serialize import (
+    plan_from_dict,
+    plan_to_dict,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+)
 
 
 @pytest.fixture(scope="module")
@@ -73,3 +80,53 @@ class TestResultToDict:
         # Unbounded objectives serialize as null, keeping strict JSON.
         assert data["bounds"][0] is None
         json.dumps(data)  # must not raise
+
+
+class TestRoundTrip:
+    def test_plan_round_trips_through_json(self, result):
+        tree = json.loads(json.dumps(plan_to_dict(result.plan)))
+        rebuilt = plan_from_dict(tree)
+        assert rebuilt.cost == result.plan.cost
+        assert rebuilt.rows == result.plan.rows
+        assert rebuilt.width == result.plan.width
+        assert rebuilt.describe() == result.plan.describe()
+        assert rebuilt.operator_labels() == result.plan.operator_labels()
+        # The rebuilt tree serializes back to the same dictionary.
+        assert plan_to_dict(rebuilt) == tree
+
+    def test_result_round_trips_through_json(self, result):
+        rebuilt = result_from_json(result_to_json(result))
+        assert rebuilt.algorithm == result.algorithm
+        assert rebuilt.query_name == result.query_name
+        assert rebuilt.preferences == result.preferences
+        assert rebuilt.plan_cost == result.plan_cost
+        assert rebuilt.weighted_cost == pytest.approx(result.weighted_cost)
+        assert rebuilt.respects_bounds == result.respects_bounds
+        assert rebuilt.frontier_costs == result.frontier_costs
+        assert rebuilt.timed_out == result.timed_out
+        assert rebuilt.deadline_hit == result.deadline_hit
+        assert rebuilt.iterations == result.iterations
+        assert rebuilt.plan.describe() == result.plan.describe()
+
+    def test_frontier_plans_documented_as_costs_only(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert all(plan is None for _, plan in rebuilt.frontier)
+
+    def test_planless_result_round_trips(self, result):
+        import dataclasses
+
+        empty = dataclasses.replace(
+            result, plan=None, plan_cost=None, frontier=()
+        )
+        rebuilt = result_from_dict(result_to_dict(empty))
+        assert rebuilt.plan is None
+        assert rebuilt.plan_cost is None
+        assert rebuilt.frontier == ()
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(ReproError):
+            plan_from_dict({"node": "scan"})
+        with pytest.raises(ReproError):
+            plan_from_dict({"node": "teleport", "cost": {}})
+        with pytest.raises(ReproError):
+            result_from_dict({"algorithm": "rta"})
