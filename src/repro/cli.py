@@ -14,6 +14,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import cProfile
+import dataclasses
+import pstats
 import sys
 
 from repro.catalog.tpch import tpch_schema
@@ -95,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="strict pruning closure (guarantees for any objective subset)",
     )
     parser.add_argument(
+        "--no-vectorized", action="store_true",
+        help="disable the batched enumeration hot path (ablation/debug; "
+             "results are bit-for-bit identical either way)",
+    )
+    parser.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="run the request under cProfile and print the report "
+             "(or write the raw stats to PATH for snakeviz/pstats)",
+    )
+    parser.add_argument(
         "--frontier", action="store_true",
         help="print the full approximate Pareto frontier",
     )
@@ -139,6 +152,10 @@ def main(argv: list[str] | None = None) -> int:
     config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
     try:
         config = config.with_timeout(args.timeout)
+        if args.no_vectorized:
+            config = dataclasses.replace(
+                config, vectorized_enumeration=False
+            )
     except Exception as error:  # e.g. negative --timeout
         raise SystemExit(str(error))
     service = OptimizerService(
@@ -158,6 +175,9 @@ def main(argv: list[str] | None = None) -> int:
         raise SystemExit(str(error))
     if args.sweep_alpha and args.shards:
         raise SystemExit("--sweep-alpha and --shards are mutually exclusive")
+    profiler = cProfile.Profile() if args.profile is not None else None
+    if profiler is not None:
+        profiler.enable()
     try:
         if args.sweep_alpha:
             try:
@@ -184,7 +204,19 @@ def main(argv: list[str] | None = None) -> int:
     except Exception as error:
         raise SystemExit(str(error))
     finally:
+        if profiler is not None:
+            profiler.disable()
         service.close()
+
+    if profiler is not None:
+        if args.profile == "-":
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(30)
+        else:
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile} "
+                  f"(inspect with `python -m pstats` or snakeviz)")
+        print()
 
     print(result.summary())
     print()

@@ -14,8 +14,9 @@ for untreated table sets) is identical.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import OptimizerError
 from repro.plans.operators import DEFAULT_SAMPLING_RATES, MAX_DOP, JoinMethod
@@ -65,6 +66,13 @@ class OptimizerConfig:
     #: How many candidate plans to generate between timeout checks.
     timeout_check_interval: int = 256
 
+    #: Whether plan enumeration runs the batched (numpy) hot path. The
+    #: vectorized path produces bit-for-bit identical plan sets to the
+    #: scalar per-candidate loop (a property-tested contract, see
+    #: :mod:`repro.core.dp`); the flag exists for ablation and
+    #: debugging, not because the paths can disagree.
+    vectorized_enumeration: bool = True
+
     def __post_init__(self) -> None:
         if not self.dop_values:
             raise OptimizerError("dop_values must be non-empty")
@@ -93,8 +101,12 @@ class OptimizerConfig:
 
         Operator sets are order-normalized (sorted) so two configs that
         list the same join methods or DOPs in a different order
-        canonicalize identically. All fields participate — including
-        the timeout, since it changes which plans a run can produce.
+        canonicalize identically. All result-affecting fields
+        participate — including the timeout, since it changes which
+        plans a run can produce. ``vectorized_enumeration`` is
+        deliberately excluded: the batched and scalar paths are
+        bit-for-bit identical, so results cached under one are valid
+        for the other.
         """
         return (
             "cfg["
@@ -110,15 +122,7 @@ class OptimizerConfig:
 
     def with_timeout(self, timeout_seconds: float | None) -> "OptimizerConfig":
         """Copy of this configuration with a different timeout."""
-        return OptimizerConfig(
-            dop_values=self.dop_values,
-            sampling_rates=self.sampling_rates,
-            join_methods=self.join_methods,
-            enable_index_scans=self.enable_index_scans,
-            plan_shape=self.plan_shape,
-            timeout_seconds=timeout_seconds,
-            timeout_check_interval=self.timeout_check_interval,
-        )
+        return dataclasses.replace(self, timeout_seconds=timeout_seconds)
 
     def without_sampling(self) -> "OptimizerConfig":
         """Copy of this configuration with sampling scans disabled.
@@ -128,15 +132,7 @@ class OptimizerConfig:
         is what makes scalar pruning exact (the classic single-objective
         setting; the original Postgres optimizer has no sampling scan).
         """
-        return OptimizerConfig(
-            dop_values=self.dop_values,
-            sampling_rates=(),
-            join_methods=self.join_methods,
-            enable_index_scans=self.enable_index_scans,
-            plan_shape=self.plan_shape,
-            timeout_seconds=self.timeout_seconds,
-            timeout_check_interval=self.timeout_check_interval,
-        )
+        return dataclasses.replace(self, sampling_rates=())
 
 
 #: Full plan space (paper's setup), no timeout.

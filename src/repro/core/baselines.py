@@ -93,6 +93,7 @@ def weighted_sum_baseline(
         memory_kb=counters.memory_kb,
         pareto_last_complete=counters.pareto_last_complete,
         plans_considered=counters.plans_considered,
+        candidates_vectorized=counters.candidates_vectorized,
         timed_out=counters.timed_out,
         alpha=None,
         deadline_hit=counters.timed_out or deadline_exceeded(deadline),
@@ -200,6 +201,7 @@ def idp_moqo(
         memory_kb=counters_total.memory_kb,
         pareto_last_complete=counters_total.pareto_last_complete,
         plans_considered=counters_total.plans_considered,
+        candidates_vectorized=counters_total.candidates_vectorized,
         timed_out=counters_total.timed_out,
         iterations=rounds,
         alpha=None,

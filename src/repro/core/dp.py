@@ -13,6 +13,24 @@ passes, the run "finishes quickly by only generating one plan for all
 table sets that have not been treated so far" — remaining sets keep only
 the best weighted plan, built from the best weighted representative of
 each operand set.
+
+Vectorized enumeration (the default,
+``OptimizerConfig.vectorized_enumeration``): instead of costing one
+``(join spec, outer plan, inner plan)`` candidate at a time, the hot
+loop computes whole ``outer x inner`` cost blocks per spec through the
+batched kernels of :meth:`repro.cost.model.CostModel.join_cost_block`,
+masks them down via :meth:`repro.core.pruning.PlanSet.block_accept`,
+and only materializes :class:`~repro.plans.plan.JoinPlan` objects for
+surviving rows (survivors carry flat ``(outer_idx, inner_idx)``
+backpointers, so materialization is a cheap gather).
+**Determinism contract:** the batch path visits candidates in exactly
+the scalar loop's order (spec-major, then outer, then inner) and the
+kernels mirror the scalar formulas operation for operation, so the
+resulting plan sets — entry order included — are bit-for-bit identical
+to the scalar path's, which is what keeps the prefix-replay shard
+equality guarantees of :mod:`repro.parallel.sharding` intact. The
+property tests in ``tests/test_vectorized_equivalence.py`` enforce the
+contract.
 """
 
 from __future__ import annotations
@@ -20,10 +38,11 @@ from __future__ import annotations
 import time as _time
 from typing import Callable
 
+import numpy as np
+
 from repro.config import OptimizerConfig, PlanShape
 from repro.core.instrumentation import Counters
 from repro.core.pruning import PlanSet, SingleBestPlanSet
-from repro.cost import cardinality
 from repro.cost.model import CostModel
 from repro.cost.vector import project
 from repro.plans.operators import JoinMethod
@@ -40,6 +59,19 @@ PlanSetFactory = Callable[[], PlanSet]
 #: startup time's recursive formula reads the sub-plans' total time.
 _STARTUP_INDEX = 1
 _TOTAL_INDEX = 0
+
+#: Minimum ``outer x inner`` candidates per spec for the block path;
+#: below this, numpy call overhead beats the batching win and the
+#: (bit-identical) scalar loop runs instead. Purely a deterministic
+#: performance cutover — it never changes results.
+_MIN_BLOCK_CANDIDATES = 16
+
+#: Maximum candidate rows costed per kernel call. Large Pareto sets
+#: (many-objective EXA) would otherwise allocate outer*inner*9 floats
+#: per kernel temporary; chunking the *outer* axis keeps peak memory
+#: bounded while preserving the outer-major enumeration order, so
+#: results are unaffected.
+_MAX_BLOCK_ROWS = 32768
 
 
 def strict_closure(indices: tuple[int, ...]) -> tuple[int, ...]:
@@ -114,7 +146,9 @@ class DPRun:
         self._check_interval = config.timeout_check_interval
         self._since_check = 0
         self._timed_out = False
+        self._vectorized = config.vectorized_enumeration
         self._all_indices = indices + extra_indices
+        self._indices_array = np.array(self._all_indices, dtype=np.intp)
         self._full_projection = (
             self._all_indices == tuple(range(9)) and not include_rows
         )
@@ -196,8 +230,10 @@ class DPRun:
             ):
                 continue
             predicates = graph.predicates_between(left_mask, right_mask)
-            selectivity = cardinality.join_selectivity(
-                self.cost_model.schema, self.query, predicates
+            # Memoized on the cost model: the IRA re-enumerates the same
+            # splits every refinement iteration.
+            selectivity = self.cost_model.selectivities.join_selectivity(
+                self.query, predicates
             )
             # Left-deep trees require a base-table inner; bushy trees
             # combine each unordered split in both operand orders.
@@ -218,6 +254,40 @@ class DPRun:
         selectivity: float,
     ) -> None:
         """Join plans with ``outer`` as left and ``inner`` as right operand.
+
+        Dispatches to the batched block path (default) or the scalar
+        per-candidate loop. The scalar loop remains the behavioural
+        reference: it runs when ``vectorized_enumeration`` is off, after
+        a timeout (single-representative fallback), and for pruning
+        structures whose block semantics are not bit-for-bit equivalent
+        (``vectorizable = False``, e.g. the aggressive ablation variant).
+        """
+        if (
+            self._vectorized
+            and not self._timed_out
+            and target.vectorizable
+            and len(outer_set) * len(inner_set) >= _MIN_BLOCK_CANDIDATES
+        ):
+            self._combine_pair_block(
+                target, outer_set, inner_mask, inner_set, predicates,
+                selectivity,
+            )
+        else:
+            self._combine_pair_scalar(
+                target, outer_set, inner_mask, inner_set, predicates,
+                selectivity,
+            )
+
+    def _combine_pair_scalar(
+        self,
+        target: PlanSet,
+        outer_set: PlanSet,
+        inner_mask: int,
+        inner_set: PlanSet,
+        predicates,
+        selectivity: float,
+    ) -> None:
+        """Reference per-candidate loop (one ``join_cost`` call each).
 
         Hot loop: for every candidate the cost vector is computed first
         and a :class:`JoinPlan` is only materialized if the target set
@@ -308,6 +378,138 @@ class DPRun:
                             self._check_deadline()
                             if self._timed_out:
                                 return
+
+    # ------------------------------------------------------------------
+    # Vectorized (block) enumeration
+    # ------------------------------------------------------------------
+    def _combine_pair_block(
+        self,
+        target: PlanSet,
+        outer_set: PlanSet,
+        inner_mask: int,
+        inner_set: PlanSet,
+        predicates,
+        selectivity: float,
+    ) -> None:
+        """Batched ``_combine_pair``: per-spec ``outer x inner`` blocks.
+
+        Candidates are generated in exactly the scalar loop's order
+        (spec-major, then outer, then inner); each spec's block is
+        costed by one kernel call, masked by
+        :meth:`~repro.core.pruning.PlanSet.block_accept`, and only
+        surviving rows materialize plans — see the module docstring's
+        determinism contract.
+        """
+        cost_model = self.cost_model
+        outer_block = outer_set.plan_block()
+        inner_block = inner_set.plan_block()
+        if predicates:
+            generic_specs = self.plan_space.generic_join_specs
+        else:
+            # Cartesian product: only nested loops are applicable.
+            generic_specs = self._nested_loop_specs
+
+        n_outer = len(outer_block)
+        n_inner = len(inner_block)
+        outer_chunk = max(1, _MAX_BLOCK_ROWS // n_inner)
+        for spec in generic_specs:
+            # Chunking the outer axis preserves the outer-major
+            # candidate order, so chunk boundaries are invisible to the
+            # pruning structure (earlier chunks insert before later
+            # chunks' accept masks are computed — the sequential order).
+            for start in range(0, n_outer, outer_chunk):
+                stop = min(start + outer_chunk, n_outer)
+                chunk = (
+                    outer_block
+                    if stop - start == n_outer
+                    else outer_block.slice(start, stop)
+                )
+                out_rows = (
+                    chunk.rows[:, None] * inner_block.rows[None, :]
+                ) * selectivity
+                costs = cost_model.join_cost_block(
+                    spec, chunk, inner_block, out_rows
+                ).reshape(-1, 9)
+                if not self._insert_block(
+                    target, spec, costs, out_rows.reshape(-1),
+                    chunk.plans, inner_block.plans, n_inner,
+                ):
+                    return
+
+        # Index-nested-loop: inner must be a single base table with an
+        # index on a join column.
+        if predicates and inner_mask.bit_count() == 1:
+            inner_alias = next(iter(self.graph.aliases_of(inner_mask)))
+            if not self._allow_index_probe(inner_alias):
+                return
+            probes = self.plan_space.index_probe_inners(
+                self.query, inner_alias, predicates
+            )
+            for probe in probes:
+                probe_out_rows = (
+                    outer_block.rows * probe.rows
+                ) * selectivity
+                for spec in self.plan_space.index_nl_specs:
+                    costs = cost_model.index_nl_cost_block(
+                        spec, outer_block, probe, probe_out_rows
+                    )
+                    if not self._insert_block(
+                        target, spec, costs, probe_out_rows,
+                        outer_block.plans, (probe,), 1,
+                    ):
+                        return
+
+    def _insert_block(
+        self,
+        target: PlanSet,
+        spec,
+        costs: np.ndarray,
+        out_rows: np.ndarray,
+        outer_plans,
+        inner_plans,
+        n_inner: int,
+    ) -> bool:
+        """Mask one cost block and materialize its surviving rows.
+
+        ``costs`` is the flat ``(n, 9)`` block in enumeration order;
+        row ``k`` joins ``outer_plans[k // n_inner]`` with
+        ``inner_plans[k % n_inner]``. Returns ``False`` once the
+        deadline check trips (the caller abandons the remaining specs,
+        like the scalar loop's mid-iteration return).
+        """
+        counters = self.counters
+        n_rows = costs.shape[0]
+        counters.plans_considered += n_rows
+        counters.candidates_vectorized += n_rows
+        if self._full_projection:
+            projected = costs
+        else:
+            projected = costs[:, self._indices_array]
+            if self.include_rows:
+                projected = np.concatenate(
+                    (projected, out_rows[:, None]), axis=1
+                )
+        keep = target.block_accept(projected)
+        for position in map(int, np.nonzero(keep)[0]):
+            cost = tuple(costs[position].tolist())
+            if self._full_projection:
+                projected_tuple = cost
+            else:
+                projected_tuple = tuple(projected[position].tolist())
+            left_plan = outer_plans[position // n_inner]
+            right_plan = inner_plans[position % n_inner]
+            plan = JoinPlan(
+                spec, left_plan, right_plan, float(out_rows[position]),
+                left_plan.width + right_plan.width, cost, cost[8],
+            )
+            target.force_insert(projected_tuple, plan)
+        self._since_check += n_rows
+        if self._since_check >= self._check_interval:
+            self._since_check = 0
+            self._check_deadline()
+            if self._timed_out:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     def _consider(self, target: PlanSet, plan: Plan) -> None:

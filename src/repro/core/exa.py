@@ -79,6 +79,7 @@ def exact_moqo(
         memory_kb=counters.memory_kb,
         pareto_last_complete=counters.pareto_last_complete,
         plans_considered=counters.plans_considered,
+        candidates_vectorized=counters.candidates_vectorized,
         timed_out=counters.timed_out,
         alpha=1.0,
         deadline_hit=counters.timed_out or deadline_exceeded(deadline),

@@ -33,6 +33,12 @@ class Counters:
     """Mutable metrics for one optimizer run (one query block)."""
 
     plans_considered: int = 0
+    #: How many of the considered candidates went through the batched
+    #: (vectorized) enumeration path. Incremented once per candidate
+    #: *row* of a block, never once per block, so it is directly
+    #: comparable to ``plans_considered`` — their ratio is the
+    #: batch-path hit rate reported by ``RequestMetrics``.
+    candidates_vectorized: int = 0
     plans_stored_peak: int = 0
     pareto_last_complete: int = 0
     table_sets_completed: int = 0
@@ -76,6 +82,7 @@ class Counters:
     def merge_peak(self, other: "Counters") -> None:
         """Fold another run's peaks into this one (multi-block queries)."""
         self.plans_considered += other.plans_considered
+        self.candidates_vectorized += other.candidates_vectorized
         self.plans_stored_peak = max(
             self.plans_stored_peak, other.plans_stored_peak
         )
@@ -112,6 +119,21 @@ class RequestMetrics:
     deadline_hit: bool = False
     worker: str = ""
     rerouted: bool = False
+    plans_considered: int = 0
+    candidates_vectorized: int = 0
+
+    @property
+    def vectorized_fraction(self) -> float:
+        """Share of candidates that took the batched enumeration path.
+
+        1.0 means every candidate was costed through the block kernels;
+        0.0 means the scalar loop handled everything (flag off, timeout
+        fallback, or a non-vectorizable pruning structure). Cache hits
+        report 0 candidates either way.
+        """
+        if self.plans_considered <= 0:
+            return 0.0
+        return self.candidates_vectorized / self.plans_considered
 
 
 @dataclass

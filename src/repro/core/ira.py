@@ -108,6 +108,7 @@ def ira(
     bounds = preferences.bounds
     weights = preferences.weights
     total_considered = 0
+    total_vectorized = 0
     counters = Counters()
     best = None
     final_set = None
@@ -139,6 +140,7 @@ def ira(
         final_set = strip_entries(sets[run.graph.full_mask],
                                   run.projection_width)
         total_considered += counters.plans_considered
+        total_vectorized += counters.candidates_vectorized
         best = select_best(final_set, preferences)
         timed_out = counters.timed_out
         if timed_out or exact_iteration:
@@ -162,6 +164,7 @@ def ira(
         memory_kb=counters.memory_kb,
         pareto_last_complete=counters.pareto_last_complete,
         plans_considered=total_considered,
+        candidates_vectorized=total_vectorized,
         timed_out=timed_out,
         iterations=iteration,
         alpha=alpha_u,

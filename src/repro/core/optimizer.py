@@ -175,6 +175,9 @@ class MultiObjectiveOptimizer:
                 r.pareto_last_complete for r in block_results
             ),
             plans_considered=sum(r.plans_considered for r in block_results),
+            candidates_vectorized=sum(
+                r.candidates_vectorized for r in block_results
+            ),
             timed_out=any(r.timed_out for r in block_results),
             iterations=max(r.iterations for r in block_results),
             alpha=main.alpha,

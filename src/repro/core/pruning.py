@@ -22,6 +22,23 @@ query) against sets that can hold thousands of entries, so the cost
 vectors are mirrored in a capacity-doubling numpy matrix and coverage /
 discard are evaluated as vectorized comparisons. Small sets use a plain
 Python loop (numpy call overhead dominates below ~16 entries).
+
+Block operations (vectorized enumeration): the batched enumerator of
+:mod:`repro.core.dp` tests whole candidate blocks at once via
+:meth:`PlanSet.block_accept` — a matrix-vs-matrix coverage check against
+the stored entries (:meth:`PlanSet.covers_many`, with the same
+alpha/exact-suffix thresholds as :meth:`PlanSet.covers`) followed by an
+intra-block sweep that prunes candidates against earlier *accepted*
+candidates in deterministic enumeration order. **Determinism contract:**
+because insertion discards use *exact* dominance, a discarded entry is
+always elementwise-covered by its discarder, so removing it can never
+un-cover a later candidate; the accept decision therefore depends only
+on the entries at block start plus the earlier accepted candidates, and
+``block_accept`` + ordered replay of :meth:`PlanSet.force_insert` is
+bit-for-bit identical to the scalar per-candidate loop.
+:class:`AggressivePlanSet` discards *approximately* dominated entries,
+which breaks that argument — it opts out via ``vectorizable = False``
+and always takes the scalar path.
 """
 
 from __future__ import annotations
@@ -31,7 +48,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.cost.vector import approx_dominates, dominates, weighted_cost
-from repro.plans.plan import Plan
+from repro.plans.plan import Plan, PlanBlock
 
 CostTuple = tuple[float, ...]
 Entry = tuple[CostTuple, Plan]
@@ -41,6 +58,10 @@ _SMALL_SET = 16
 
 #: Initial capacity of the numpy cost matrix.
 _INITIAL_CAPACITY = 32
+
+#: Element budget per broadcast comparison in covers_many (bounds the
+#: temporary bool array to a few MB regardless of block size).
+_BLOCK_CMP_BUDGET = 1 << 22
 
 
 class PlanSet:
@@ -54,7 +75,12 @@ class PlanSet:
     sound when sampling makes cardinality plan-dependent.
     """
 
-    __slots__ = ("alpha", "entries", "exact_suffix", "_costs", "_size")
+    __slots__ = ("alpha", "entries", "exact_suffix", "_costs", "_size",
+                 "_block")
+
+    #: Whether block_accept() is bit-for-bit equivalent to the scalar
+    #: insert loop (see the module docstring's determinism contract).
+    vectorizable = True
 
     def __init__(self, alpha: float = 1.0, exact_suffix: int = 0) -> None:
         if alpha < 1.0:
@@ -66,6 +92,7 @@ class PlanSet:
         self.entries: list[Entry] = []
         self._costs: np.ndarray | None = None
         self._size = 0
+        self._block: PlanBlock | None = None
 
     # ------------------------------------------------------------------
     # Pruning protocol
@@ -113,10 +140,99 @@ class PlanSet:
         self._append(cost, plan)
 
     # ------------------------------------------------------------------
+    # Block operations (vectorized enumeration)
+    # ------------------------------------------------------------------
+    def covers_many(self, candidates: np.ndarray) -> np.ndarray:
+        """Keep mask over a candidate cost matrix vs the stored entries.
+
+        ``candidates`` is ``(k, width)`` in enumeration order; the
+        result is ``True`` where **no** stored entry (approximately,
+        with the set's alpha and exact-suffix thresholds) dominates the
+        row — the batched equivalent of ``not covers(row)`` for every
+        row, against the *current* entries only (candidates are not
+        compared to each other; see :meth:`block_accept`).
+        """
+        return self._not_covered(candidates, self._block_thresholds(candidates))
+
+    def block_accept(self, candidates: np.ndarray) -> np.ndarray:
+        """Accept mask for an ordered candidate block (does not mutate).
+
+        Phase 1 masks rows covered by the stored entries
+        (:meth:`covers_many`); phase 2 sweeps the survivors in
+        enumeration order, dropping any candidate approximately
+        dominated by an earlier *accepted* candidate of the same block.
+        Replaying :meth:`force_insert` for the accepted rows in order
+        reproduces the scalar insert loop bit for bit (module
+        docstring: determinism contract).
+        """
+        thresholds = self._block_thresholds(candidates)
+        keep = self._not_covered(candidates, thresholds)
+        survivors = np.nonzero(keep)[0]
+        if len(survivors) <= 1:
+            return keep
+        width = candidates.shape[1]
+        accepted = np.empty((len(survivors), width))
+        count = 0
+        for position in survivors:
+            if count and bool(
+                (accepted[:count] <= thresholds[position]).all(axis=1).any()
+            ):
+                keep[position] = False
+                continue
+            accepted[count] = candidates[position]
+            count += 1
+        return keep
+
+    def plan_block(self) -> PlanBlock:
+        """Cached columnar mirror of the stored plans (operand view).
+
+        Built lazily the first time the set is used as a join operand —
+        by then the bottom-up DP has finished mutating it — and
+        invalidated on any later mutation.
+        """
+        if self._block is None:
+            self._block = PlanBlock([plan for _, plan in self.entries])
+        return self._block
+
+    def _block_thresholds(self, candidates: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_threshold` (per-row acceptance thresholds)."""
+        alpha = self.alpha
+        if alpha == 1.0:
+            return candidates
+        if self.exact_suffix == 0:
+            return candidates * alpha
+        scaled = candidates.shape[1] - self.exact_suffix
+        thresholds = candidates.copy()
+        thresholds[:, :scaled] = candidates[:, :scaled] * alpha
+        return thresholds
+
+    def _not_covered(
+        self, candidates: np.ndarray, thresholds: np.ndarray
+    ) -> np.ndarray:
+        count = len(candidates)
+        size = self._size
+        keep = np.ones(count, dtype=bool)
+        if size == 0 or count == 0:
+            return keep
+        matrix = self._costs[:size]
+        width = candidates.shape[1]
+        chunk = max(1, _BLOCK_CMP_BUDGET // (size * width))
+        for start in range(0, count, chunk):
+            part = thresholds[start:start + chunk]
+            covered = (
+                (matrix[None, :, :] <= part[:, None, :])
+                .all(axis=2)
+                .any(axis=1)
+            )
+            keep[start:start + chunk] = ~covered
+        return keep
+
+    # ------------------------------------------------------------------
     # Internal storage
     # ------------------------------------------------------------------
     def _append(self, cost: CostTuple, plan: Plan) -> None:
         self.entries.append((cost, plan))
+        self._block = None
         size = self._size
         if self._costs is None:
             self._costs = np.empty((_INITIAL_CAPACITY, len(cost)))
@@ -133,6 +249,7 @@ class PlanSet:
         self.entries = [self.entries[i] for i in kept_indices]
         self._costs[: len(kept_indices)] = self._costs[kept_indices]
         self._size = len(kept_indices)
+        self._block = None
 
     def _discard_dominated(self, cost: CostTuple) -> None:
         """Drop stored plans the new cost vector dominates (exact)."""
@@ -148,6 +265,7 @@ class PlanSet:
                 for position, entry in enumerate(kept):
                     self._costs[position] = entry[0]
                 self._size = len(kept)
+                self._block = None
             return
         dominated = (self._costs[:size] >= cost).all(axis=1)
         if dominated.any():
@@ -190,6 +308,12 @@ class AggressivePlanSet(PlanSet):
 
     __slots__ = ()
 
+    #: Approximate-dominance discards can remove an entry that is *not*
+    #: elementwise-covered by its discarder, so mid-block coverage
+    #: outcomes depend on discard timing — the block determinism
+    #: contract does not hold and this variant always runs scalar.
+    vectorizable = False
+
     def _discard_dominated(self, cost: CostTuple) -> None:
         size = self._size
         if size == 0:
@@ -206,6 +330,7 @@ class AggressivePlanSet(PlanSet):
                 for position, entry in enumerate(kept):
                     self._costs[position] = entry[0]
                 self._size = len(kept)
+                self._block = None
             return
         dominated = (self._costs[:size] * alpha >= cost).all(axis=1)
         if dominated.any():
@@ -232,6 +357,7 @@ class SingleBestPlanSet(PlanSet):
             self._best_value = value
             self.entries = [(cost, plan)]
             self._size = 1
+            self._block = None
             if self._costs is None:
                 self._costs = np.empty((1, len(cost)))
             self._costs[0] = cost
@@ -243,3 +369,23 @@ class SingleBestPlanSet(PlanSet):
 
     def force_insert(self, cost: CostTuple, plan: Plan) -> None:
         self.insert(cost, plan)
+
+    def block_accept(self, candidates: np.ndarray) -> np.ndarray:
+        """Accept exactly the candidates that improve the running best.
+
+        The scalar loop accepts a candidate iff its weighted cost is
+        strictly below the best seen so far (initial best included), so
+        the batch equivalent is a strict comparison against the running
+        prefix minimum. The weighted sum is accumulated dimension by
+        dimension in the same order as
+        :func:`repro.cost.vector.weighted_cost` to keep the values (and
+        hence the strict-inequality decisions) bit-identical.
+        """
+        width = candidates.shape[1]
+        weighted = np.zeros(len(candidates))
+        for dimension, weight in zip(range(width), self.weights):
+            weighted = weighted + candidates[:, dimension] * weight
+        running_best = np.minimum.accumulate(
+            np.concatenate(([self._best_value], weighted))
+        )[:-1]
+        return weighted < running_best

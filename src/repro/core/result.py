@@ -44,6 +44,9 @@ class OptimizationResult:
     pareto_last_complete: int
     plans_considered: int
     timed_out: bool
+    #: Candidates costed through the batched enumeration path (out of
+    #: ``plans_considered``); 0 on the scalar path.
+    candidates_vectorized: int = 0
     iterations: int = 1
     alpha: float | None = None
     block_results: tuple["OptimizationResult", ...] = field(default=())

@@ -110,6 +110,7 @@ def rta(
         memory_kb=counters.memory_kb,
         pareto_last_complete=counters.pareto_last_complete,
         plans_considered=counters.plans_considered,
+        candidates_vectorized=counters.candidates_vectorized,
         timed_out=counters.timed_out,
         alpha=alpha_u,
         deadline_hit=counters.timed_out or deadline_exceeded(deadline),

@@ -442,6 +442,10 @@ class OptimizerService:
             timed_out=result.timed_out,
             deadline_hit=result.deadline_hit,
             rerouted=rerouted,
+            plans_considered=0 if cache_hit else result.plans_considered,
+            candidates_vectorized=(
+                0 if cache_hit else result.candidates_vectorized
+            ),
         )
         self._dispatch(record)
 

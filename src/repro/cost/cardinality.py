@@ -11,6 +11,7 @@ optimizer uses when only catalog statistics are available:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable
 
 from repro.catalog.schema import Schema
@@ -51,6 +52,68 @@ def join_selectivity(
     for predicate in predicates:
         selectivity *= join_predicate_selectivity(schema, query, predicate)
     return selectivity
+
+
+class SelectivityCache:
+    """Memoizes :func:`join_selectivity` per (query, predicate set).
+
+    One dynamic-programming run estimates the selectivity of every
+    top-level split it enumerates, and the IRA re-enumerates the *same*
+    splits on every refinement iteration — each time recomputing
+    identical estimates from the catalog. The cache lives on the
+    :class:`~repro.cost.model.CostModel` (which survives across
+    iterations and requests), keyed by query identity and the exact
+    predicate tuple.
+
+    Keying by ``id(query)`` avoids hashing the full query structure on
+    every lookup; a strong reference to the query is held alongside so
+    the id cannot be recycled while its entry is live, and an LRU bound
+    of ``capacity`` distinct queries keeps a long-lived service from
+    accumulating per-query maps forever. Correctness does not depend on
+    the cache: every miss falls through to :func:`join_selectivity`.
+    """
+
+    __slots__ = ("schema", "capacity", "hits", "misses", "_per_query")
+
+    def __init__(self, schema: Schema, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.schema = schema
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._per_query: OrderedDict[
+            int, tuple[Query, dict[tuple[JoinPredicate, ...], float]]
+        ] = OrderedDict()
+
+    def join_selectivity(
+        self, query: Query, predicates: tuple[JoinPredicate, ...]
+    ) -> float:
+        """Memoized combined selectivity of ``predicates`` in ``query``."""
+        key = id(query)
+        entry = self._per_query.get(key)
+        if entry is None or entry[0] is not query:
+            entry = (query, {})
+            self._per_query[key] = entry
+            if len(self._per_query) > self.capacity:
+                self._per_query.popitem(last=False)
+        else:
+            self._per_query.move_to_end(key)
+        memo = entry[1]
+        selectivity = memo.get(predicates)
+        if selectivity is None:
+            selectivity = join_selectivity(self.schema, query, predicates)
+            memo[predicates] = selectivity
+            self.misses += 1
+        else:
+            self.hits += 1
+        return selectivity
+
+    def clear(self) -> None:
+        """Drop all memoized estimates (e.g. after statistics change)."""
+        self._per_query.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 def scan_output_rows(

@@ -33,12 +33,14 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.catalog.schema import Schema
 from repro.cost import cardinality
 from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
 from repro.exceptions import CostModelError
 from repro.plans.operators import JoinMethod, JoinSpec, ScanMethod, ScanSpec
-from repro.plans.plan import JoinPlan, Plan, ProbeInfo, ScanPlan
+from repro.plans.plan import JoinPlan, Plan, PlanBlock, ProbeInfo, ScanPlan
 from repro.query.predicate import JoinPredicate
 from repro.query.query import Query
 
@@ -60,6 +62,11 @@ class CostModel:
     def __init__(self, schema: Schema, params: CostParams = DEFAULT_PARAMS):
         self.schema = schema
         self.params = params
+        # Join-selectivity memo shared by every enumeration over this
+        # cost model — the IRA re-enumerates the same splits each
+        # refinement iteration and would otherwise recompute identical
+        # estimates (see SelectivityCache).
+        self.selectivities = cardinality.SelectivityCache(schema)
 
     # ------------------------------------------------------------------
     # Scans
@@ -382,3 +389,241 @@ class CostModel:
         cores = max(lc[_CORES], float(dop))
         buffer = lc[_BUFFER] + float(p.probe_buffer)
         return (time, startup, io, cpu, cores, disk, buffer, energy, loss)
+
+    # ------------------------------------------------------------------
+    # Batched join-cost kernels (vectorized enumeration hot path)
+    # ------------------------------------------------------------------
+    # Each kernel mirrors its scalar counterpart above operation for
+    # operation, in the same association order, using only elementwise
+    # IEEE-exact numpy primitives (+, -, *, /, maximum, minimum, where).
+    # This is what makes the vectorized enumerator's results bit-for-bit
+    # identical to the scalar loop — do not "simplify" an expression
+    # here without making the same change in the scalar formula.
+
+    def join_cost_block(
+        self,
+        spec: JoinSpec,
+        outer: PlanBlock,
+        inner: PlanBlock,
+        out_rows: np.ndarray,
+    ) -> np.ndarray:
+        """Cost vectors of joining every (outer, inner) plan pair.
+
+        Batched mirror of :meth:`join_cost`: ``out_rows`` is the
+        ``(n_outer, n_inner)`` output-cardinality matrix and the result
+        has shape ``(n_outer, n_inner, 9)``, laid out so that
+        ``result[i, j]`` equals ``join_cost(spec, outer.plans[i],
+        inner.plans[j], out_rows[i, j])`` bit for bit.
+        Index-nested-loop joins batch over the outer only — see
+        :meth:`index_nl_cost_block`.
+        """
+        method = spec.method
+        if method is JoinMethod.HASH:
+            return self._hash_cost_block(spec, outer, inner, out_rows)
+        if method is JoinMethod.MERGE:
+            return self._merge_cost_block(spec, outer, inner, out_rows)
+        if method is JoinMethod.NESTED_LOOP:
+            return self._nested_loop_cost_block(spec, outer, inner, out_rows)
+        raise CostModelError(
+            f"unsupported join method for block costing: {method}"
+        )
+
+    def _accumulate_block(self, l, r, dop, local_cpu, local_io, spill_bytes):
+        """Batched :meth:`_accumulate`; ``l``/``r`` broadcast over cost rows."""
+        p = self.params
+        cpu_factor = 1.0 + p.parallel_cpu_overhead * (dop - 1)
+        energy_factor = 1.0 + p.parallel_energy_overhead * (dop - 1)
+        io = l[..., _IO] + r[..., _IO] + local_io
+        cpu = l[..., _CPU] + r[..., _CPU] + local_cpu * cpu_factor
+        disk = l[..., _DISK] + r[..., _DISK] + spill_bytes
+        local_energy = (
+            p.energy_per_cpu_unit * local_cpu + p.energy_per_page * local_io
+        ) * energy_factor
+        energy = l[..., _ENERGY] + r[..., _ENERGY] + local_energy
+        loss = 1.0 - (1.0 - l[..., _LOSS]) * (1.0 - r[..., _LOSS])
+        return io, cpu, disk, energy, loss
+
+    @staticmethod
+    def _pack_block(shape, time, startup, io, cpu, cores, disk, buffer,
+                    energy, loss) -> np.ndarray:
+        """Assemble broadcastable components into a ``shape + (9,)`` block."""
+        block = np.empty(shape + (9,))
+        block[..., _TIME] = time
+        block[..., _STARTUP] = startup
+        block[..., _IO] = io
+        block[..., _CPU] = cpu
+        block[..., _CORES] = cores
+        block[..., _DISK] = disk
+        block[..., _BUFFER] = buffer
+        block[..., _ENERGY] = energy
+        block[..., _LOSS] = loss
+        return block
+
+    def _hash_cost_block(self, spec, outer, inner, out_rows) -> np.ndarray:
+        p = self.params
+        dop = spec.dop
+        l = outer.costs[:, None, :]
+        r = inner.costs[None, :, :]
+        build_cpu = 2.0 * p.cpu_operator_cost * inner.rows
+        probe_cpu = (
+            p.cpu_operator_cost * outer.rows[:, None]
+            + p.cpu_tuple_cost * out_rows
+        )
+        local_cpu = build_cpu[None, :] + probe_cpu
+        io, cpu, disk, energy, loss = self._accumulate_block(
+            l, r, dop, local_cpu, 0.0, 0.0
+        )
+        time = np.maximum(l[..., _TIME], r[..., _TIME]) + local_cpu / dop
+        startup = np.maximum(
+            l[..., _STARTUP], r[..., _TIME] + (build_cpu / dop)[None, :]
+        )
+        cores = np.maximum(l[..., _CORES] + r[..., _CORES], float(dop))
+        hash_bytes = inner.out_bytes * 1.2
+        buffer = l[..., _BUFFER] + r[..., _BUFFER] + hash_bytes[None, :]
+        return self._pack_block(
+            out_rows.shape, time, startup, io, cpu, cores, disk, buffer,
+            energy, loss,
+        )
+
+    def _merge_cost_block(self, spec, outer, inner, out_rows) -> np.ndarray:
+        p = self.params
+        dop = spec.dop
+        l = outer.costs[:, None, :]
+        r = inner.costs[None, :, :]
+        work_mem = p.work_mem
+
+        def sort_terms(block: PlanBlock):
+            """(cpu, spill pages, spill bytes) vectors for one operand.
+
+            ``block.log2_rows`` already holds ``log2(max(rows, 2))``
+            computed with the scalar formula's ``math.log2``.
+            """
+            sort_cpu = (
+                2.0 * p.cpu_operator_cost * block.rows * block.log2_rows
+            )
+            spills = block.out_bytes > work_mem
+            spill_bytes = np.where(spills, block.out_bytes, 0.0)
+            spill_pages = np.where(
+                spills, 2.0 * block.out_bytes / 8192.0, 0.0
+            )
+            return sort_cpu, spill_pages, spill_bytes
+
+        sort_cpu_l, spill_pages_l, spill_bytes_l = sort_terms(outer)
+        sort_cpu_r, spill_pages_r, spill_bytes_r = sort_terms(inner)
+        merge_cpu = (
+            p.cpu_tuple_cost * (outer.rows[:, None] + inner.rows[None, :])
+            + p.cpu_tuple_cost * out_rows
+        )
+        local_cpu = sort_cpu_l[:, None] + sort_cpu_r[None, :] + merge_cpu
+        local_io = spill_pages_l[:, None] + spill_pages_r[None, :]
+        spill_bytes = spill_bytes_l[:, None] + spill_bytes_r[None, :]
+        io, cpu, disk, energy, loss = self._accumulate_block(
+            l, r, dop, local_cpu, local_io, spill_bytes
+        )
+        side_l = outer.costs[:, _TIME] + (
+            sort_cpu_l + p.seq_page_cost * spill_pages_l
+        ) / dop
+        side_r = inner.costs[:, _TIME] + (
+            sort_cpu_r + p.seq_page_cost * spill_pages_r
+        ) / dop
+        startup = np.maximum(side_l[:, None], side_r[None, :])
+        time = startup + merge_cpu / dop
+        cores = np.maximum(l[..., _CORES] + r[..., _CORES], float(dop))
+        buffer = (
+            l[..., _BUFFER]
+            + r[..., _BUFFER]
+            + np.minimum(outer.out_bytes, float(work_mem))[:, None]
+            + np.minimum(inner.out_bytes, float(work_mem))[None, :]
+        )
+        return self._pack_block(
+            out_rows.shape, time, startup, io, cpu, cores, disk, buffer,
+            energy, loss,
+        )
+
+    def _nested_loop_cost_block(self, spec, outer, inner, out_rows) -> np.ndarray:
+        p = self.params
+        dop = spec.dop
+        l = outer.costs[:, None, :]
+        r = inner.costs[None, :, :]
+        mat_cpu = p.cpu_tuple_cost * inner.rows
+        pair_cpu = (
+            (p.cpu_operator_cost * outer.rows)[:, None] * inner.rows[None, :]
+        )
+        local_cpu = mat_cpu[None, :] + pair_cpu + p.cpu_tuple_cost * out_rows
+        spills = inner.out_bytes > p.work_mem
+        spill_bytes_row = np.where(spills, inner.out_bytes, 0.0)
+        spill_pages_row = np.where(spills, inner.out_bytes / 8192.0, 0.0)
+        # Write the materialization once, re-read it per outer tuple.
+        outer_factor = 1.0 + np.maximum(outer.rows - 1.0, 0.0)
+        local_io = spill_pages_row[None, :] * outer_factor[:, None]
+        io, cpu, disk, energy, loss = self._accumulate_block(
+            l, r, dop, local_cpu, local_io, spill_bytes_row[None, :]
+        )
+        time = (
+            np.maximum(l[..., _TIME], r[..., _TIME])
+            + (local_cpu + p.seq_page_cost * local_io) / dop
+        )
+        startup = np.maximum(
+            l[..., _STARTUP], r[..., _TIME] + (mat_cpu / dop)[None, :]
+        )
+        cores = np.maximum(l[..., _CORES] + r[..., _CORES], float(dop))
+        buffer = (
+            l[..., _BUFFER]
+            + r[..., _BUFFER]
+            + np.minimum(inner.out_bytes, float(p.work_mem))[None, :]
+        )
+        return self._pack_block(
+            out_rows.shape, time, startup, io, cpu, cores, disk, buffer,
+            energy, loss,
+        )
+
+    def index_nl_cost_block(
+        self,
+        spec: JoinSpec,
+        outer: PlanBlock,
+        probe: Plan,
+        out_rows: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`_index_nl_cost` over the outer operand.
+
+        The index-probe inner is a single fixed plan, so the candidate
+        block is one-dimensional: ``out_rows`` has shape ``(n_outer,)``
+        and so does the first axis of the returned ``(n_outer, 9)``
+        block.
+        """
+        if not isinstance(probe, ScanPlan) or probe.probe_info is None:
+            raise CostModelError(
+                "index-nested-loop join requires an index-probe inner"
+            )
+        p = self.params
+        dop = spec.dop
+        info = probe.probe_info
+        l = outer.costs
+        r = np.asarray(probe.cost)
+        probes = outer.rows
+        probe_io = probes * (info.index_height + info.heap_pages)
+        probe_cpu = probes * (
+            p.cpu_index_tuple_cost * info.matched_rows
+            + p.cpu_tuple_cost * info.matched_rows
+            + p.cpu_operator_cost * info.matched_rows * info.residual_quals
+        )
+        local_cpu = probe_cpu + p.cpu_tuple_cost * out_rows
+        io, cpu, disk, energy, loss = self._accumulate_block(
+            l, r, dop, local_cpu, probe_io, 0.0
+        )
+        time = l[..., _TIME] + (
+            p.random_page_cost * probe_io + local_cpu
+        ) / dop
+        # Pipelined first-probe startup, clamped to total (see the
+        # scalar formula's PONO note).
+        startup = np.minimum(
+            l[..., _STARTUP]
+            + p.random_page_cost * (info.index_height + 1.0),
+            time,
+        )
+        cores = np.maximum(l[..., _CORES], float(dop))
+        buffer = l[..., _BUFFER] + float(p.probe_buffer)
+        return self._pack_block(
+            out_rows.shape, time, startup, io, cpu, cores, disk, buffer,
+            energy, loss,
+        )

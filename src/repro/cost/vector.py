@@ -93,17 +93,25 @@ def pareto_filter(vectors: Iterable[Sequence[float]]) -> list[CostTuple]:
 
     A vector is kept iff no other vector strictly dominates it. Of
     cost-equivalent vectors one representative is kept. Intended for
-    tests and reporting, not for hot loops (the optimizer maintains
-    frontiers incrementally via :mod:`repro.core.pruning`).
+    frontier dumps and reporting, not for hot optimizer loops (those
+    maintain frontiers incrementally via :mod:`repro.core.pruning`) —
+    but full-frontier dumps do get large, so this is a sort-based
+    sweep rather than the naive all-pairs scan: after deduplicating
+    and sorting lexicographically, any dominator of a vector precedes
+    it in sort order (``u`` strictly dominates ``v`` implies
+    ``u <= v`` elementwise with ``u != v``, hence ``u`` sorts first)
+    and is itself undominated (dominance is transitive), so each
+    candidate only needs to be checked against the frontier collected
+    so far. That is ``O(n log n + n * f)`` for a frontier of size
+    ``f`` — linearithmic when few vectors survive — versus the naive
+    ``O(n^2)`` always.
     """
     unique = sorted({tuple(float(x) for x in v) for v in vectors})
     frontier: list[CostTuple] = []
     for candidate in unique:
-        if not any(
-            strictly_dominates(other, candidate)
-            for other in unique
-            if other != candidate
-        ):
+        # Distinct + sorted means any dominating kept vector differs
+        # from the candidate, so plain dominance is strict here.
+        if not any(dominates(kept, candidate) for kept in frontier):
             frontier.append(candidate)
     return frontier
 

@@ -16,6 +16,11 @@ Two sharding modes live here:
 
 The intra-query scheme is *prefix-replay* sharding, chosen so that the
 merged result is **bit-for-bit identical** to the single-process run.
+(The vectorized enumeration of :mod:`repro.core.dp` preserves the
+scalar loop's candidate order and accept/discard decisions exactly, so
+the guarantee holds identically whether shards run the batched or the
+scalar hot path — and even when the two sides of a comparison mix
+them.)
 Approximate dominance pruning is history-dependent (it is not
 transitive: keeping or dropping a plan depends on which plans arrived
 before it), so independently pruned shards cannot simply be
@@ -105,6 +110,7 @@ class ShardOutcome:
     memory_kb: float
     timed_out: bool
     deadline_hit: bool
+    candidates_vectorized: int = 0
 
 
 class _ShardDPRun(DPRun):
@@ -230,6 +236,7 @@ def execute_shard(task: ShardTask, cost_model: CostModel) -> ShardOutcome:
         memory_kb=counters.memory_kb,
         timed_out=counters.timed_out,
         deadline_hit=counters.timed_out or deadline_exceeded(deadline),
+        candidates_vectorized=counters.candidates_vectorized,
     )
 
 
@@ -268,6 +275,9 @@ def merge_shard_outcomes(
         memory_kb=max(outcome.memory_kb for outcome in outcomes),
         pareto_last_complete=0 if timed_out else len(final_set),
         plans_considered=sum(o.plans_considered for o in outcomes),
+        candidates_vectorized=sum(
+            o.candidates_vectorized for o in outcomes
+        ),
         timed_out=timed_out,
         alpha=task.alpha if task.algorithm == "rta" else 1.0,
         deadline_hit=any(outcome.deadline_hit for outcome in outcomes),

@@ -10,7 +10,10 @@ which this layout matches.
 
 from __future__ import annotations
 
-from typing import Iterator
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.plans.operators import JoinSpec, ScanMethod, ScanSpec
 
@@ -174,6 +177,59 @@ class JoinPlan(Plan):
         lines.append(self.left.describe(indent + 1))
         lines.append(self.right.describe(indent + 1))
         return "\n".join(lines)
+
+
+class PlanBlock:
+    """Columnar (numpy) mirror of a sequence of plans for batched costing.
+
+    The vectorized enumerator (:mod:`repro.core.dp`) costs whole
+    ``spec x outer x inner`` candidate blocks at once; the batched cost
+    kernels (:meth:`repro.cost.model.CostModel.join_cost_block`) read
+    operand quantities from these arrays so the hot loop never touches
+    plan objects. ``plans`` keeps the originals in the same order —
+    surviving candidates carry ``(outer_idx, inner_idx)`` backpointers
+    into it, so materialization is a cheap gather.
+
+    ``log2_rows`` stores ``math.log2(max(rows, 2.0))`` per plan. It is
+    precomputed here with the *same* ``math.log2`` call the scalar
+    sort-merge cost formula makes (one call per stored plan instead of
+    one per candidate), which both removes a transcendental from the
+    kernel and keeps the batched path bit-for-bit identical to the
+    scalar one — ``np.log2`` is not guaranteed to round like libm.
+    """
+
+    __slots__ = ("plans", "costs", "rows", "out_bytes", "log2_rows")
+
+    def __init__(self, plans: Sequence["Plan"]) -> None:
+        count = len(plans)
+        self.plans: tuple[Plan, ...] = tuple(plans)
+        self.costs = np.empty((count, 9))
+        self.rows = np.empty(count)
+        self.out_bytes = np.empty(count)
+        self.log2_rows = np.empty(count)
+        for position, plan in enumerate(self.plans):
+            self.costs[position] = plan.cost
+            rows = plan.rows
+            self.rows[position] = rows
+            self.out_bytes[position] = rows * plan.width
+            self.log2_rows[position] = math.log2(max(rows, 2.0))
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def slice(self, start: int, stop: int) -> "PlanBlock":
+        """Zero-copy view of rows ``[start, stop)``.
+
+        Used to chunk the outer axis of large candidate blocks; numpy
+        slices are views, so no mirror data is duplicated.
+        """
+        block = object.__new__(PlanBlock)
+        block.plans = self.plans[start:stop]
+        block.costs = self.costs[start:stop]
+        block.rows = self.rows[start:stop]
+        block.out_bytes = self.out_bytes[start:stop]
+        block.log2_rows = self.log2_rows[start:stop]
+        return block
 
 
 def plan_depth(plan: Plan) -> int:

@@ -151,6 +151,7 @@ def result_to_dict(result: "OptimizationResult") -> dict[str, Any]:
             "memory_kb": result.memory_kb,
             "pareto_last_complete": result.pareto_last_complete,
             "plans_considered": result.plans_considered,
+            "candidates_vectorized": result.candidates_vectorized,
             "iterations": result.iterations,
             "timed_out": result.timed_out,
             "deadline_hit": result.deadline_hit,
@@ -202,6 +203,7 @@ def result_from_dict(payload: dict[str, Any]) -> "OptimizationResult":
             memory_kb=metrics["memory_kb"],
             pareto_last_complete=metrics["pareto_last_complete"],
             plans_considered=metrics["plans_considered"],
+            candidates_vectorized=metrics.get("candidates_vectorized", 0),
             timed_out=metrics["timed_out"],
             iterations=metrics["iterations"],
             alpha=payload["alpha"],
