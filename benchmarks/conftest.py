@@ -14,6 +14,19 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items: list[pytest.Item]) -> None:
+    """Everything under benchmarks/ carries the ``benchmark`` marker.
+
+    Selecting (``-m benchmark``) or deselecting (``-m 'not benchmark'``)
+    the slow suite then needs no per-test annotations. The hook receives
+    the whole session's items, so filter to this directory.
+    """
+    benchmarks_dir = pathlib.Path(__file__).parent
+    for item in items:
+        if benchmarks_dir in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -17,6 +17,12 @@ def pytest_configure(config: pytest.Config) -> None:
         "parallel: tests that spin up real worker processes "
         "(selectable with -m parallel)",
     )
+    config.addinivalue_line(
+        "markers",
+        "benchmark: paper-figure benchmarks under benchmarks/ "
+        "(minutes, not seconds; run with -m benchmark — "
+        "`pytest -q tests` stays fast without them)",
+    )
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:

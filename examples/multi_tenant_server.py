@@ -6,18 +6,22 @@ disk space, I/O bandwidth, and number of cores) that are dedicated for
 processing one specific query and minimizing that query's execution
 time are conflicting objectives."
 
-The administrator defines weights and bounds per tenant class; incoming
-queries become :class:`OptimizationRequest`s tagged with their tenant
-and are fanned out as one batch over the :class:`OptimizerService`
-*process* backend — warm worker processes that sidestep the GIL, the
-deployment shape a real CPU-bound server front end needs. Repeated
-queries from the same tenant class hit the plan cache instead of
-re-optimizing. The example also prints the Pareto frontier so the
-administrator can inspect available tradeoffs before adjusting the
-limits.
+This version runs the scenario the way a deployment would: an
+:class:`AsyncOptimizerServer` listens on a real TCP socket and each
+tenant is a *concurrent client* speaking the HTTP/JSON wire protocol.
+Several clients per tenant class fire the same query at the same time —
+identical requests carry identical fingerprints, so the server's
+in-flight coalescer runs ONE optimization per tenant class and every
+twin awaits the shared result. A second wave of the same traffic is
+answered from the plan cache without re-optimizing, and an
+administrator request pulls the Pareto frontier over the same socket to
+inspect available tradeoffs before adjusting the limits.
 
 Run:  python examples/multi_tenant_server.py
 """
+
+import json
+import threading
 
 from repro import (
     FAST_CONFIG,
@@ -28,7 +32,13 @@ from repro import (
     tpch_query,
     tpch_schema,
 )
-from repro.parallel.pool import default_worker_count
+from repro.plans.serialize import request_to_dict
+from repro.serving import (
+    AsyncOptimizerServer,
+    ServerThread,
+    get_metrics,
+    post_optimize,
+)
 
 #: Resource objectives of the server scenario (one objective per
 #: system resource, plus execution time).
@@ -65,75 +75,122 @@ TENANT_CLASSES = {
     ),
 }
 
+#: Concurrent clients per tenant class — all submit the same query, so
+#: each class needs exactly one optimization however many clients race.
+CLIENTS_PER_CLASS = 3
 
-def tenant_request(tenant: str, policy: dict) -> OptimizationRequest:
-    """One incoming query, optimized under the tenant's resource policy."""
+
+def tenant_payload(tenant: str, policy: dict) -> dict:
+    """One incoming query as its JSON wire form (tenant policy baked in)."""
     preferences = Preferences.from_maps(
         OBJECTIVES, weights=policy["weights"], bounds=policy["bounds"]
     )
-    return OptimizationRequest(
+    request = OptimizationRequest(
         query=tpch_query(5),
         preferences=preferences,
         algorithm="ira",  # bounded-weighted MOQO -> iterative refinement
         alpha=1.5,
         tags=(tenant,),
     )
+    return request_to_dict(request)
+
+
+def fire_wave(host: str, port: int) -> dict[str, list]:
+    """All tenants hit the server at once; returns envelopes per tenant."""
+    envelopes: dict[str, list] = {tenant: [] for tenant in TENANT_CLASSES}
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(TENANT_CLASSES) * CLIENTS_PER_CLASS)
+
+    def client(tenant: str, payload: dict) -> None:
+        barrier.wait()  # make the arrivals genuinely concurrent
+        envelope, _body = post_optimize(host, port, payload)
+        with lock:
+            envelopes[tenant].append(envelope)
+
+    threads = [
+        threading.Thread(target=client, args=(tenant, tenant_payload(tenant, policy)))
+        for tenant, policy in TENANT_CLASSES.items()
+        for _ in range(CLIENTS_PER_CLASS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return envelopes
 
 
 def main() -> None:
-    workers = min(default_worker_count(), len(TENANT_CLASSES))
-    service = OptimizerService(
-        tpch_schema(), config=FAST_CONFIG,
-        backend="processes", workers=workers,
+    service = OptimizerService(tpch_schema(), config=FAST_CONFIG)
+    server = AsyncOptimizerServer(
+        service, max_in_flight=len(TENANT_CLASSES), owns_service=True
     )
     query = tpch_query(5)
-    print(f"query: {query.name} ({query.main_block.num_tables} joined "
-          f"tables), {workers} worker processes")
-    print()
-
-    # One concurrent batch: every tenant class submits the same query
-    # under its own policy. Results come back in request order.
-    requests = [
-        tenant_request(tenant, policy)
-        for tenant, policy in TENANT_CLASSES.items()
-    ]
-    results = service.optimize_many(requests)
-
-    for tenant, result in zip(TENANT_CLASSES, results):
-        print(f"--- {tenant} ---")
-        print(result.plan.describe())
-        for objective in OBJECTIVES:
-            print(f"  {objective.name.lower():18s} = "
-                  f"{result.cost_of(objective):.4g} {objective.unit}")
-        print(f"  respects bounds: {result.respects_bounds}, "
-              f"opt time: {result.optimization_time_ms:.0f} ms")
+    with ServerThread(server) as (host, port):
+        print(f"optimizer server on http://{host}:{port} — "
+              f"query: {query.name} "
+              f"({query.main_block.num_tables} joined tables), "
+              f"{len(TENANT_CLASSES)} tenant classes x "
+              f"{CLIENTS_PER_CLASS} concurrent clients")
         print()
 
-    # The same tenants submit the same queries again — every request is
-    # now served from the plan cache (no re-optimization).
-    service.optimize_many(requests)
-    stats = service.metrics.snapshot()
-    print(f"second wave served from plan cache: "
-          f"{stats['cache_hits']}/{stats['requests']} requests were hits")
-    print()
+        # Wave 1: every client of every tenant class hits the socket at
+        # the same instant. The coalescer collapses each class's twins
+        # onto one in-flight optimization.
+        wave = fire_wave(host, port)
+        for tenant, envelopes in wave.items():
+            result = envelopes[0].result
+            print(f"--- {tenant} ---")
+            print(f"  plan objectives (chosen by weighted cost):")
+            plan_cost = dict(zip(result["objectives"], result["plan_cost"]))
+            for objective in OBJECTIVES:
+                name = objective.name.lower()
+                print(f"    {name:18s} = {plan_cost[name]:.4g} "
+                      f"{objective.unit}")
+            coalesced = sum(1 for e in envelopes if e.coalesced)
+            distinct = {json.dumps(e.result, sort_keys=True)
+                        for e in envelopes}
+            print(f"  respects bounds: {result['respects_bounds']}, "
+                  f"opt time: "
+                  f"{result['metrics']['optimization_time_ms']:.0f} ms")
+            print(f"  {len(envelopes)} clients -> 1 leader + {coalesced} "
+                  f"coalesced followers, {len(distinct)} distinct "
+                  f"response payload(s)")
+            print()
 
-    # The frontier lets an administrator see what relaxing a bound buys
-    # (Section 4: "a user might want to relax the bound on one objective,
-    # knowing that this allows significant savings in another").
-    preferences = Preferences.from_maps(
-        (Objective.TOTAL_TIME, Objective.BUFFER_FOOTPRINT),
-        weights={Objective.TOTAL_TIME: 1.0},
-    )
-    result = service.submit(OptimizationRequest(
-        query=query, preferences=preferences, algorithm="rta", alpha=1.2,
-        tags=("admin-frontier",),
-    ))
-    print("=== time / buffer tradeoffs (approximate Pareto frontier) ===")
-    print(f"{'total time':>14s}  {'buffer (MB)':>12s}")
-    for time_cost, buffer_cost in sorted(result.frontier_costs):
-        print(f"{time_cost:14.4g}  {buffer_cost / 1048576.0:12.2f}")
+        # Wave 2: the same tenants submit the same queries again — every
+        # request is now served from the plan cache (no re-optimization).
+        fire_wave(host, port)
+        snapshot = get_metrics(host, port)
+        stats = snapshot["service"]
+        serving = snapshot["serving"]
+        print(f"optimizations actually run: {stats['cache_misses']} "
+              f"(one per tenant class)")
+        print(f"coalesce hits across both waves: "
+              f"{serving['coalesce_hits']} "
+              f"(hit rate {serving['coalesce_hit_rate']:.0%}); "
+              f"plan-cache hits: {stats['cache_hits']}")
+        print(f"server p99 latency: {serving['latency']['p99_ms']:.1f} ms "
+              f"over {serving['latency']['count']} responses")
+        print()
 
-    service.close()  # shut the worker processes down
+        # The frontier lets an administrator see what relaxing a bound
+        # buys (Section 4: "a user might want to relax the bound on one
+        # objective, knowing that this allows significant savings in
+        # another") — fetched over the same wire protocol.
+        admin = OptimizationRequest(
+            query=query,
+            preferences=Preferences.from_maps(
+                (Objective.TOTAL_TIME, Objective.BUFFER_FOOTPRINT),
+                weights={Objective.TOTAL_TIME: 1.0},
+            ),
+            algorithm="rta", alpha=1.2, tags=("admin-frontier",),
+        )
+        envelope, _body = post_optimize(host, port, request_to_dict(admin))
+        print("=== time / buffer tradeoffs (approximate Pareto frontier) ===")
+        print(f"{'total time':>14s}  {'buffer (MB)':>12s}")
+        for time_cost, buffer_cost in sorted(envelope.result["frontier"]):
+            print(f"{time_cost:14.4g}  {buffer_cost / 1048576.0:12.2f}")
+    # ServerThread.__exit__ stopped the server and closed the service.
 
 
 if __name__ == "__main__":

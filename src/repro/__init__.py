@@ -124,6 +124,12 @@ from repro.parallel import (
     sharded_moqo,
 )
 from repro.plans import JoinMethod, JoinPlan, Plan, ScanMethod, ScanPlan
+from repro.serving import (
+    AsyncOptimizerServer,
+    ServerResponse,
+    ServerThread,
+    ServingMetrics,
+)
 from repro.query import (
     FilterPredicate,
     JoinPredicate,
@@ -141,6 +147,7 @@ __version__ = "1.2.0"
 __all__ = [
     "ALL_OBJECTIVES",
     "AlgorithmSpec",
+    "AsyncOptimizerServer",
     "CatalogError",
     "Column",
     "CostModel",
@@ -179,7 +186,10 @@ __all__ = [
     "Schema",
     "ScanMethod",
     "ScanPlan",
+    "ServerResponse",
+    "ServerThread",
     "ServiceMetrics",
+    "ServingMetrics",
     "ShardPlanner",
     "Table",
     "TableRef",

@@ -9,11 +9,16 @@ Examples::
     python -m repro.cli --query 5 --algorithm ira --alpha 1.2 \\
         --objectives total_time,cores,tuple_loss \\
         --weight total_time=1 --bound tuple_loss=0 --plot total_time:cores
+
+    # Serve the optimizer over HTTP/JSON (POST /optimize, GET /metrics):
+    python -m repro.cli serve --port 8080 --fast --max-in-flight 4 \\
+        --queue-limit 64 --deadline-timeout 2.0
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import cProfile
 import dataclasses
 import pstats
@@ -118,6 +123,115 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve the optimizer over HTTP/JSON: POST /optimize takes "
+            "the repro.plans.serialize request format, GET /metrics "
+            "reports coalescing/shedding/latency counters"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks an ephemeral port; default: 8080)",
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=1.0,
+        help="TPC-H scale factor for the statistics (default: 1)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use the reduced operator space (faster, smaller plan space)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="threads",
+        help="service execution backend (default: threads; 'processes' "
+             "sidesteps the GIL with warm worker processes)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for the process backend (default: auto)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256, metavar="N",
+        help="plan-cache capacity (default: 256; 0 disables)",
+    )
+    parser.add_argument(
+        "--max-in-flight", type=int, default=4, metavar="N",
+        help="concurrent optimizations (default: 4)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admitted requests allowed to wait for a slot before new "
+             "arrivals are shed with 429 (default: 64; 0 = never queue)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-optimization timeout baked into the config",
+    )
+    parser.add_argument(
+        "--deadline-timeout", type=float, default=None, metavar="SECONDS",
+        help="enable the deadline scheduler with this default end-to-end "
+             "budget; queueing time counts against it",
+    )
+    parser.add_argument(
+        "--shed-expired", action="store_true",
+        help="503 requests whose budget died while queueing instead of "
+             "running the single-plan fallback for them",
+    )
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    """Entry point of the ``serve`` subcommand."""
+    from repro.parallel.deadline import DeadlineScheduler
+    from repro.serving.server import AsyncOptimizerServer
+
+    args = build_serve_parser().parse_args(argv)
+    config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+    scheduler = None
+    try:
+        if args.deadline_timeout is not None:
+            config = config.with_timeout(args.deadline_timeout)
+            scheduler = DeadlineScheduler()
+        elif args.timeout is not None:
+            config = config.with_timeout(args.timeout)
+        service = OptimizerService(
+            tpch_schema(args.scale_factor), config=config,
+            cache_size=args.cache_size, backend=args.backend,
+            workers=args.workers, scheduler=scheduler,
+        )
+        server = AsyncOptimizerServer(
+            service,
+            host=args.host, port=args.port,
+            max_in_flight=args.max_in_flight,
+            max_queue_depth=args.queue_limit,
+            owns_service=True,
+            shed_expired=args.shed_expired,
+        )
+    except Exception as error:  # bad flags -> CLI error, no traceback
+        raise SystemExit(str(error))
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(f"repro optimizer serving on http://{host}:{port}")
+        print("  POST /optimize   GET /metrics   GET /healthz")
+        print(f"  backend={args.backend} max_in_flight={args.max_in_flight} "
+              f"queue_limit={args.queue_limit} "
+              f"deadline={'on' if scheduler else 'off'}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def _parse_assignments(pairs: list[str], label: str) -> dict[Objective, float]:
     parsed: dict[Objective, float] = {}
     for pair in pairs:
@@ -132,6 +246,10 @@ def _parse_assignments(pairs: list[str], label: str) -> dict[Objective, float]:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         objectives = tuple(

@@ -14,11 +14,20 @@ Two layers of metrics live here:
   requests, plan-cache hits/misses, per-algorithm request counts and
   cumulative optimization time. Metrics hooks registered on the service
   receive one :class:`RequestMetrics` record per completed request.
+  The serving layer (:mod:`repro.serving`) threads its front-end
+  counters into the same aggregate — ``coalesce_hits`` (requests that
+  awaited an identical in-flight optimization instead of running their
+  own) and ``sheds`` (requests refused by admission control) — so one
+  snapshot covers a server end to end.
+* :class:`LatencyHistogram` — thread-safe latency sample sink with
+  percentile queries (p50/p99), used by the serving layer for
+  end-to-end request latencies.
 """
 
 from __future__ import annotations
 
 import threading
+from bisect import insort
 from dataclasses import dataclass, field
 
 from repro.plans.plan import PLAN_BYTES
@@ -95,6 +104,87 @@ class Counters:
 
 
 # ----------------------------------------------------------------------
+# Latency histogram (serving layer)
+# ----------------------------------------------------------------------
+class LatencyHistogram:
+    """Thread-safe latency sample sink with percentile queries.
+
+    Samples are kept sorted as they arrive (insertion is O(n) worst
+    case but effectively cheap at serving rates), so percentile reads
+    are O(1) — the read path is a metrics endpoint, hit far more often
+    under load than makes re-sorting attractive. ``max_samples`` bounds
+    memory: once full, every second incoming sample is dropped
+    uniformly at random-ish (deterministic decimation by counter), which
+    keeps tail percentiles meaningful without unbounded growth.
+    """
+
+    def __init__(self, max_samples: int = 65536) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
+        self._samples: list[float] = []
+        self._observed = 0
+        self._dropped = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value_ms: float) -> None:
+        """Record one latency sample (milliseconds)."""
+        with self._lock:
+            self._observed += 1
+            self._total += value_ms
+            if value_ms > self._max:
+                self._max = value_ms
+            if len(self._samples) >= self.max_samples:
+                # Deterministic decimation: drop every other arrival.
+                self._dropped += 1
+                if self._dropped % 2 == 1:
+                    return
+                self._samples.pop(len(self._samples) // 2)
+            insort(self._samples, value_ms)
+
+    @property
+    def count(self) -> int:
+        """Number of samples observed (including decimated ones)."""
+        with self._lock:
+            return self._observed
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._observed if self._observed else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            rank = min(
+                len(self._samples) - 1,
+                max(0, int(round(fraction * (len(self._samples) - 1)))),
+            )
+            return self._samples[rank]
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time percentile summary (safe to serialize)."""
+        with self._lock:
+            count = self._observed
+            mean = self._total / count if count else 0.0
+            maximum = self._max
+        return {
+            "count": float(count),
+            "mean_ms": mean,
+            "p50_ms": self.percentile(0.50),
+            "p95_ms": self.percentile(0.95),
+            "p99_ms": self.percentile(0.99),
+            "max_ms": maximum,
+        }
+
+
+# ----------------------------------------------------------------------
 # Service-level metrics (OptimizerService)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -143,6 +233,12 @@ class ServiceMetrics:
     ``cache_hits``/``cache_misses`` implement the plan-cache hit counter
     the batch API's acceptance test observes; ``by_algorithm`` counts
     executed (non-cached) requests per algorithm name.
+
+    ``coalesce_hits`` and ``sheds`` are fed by the serving front end
+    (:mod:`repro.serving`): coalesced requests never reach
+    :meth:`record` (they await another request's optimization), and
+    shed requests are refused before a request object even executes —
+    both are counted here so one aggregate describes the whole server.
     """
 
     requests: int = 0
@@ -150,6 +246,8 @@ class ServiceMetrics:
     cache_misses: int = 0
     timeouts: int = 0
     deadline_hits: int = 0
+    coalesce_hits: int = 0
+    sheds: int = 0
     total_optimization_ms: float = 0.0
     by_algorithm: dict[str, int] = field(default_factory=dict)
     by_worker: dict[str, int] = field(default_factory=dict)
@@ -178,6 +276,16 @@ class ServiceMetrics:
                     self.by_worker.get(metrics.worker, 0) + 1
                 )
 
+    def record_coalesce_hit(self) -> None:
+        """Count one request served by awaiting an in-flight twin."""
+        with self._lock:
+            self.coalesce_hits += 1
+
+    def record_shed(self) -> None:
+        """Count one request refused by serving admission control."""
+        with self._lock:
+            self.sheds += 1
+
     @property
     def hit_rate(self) -> float:
         """Plan-cache hit rate over all requests (0 when none served)."""
@@ -192,6 +300,8 @@ class ServiceMetrics:
                 "cache_misses": self.cache_misses,
                 "timeouts": self.timeouts,
                 "deadline_hits": self.deadline_hits,
+                "coalesce_hits": self.coalesce_hits,
+                "sheds": self.sheds,
                 "total_optimization_ms": self.total_optimization_ms,
                 "by_algorithm": dict(self.by_algorithm),
                 "by_worker": dict(self.by_worker),

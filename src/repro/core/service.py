@@ -141,6 +141,7 @@ class OptimizerService:
         self.scheduler = scheduler
         self._pool = None
         self._pool_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -184,11 +185,26 @@ class OptimizerService:
             return self._pool
 
     def close(self) -> None:
-        """Shut down the worker pool, if one was started (idempotent)."""
+        """Shut down the worker pool, if one was started.
+
+        Idempotent by contract: the serving layer may own the service
+        lifecycle *and* hand it to a context manager, so double (and
+        triple) closes must be no-ops rather than errors. A closed
+        service still answers ``submit``/``optimize_many`` — the inline
+        and thread backends need no resources — but the process backend
+        would lazily restart a worker pool, so :attr:`closed` lets
+        owners assert the lifecycle they expect.
+        """
         with self._pool_lock:
+            self._closed = True
             if self._pool is not None:
                 self._pool.shutdown()
                 self._pool = None
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called at least once."""
+        return self._closed
 
     def __enter__(self) -> "OptimizerService":
         return self

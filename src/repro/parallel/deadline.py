@@ -142,6 +142,47 @@ class DeadlineScheduler:
             deadline_epoch=deadline_epoch,
         )
 
+    def remaining(
+        self,
+        request: OptimizationRequest,
+        admitted_epoch: float,
+        now: float | None = None,
+        default_timeout: float | None = None,
+    ) -> float | None:
+        """Budget (seconds) left for a request admitted at ``admitted_epoch``.
+
+        ``None`` means the request carries no budget at any level —
+        it can queue forever without going overdue. Negative values mean
+        the deadline has already passed.
+        """
+        budget = self._budget(request, default_timeout)
+        if budget is None:
+            return None
+        if now is None:
+            now = time.time()
+        return admitted_epoch + budget - now
+
+    def overdue(
+        self,
+        request: OptimizationRequest,
+        admitted_epoch: float,
+        now: float | None = None,
+        default_timeout: float | None = None,
+    ) -> bool:
+        """Whether a queued request's budget is already unservable.
+
+        True once less than ``min_slice_seconds`` remains — the same
+        threshold :meth:`resolve` uses to degrade a run to the expired
+        fallback. The serving layer's admission control uses this at
+        dequeue time to drop requests whose deadline passed while they
+        queued, instead of spending optimizer capacity producing a
+        fallback plan nobody asked to wait for.
+        """
+        remaining = self.remaining(
+            request, admitted_epoch, now, default_timeout
+        )
+        return remaining is not None and remaining <= self.min_slice_seconds
+
     # ------------------------------------------------------------------
     def _budget(
         self,

@@ -15,6 +15,17 @@ only reads while *building* plans) and the frontier's plan trees
 (``result_to_dict`` stores frontier cost vectors only; rebuilding gives
 ``(cost, None)`` entries). For full-fidelity transport inside one
 Python ecosystem use ``pickle`` — all plan/result types support it.
+
+The *request* direction (:func:`request_to_dict`,
+:func:`request_from_dict` and the query/preference helpers underneath)
+is the wire format of :mod:`repro.serving`: everything a remote client
+needs to describe one optimization — query structure (or the
+``{"kind": "tpch", "number": N}`` shorthand), preferences, algorithm,
+precision, strictness, per-request timeout and tags — travels as plain
+JSON. Per-request ``OptimizerConfig`` overrides deliberately do not:
+a served request runs under the server's configuration, and silently
+dropping an override would change what the fingerprint promises, so
+``request_to_dict`` rejects requests that carry one.
 """
 
 from __future__ import annotations
@@ -29,7 +40,10 @@ from repro.plans.plan import JoinPlan, Plan, ScanPlan
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (the core
     # package imports config, which imports this package).
+    from repro.core.preferences import Preferences
+    from repro.core.request import OptimizationRequest
     from repro.core.result import OptimizationResult
+    from repro.query.query import MultiBlockQuery, Query
 
 
 def plan_to_dict(plan: Plan) -> dict[str, Any]:
@@ -221,3 +235,246 @@ def result_from_json(text: str) -> "OptimizationResult":
 def result_to_json(result: "OptimizationResult", indent: int = 2) -> str:
     """Serialize an optimization result to a JSON string."""
     return json.dumps(result_to_dict(result), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Request direction: queries, preferences, optimization requests
+# ----------------------------------------------------------------------
+def query_to_dict(query: "Query | MultiBlockQuery") -> dict[str, Any]:
+    """Serialize a query (block or multi-block) structurally.
+
+    The structural form lists table references, filters and joins
+    verbatim; it references base tables by *name*, so deserializing is
+    schema-independent and validation against an actual catalog happens
+    when the query is optimized.
+    """
+    from repro.query.query import MultiBlockQuery, Query
+
+    if isinstance(query, MultiBlockQuery):
+        return {
+            "kind": "multi_block",
+            "name": query.name,
+            "blocks": [query_to_dict(block) for block in query.blocks],
+        }
+    if not isinstance(query, Query):
+        raise ReproError(
+            f"cannot serialize query: {type(query).__name__}"
+        )
+    node: dict[str, Any] = {
+        "kind": "block",
+        "name": query.name,
+        "tables": [
+            {"alias": ref.alias, "table": ref.table_name}
+            for ref in query.table_refs
+        ],
+        "filters": [
+            {
+                "alias": flt.alias,
+                "column": flt.column,
+                "selectivity": flt.selectivity,
+                "description": flt.description,
+            }
+            for flt in query.filters
+        ],
+        "joins": [
+            {
+                "left_alias": join.left_alias,
+                "left_column": join.left_column,
+                "right_alias": join.right_alias,
+                "right_column": join.right_column,
+                "selectivity": join.selectivity,
+            }
+            for join in query.joins
+        ],
+    }
+    return node
+
+
+def query_from_dict(payload: dict[str, Any]) -> "Query | MultiBlockQuery":
+    """Rebuild a query serialized by :func:`query_to_dict`.
+
+    Also accepts the compact TPC-H shorthand
+    ``{"kind": "tpch", "number": N}``, which wire clients use instead
+    of shipping the full query structure.
+    """
+    from repro.query.predicate import (
+        FilterPredicate,
+        JoinPredicate,
+        TableRef,
+    )
+    from repro.query.query import MultiBlockQuery, Query
+
+    try:
+        kind = payload["kind"]
+        if kind == "tpch":
+            from repro.query.tpch_queries import tpch_query
+
+            return tpch_query(int(payload["number"]))
+        if kind == "multi_block":
+            return MultiBlockQuery(
+                name=payload["name"],
+                blocks=tuple(
+                    query_from_dict(block) for block in payload["blocks"]
+                ),
+            )
+        if kind == "block":
+            return Query(
+                name=payload["name"],
+                table_refs=tuple(
+                    TableRef(alias=ref["alias"], table_name=ref["table"])
+                    for ref in payload["tables"]
+                ),
+                filters=tuple(
+                    FilterPredicate(
+                        alias=flt["alias"],
+                        column=flt["column"],
+                        selectivity=flt["selectivity"],
+                        description=flt.get("description", ""),
+                    )
+                    for flt in payload["filters"]
+                ),
+                joins=tuple(
+                    JoinPredicate(
+                        left_alias=join["left_alias"],
+                        left_column=join["left_column"],
+                        right_alias=join["right_alias"],
+                        right_column=join["right_column"],
+                        selectivity=join.get("selectivity"),
+                    )
+                    for join in payload["joins"]
+                ),
+            )
+    except ReproError:
+        raise
+    except (KeyError, ValueError, TypeError) as error:
+        raise ReproError(f"malformed query dictionary: {error}") from error
+    raise ReproError(f"cannot deserialize query kind {kind!r}")
+
+
+def preferences_to_dict(preferences: "Preferences") -> dict[str, Any]:
+    """Serialize preferences (objectives with aligned weights/bounds)."""
+    return {
+        "objectives": [o.name.lower() for o in preferences.objectives],
+        "weights": list(preferences.weights),
+        "bounds": [
+            None if bound == float("inf") else bound
+            for bound in preferences.bounds
+        ],
+    }
+
+
+def preferences_from_dict(payload: dict[str, Any]) -> "Preferences":
+    """Rebuild preferences serialized by :func:`preferences_to_dict`.
+
+    ``weights``/``bounds`` also accept objective-name-keyed mappings
+    (missing weights default to 0, missing bounds to unbounded) so
+    hand-written wire requests stay terse.
+    """
+    from repro.core.preferences import Preferences
+
+    try:
+        objectives = tuple(
+            parse_objective(name) for name in payload["objectives"]
+        )
+        weights = payload.get("weights", [])
+        bounds = payload.get("bounds", [])
+        if isinstance(weights, dict) or isinstance(bounds, dict):
+            return Preferences.from_maps(
+                objectives,
+                weights={
+                    parse_objective(name): float(value)
+                    for name, value in (weights or {}).items()
+                },
+                bounds={
+                    parse_objective(name): float(value)
+                    for name, value in (bounds or {}).items()
+                },
+            )
+        return Preferences(
+            objectives=objectives,
+            weights=tuple(float(w) for w in weights),
+            bounds=tuple(
+                float("inf") if bound is None else float(bound)
+                for bound in bounds
+            ),
+        )
+    except ReproError:
+        raise
+    except (KeyError, ValueError, TypeError, AttributeError) as error:
+        raise ReproError(
+            f"malformed preferences dictionary: {error}"
+        ) from error
+
+
+def request_to_dict(request: "OptimizationRequest") -> dict[str, Any]:
+    """Serialize an optimization request to its wire form.
+
+    Requests carrying a per-request ``OptimizerConfig`` override are
+    rejected: the wire format runs requests under the *server's*
+    configuration (see the module docstring).
+    """
+    if request.config is not None:
+        raise ReproError(
+            "requests with a per-request config override cannot be "
+            "serialized; wire requests run under the server's config"
+        )
+    return {
+        "query": query_to_dict(request.query),
+        "preferences": preferences_to_dict(request.preferences),
+        "algorithm": request.algorithm,
+        "alpha": request.alpha,
+        "strict": request.strict,
+        "timeout_seconds": request.timeout_seconds,
+        "tags": list(request.tags),
+    }
+
+
+def request_from_dict(payload: dict[str, Any]) -> "OptimizationRequest":
+    """Rebuild a request serialized by :func:`request_to_dict`.
+
+    Validation runs twice, deliberately: field-shape errors surface here
+    as :class:`~repro.exceptions.ReproError`, and the rebuilt request
+    re-validates itself against the algorithm registry on construction
+    (unknown algorithms, bad alpha, unsupported strictness), so a
+    malformed wire request can never reach an optimizer.
+    """
+    from repro.core.request import DEFAULT_ALPHA, OptimizationRequest
+
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"request payload must be an object, "
+            f"got {type(payload).__name__}"
+        )
+    try:
+        query = query_from_dict(payload["query"])
+        preferences = preferences_from_dict(payload["preferences"])
+        timeout = payload.get("timeout_seconds")
+        return OptimizationRequest(
+            query=query,
+            preferences=preferences,
+            algorithm=payload.get("algorithm", "rta"),
+            alpha=payload.get("alpha", DEFAULT_ALPHA),
+            strict=bool(payload.get("strict", False)),
+            timeout_seconds=None if timeout is None else float(timeout),
+            tags=tuple(payload.get("tags", ())),
+        )
+    except ReproError:
+        raise
+    except (KeyError, ValueError, TypeError) as error:
+        raise ReproError(
+            f"malformed request dictionary: {error}"
+        ) from error
+
+
+def request_from_json(text: str) -> "OptimizationRequest":
+    """Rebuild a request from :func:`request_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except ValueError as error:
+        raise ReproError(f"request is not valid JSON: {error}") from error
+    return request_from_dict(payload)
+
+
+def request_to_json(request: "OptimizationRequest", indent: int | None = None) -> str:
+    """Serialize an optimization request to a JSON string."""
+    return json.dumps(request_to_dict(request), indent=indent)

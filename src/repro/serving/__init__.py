@@ -1,0 +1,66 @@
+"""repro.serving — asyncio HTTP/JSON front end for the optimizer service.
+
+The paper's central premise is that preferences change much faster than
+plan spaces: a server that absorbs heavy concurrent traffic is where
+that asymmetry pays off. This package puts a network-facing layer on
+:class:`~repro.core.service.OptimizerService`:
+
+* :class:`AsyncOptimizerServer` — a stdlib-only asyncio HTTP/1.1 server
+  (``asyncio.start_server``; no third-party dependencies) exposing
+  ``POST /optimize``, ``GET /metrics`` and ``GET /healthz``;
+* :mod:`~repro.serving.protocol` — the typed :class:`ServerResponse`
+  envelope with error codes, built on the JSON round-trips in
+  :mod:`repro.plans.serialize` (``request_from_dict`` in,
+  ``result_to_dict`` out);
+* :class:`~repro.serving.coalescer.RequestCoalescer` — in-flight
+  request coalescing keyed on request fingerprints: N concurrent
+  identical requests await one optimization;
+* :class:`~repro.serving.admission.AdmissionController` — bounded
+  queue + in-flight cap with 429-style shedding, integrated with
+  :class:`~repro.parallel.deadline.DeadlineScheduler` so queueing time
+  counts against end-to-end budgets;
+* :class:`~repro.serving.metrics.ServingMetrics` — per-server counters
+  (coalesce hit rate, sheds, queue depth, p50/p99 latency) threaded
+  into the service's :class:`~repro.core.instrumentation.ServiceMetrics`.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.client import (
+    AsyncHttpClient,
+    get_metrics,
+    http_request,
+    post_optimize,
+)
+from repro.serving.coalescer import RequestCoalescer
+from repro.serving.metrics import ServingMetrics
+from repro.serving.protocol import (
+    CODE_BAD_REQUEST,
+    CODE_DEADLINE_EXPIRED,
+    CODE_INTERNAL,
+    CODE_NOT_FOUND,
+    CODE_OK,
+    CODE_SHED,
+    CODE_UNAVAILABLE,
+    ServerResponse,
+)
+from repro.serving.server import AsyncOptimizerServer, ServerThread
+
+__all__ = [
+    "AdmissionController",
+    "AsyncHttpClient",
+    "AsyncOptimizerServer",
+    "CODE_BAD_REQUEST",
+    "CODE_DEADLINE_EXPIRED",
+    "CODE_INTERNAL",
+    "CODE_NOT_FOUND",
+    "CODE_OK",
+    "CODE_SHED",
+    "CODE_UNAVAILABLE",
+    "RequestCoalescer",
+    "ServerResponse",
+    "ServerThread",
+    "ServingMetrics",
+    "get_metrics",
+    "http_request",
+    "post_optimize",
+]

@@ -1,0 +1,112 @@
+"""Admission control: bounded queue, in-flight cap, load shedding.
+
+Two limits shape the server's behavior under overload:
+
+* ``max_in_flight`` — how many optimizations run concurrently (the
+  size of the executor feeding :class:`~repro.core.service.OptimizerService`);
+* ``max_queue_depth`` — how many admitted requests may *wait* for an
+  execution slot. Arrivals beyond it are shed immediately with a
+  429-style response instead of building an unbounded backlog whose
+  tail latencies nobody survives.
+
+Only coalescing *leaders* pass through admission: followers piggyback
+on a leader that already holds (or waits for) a slot, so a burst of
+1000 identical requests costs one queue entry. Queue *time* is not
+lost to accounting — the server stamps every request's arrival and
+hands it to the service as ``admitted_epoch``, which is what makes
+:class:`~repro.parallel.deadline.DeadlineScheduler` budgets end-to-end
+(see :meth:`AdmissionController.slot`).
+
+Like the coalescer, the controller is event-loop-confined: counters
+are only touched from the server's loop, so they need no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+
+class AdmissionController:
+    """Bounded admission queue in front of a slot semaphore."""
+
+    def __init__(
+        self, max_in_flight: int = 4, max_queue_depth: int = 16
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self._slots = asyncio.Semaphore(max_in_flight)
+        #: Admitted requests waiting for (or about to take) a slot.
+        self.queued = 0
+        #: Requests currently holding an execution slot.
+        self.running = 0
+        self.peak_queue_depth = 0
+        self.admitted = 0
+        self.shed = 0
+
+    # ------------------------------------------------------------------
+    def try_admit(self) -> bool:
+        """Admit one request, or refuse it because the queue is full.
+
+        The invariant is on *outstanding* work: at most
+        ``max_in_flight`` running plus ``max_queue_depth`` waiting.
+        ``max_queue_depth=0`` therefore means "run or shed, never
+        wait". Admission only reserves the position; the caller must
+        enter :meth:`slot` to actually run (exactly once per successful
+        admission — :meth:`slot` releases the position).
+        """
+        if (
+            self.queued + self.running
+            >= self.max_in_flight + self.max_queue_depth
+        ):
+            self.shed += 1
+            return False
+        self.queued += 1
+        backlog = self.queue_depth
+        if backlog > self.peak_queue_depth:
+            self.peak_queue_depth = backlog
+        self.admitted += 1
+        return True
+
+    @asynccontextmanager
+    async def slot(self):
+        """Hold one execution slot; waiting here is queue time.
+
+        The wait is intentionally *before* the optimization starts and
+        *after* the arrival timestamp was taken, so a deadline
+        scheduler sees queueing as spent budget.
+        """
+        await self._slots.acquire()
+        self.queued -= 1
+        self.running += 1
+        try:
+            yield
+        finally:
+            self.running -= 1
+            self._slots.release()
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests that must wait for a slot (the backlog)."""
+        return max(0, self.queued + self.running - self.max_in_flight)
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time counters (safe to serialize)."""
+        return {
+            "max_in_flight": self.max_in_flight,
+            "max_queue_depth": self.max_queue_depth,
+            "running": self.running,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }

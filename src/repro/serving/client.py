@@ -1,0 +1,187 @@
+"""Minimal HTTP/JSON clients for the optimizer server.
+
+Two flavors, both stdlib-only:
+
+* :func:`http_request` / :func:`post_optimize` — blocking, one socket
+  per call (``Connection: close``); what synchronous examples and
+  tests reach for;
+* :class:`AsyncHttpClient` — asyncio streams with keep-alive, used by
+  the load benchmark to drive many concurrent open-loop arrivals from
+  one process.
+
+Both return the raw response body alongside the parsed envelope so
+callers can assert bitwise equality of coalesced responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any
+
+from repro.serving.protocol import ProtocolError, ServerResponse
+
+
+def _build_request(
+    method: str, path: str, payload: Any | None, *, close: bool
+) -> bytes:
+    body = b""
+    if payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: repro\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _parse_status_line(line: bytes) -> int:
+    try:
+        _version, status, *_reason = line.decode("latin-1").split(" ", 2)
+        return int(status)
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(
+            f"malformed HTTP status line {line!r}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
+# Blocking client
+# ----------------------------------------------------------------------
+def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Any | None = None,
+    *,
+    timeout: float = 30.0,
+) -> tuple[int, bytes]:
+    """One blocking HTTP exchange; returns (status, body bytes)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(_build_request(method, path, payload, close=True))
+        reader = sock.makefile("rb")
+        status = _parse_status_line(reader.readline())
+        length = 0
+        while True:
+            line = reader.readline()
+            if not line:
+                raise ProtocolError("connection closed inside headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = reader.read(length)
+        return status, body
+
+
+def post_optimize(
+    host: str,
+    port: int,
+    request_payload: dict[str, Any],
+    *,
+    timeout: float = 30.0,
+) -> tuple[ServerResponse, bytes]:
+    """POST one optimize request; returns (envelope, raw body)."""
+    _status, body = http_request(
+        host, port, "POST", "/optimize", request_payload, timeout=timeout
+    )
+    return ServerResponse.from_json(body), body
+
+
+def get_metrics(
+    host: str, port: int, *, timeout: float = 30.0
+) -> dict[str, Any]:
+    """Fetch the server's combined metrics snapshot."""
+    _status, body = http_request(
+        host, port, "GET", "/metrics", timeout=timeout
+    )
+    envelope = ServerResponse.from_json(body)
+    return envelope.result or {}
+
+
+# ----------------------------------------------------------------------
+# Async client (keep-alive)
+# ----------------------------------------------------------------------
+class AsyncHttpClient:
+    """One keep-alive connection to the server, asyncio flavored.
+
+    Not safe for concurrent use from multiple tasks — HTTP/1.1 without
+    pipelining is one exchange at a time per connection. Spawn one
+    client per concurrent in-flight request (they are cheap).
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "AsyncHttpClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "AsyncHttpClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, bytes]:
+        """One HTTP exchange on the keep-alive connection."""
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(
+            _build_request(method, path, payload, close=False)
+        )
+        await self._writer.drain()
+        status = _parse_status_line(await self._reader.readline())
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                raise ProtocolError("connection closed inside headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = (
+            await self._reader.readexactly(length) if length else b""
+        )
+        return status, body
+
+    async def optimize(
+        self, request_payload: dict[str, Any]
+    ) -> tuple[ServerResponse, bytes]:
+        """POST one optimize request; returns (envelope, raw body)."""
+        _status, body = await self.request(
+            "POST", "/optimize", request_payload
+        )
+        return ServerResponse.from_json(body), body
+
+    async def metrics(self) -> dict[str, Any]:
+        _status, body = await self.request("GET", "/metrics")
+        envelope = ServerResponse.from_json(body)
+        return envelope.result or {}

@@ -1,0 +1,102 @@
+"""In-flight request coalescing: one optimization serves N twins.
+
+The multi-tenant scenario produces bursts of fingerprint-identical
+requests (every premium tenant asking for TPC-H Q5 under the same
+policy). The plan cache already deduplicates *completed* work; the
+:class:`RequestCoalescer` deduplicates work that is still running —
+the first arrival (the *leader*) runs the optimization, every
+concurrent identical request (a *follower*) awaits the same future and
+receives the identical result object.
+
+Cancellation safety is the subtle part and rests on two rules the
+server upholds:
+
+* the leader's optimization runs in a *detached* task, not in the
+  connection handler — a client that disconnects mid-flight cancels
+  only its own await, never the shared work (followers still get their
+  result, and the result still lands in the plan cache);
+* followers await the shared future through ``asyncio.shield`` so a
+  cancelled follower cannot propagate cancellation into it.
+
+The registry is event-loop-confined (no locks): every method must be
+called from the server's loop, which asyncio guarantees for connection
+handlers and their tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class RequestCoalescer:
+    """Futures registry keyed on request fingerprints."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: Leaders registered over the coalescer's lifetime.
+        self.leaders = 0
+        #: Followers that attached to an in-flight leader.
+        self.followers = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str) -> asyncio.Future | None:
+        """The in-flight future for ``fingerprint``, if one exists.
+
+        Finding one means the caller is a follower; the lookup counts
+        it. Await the future through ``asyncio.shield``.
+        """
+        future = self._inflight.get(fingerprint)
+        if future is not None:
+            self.followers += 1
+        return future
+
+    def register(self, fingerprint: str) -> asyncio.Future:
+        """Register the caller as leader for ``fingerprint``.
+
+        Raises :class:`RuntimeError` if a leader is already in flight —
+        callers must :meth:`lookup` first.
+        """
+        if fingerprint in self._inflight:
+            raise RuntimeError(
+                f"fingerprint already in flight: {fingerprint}"
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[fingerprint] = future
+        self.leaders += 1
+        return future
+
+    # ------------------------------------------------------------------
+    def resolve(self, fingerprint: str, result) -> None:
+        """Deliver the leader's result to every waiter and deregister."""
+        future = self._inflight.pop(fingerprint, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    def fail(self, fingerprint: str, error: BaseException) -> None:
+        """Deliver the leader's failure to every waiter and deregister.
+
+        Cancellation of the detached leader task (server shutdown) is
+        forwarded as future cancellation so followers observe
+        ``CancelledError`` rather than hanging forever.
+        """
+        future = self._inflight.pop(fingerprint, None)
+        if future is None or future.done():
+            return
+        if isinstance(error, asyncio.CancelledError):
+            future.cancel()
+        else:
+            future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Number of distinct fingerprints currently being optimized."""
+        return len(self._inflight)
+
+    def snapshot(self) -> dict[str, int]:
+        """Point-in-time counters (safe to serialize)."""
+        return {
+            "in_flight": self.in_flight,
+            "leaders": self.leaders,
+            "followers": self.followers,
+        }

@@ -1,0 +1,114 @@
+"""Per-server metrics: latency percentiles, coalescing, shedding.
+
+:class:`ServingMetrics` is the front-end companion of
+:class:`~repro.core.instrumentation.ServiceMetrics`: the service
+aggregate counts what the optimizer *did* (requests, cache hits,
+timeouts), this one counts what the server *experienced* (end-to-end
+latency from first byte to response, responses by envelope code,
+coalesce hit rate, sheds). Coalesce hits and sheds are additionally
+threaded into the linked ``ServiceMetrics`` so a single service
+snapshot describes the whole deployment.
+
+Unlike the loop-confined coalescer/admission objects this class takes
+a lock: latency observations come from connection handlers on the
+loop, but ``snapshot()`` is also called from sync test/benchmark code
+running on other threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.instrumentation import LatencyHistogram, ServiceMetrics
+
+
+class ServingMetrics:
+    """Aggregate counters for one :class:`AsyncOptimizerServer`."""
+
+    def __init__(
+        self,
+        service_metrics: ServiceMetrics | None = None,
+        *,
+        max_latency_samples: int = 65536,
+    ) -> None:
+        self.latency = LatencyHistogram(max_samples=max_latency_samples)
+        self._service_metrics = service_metrics
+        self._lock = threading.Lock()
+        self.connections = 0
+        self.requests = 0
+        self.responses_by_code: dict[str, int] = {}
+        self.coalesce_hits = 0
+        self.coalesce_leaders = 0
+        self.sheds = 0
+        self.deadline_sheds = 0
+        self.protocol_errors = 0
+
+    # ------------------------------------------------------------------
+    def record_connection(self) -> None:
+        with self._lock:
+            self.connections += 1
+
+    def record_request(self) -> None:
+        with self._lock:
+            self.requests += 1
+
+    def record_response(self, code: str, latency_ms: float) -> None:
+        """Count one finished optimize cycle and its end-to-end latency."""
+        with self._lock:
+            self.responses_by_code[code] = (
+                self.responses_by_code.get(code, 0) + 1
+            )
+        self.latency.observe(latency_ms)
+
+    def record_coalesce_hit(self) -> None:
+        """One request attached to an in-flight twin (no new work)."""
+        with self._lock:
+            self.coalesce_hits += 1
+        if self._service_metrics is not None:
+            self._service_metrics.record_coalesce_hit()
+
+    def record_coalesce_leader(self) -> None:
+        """One request became the leader of its fingerprint."""
+        with self._lock:
+            self.coalesce_leaders += 1
+
+    def record_shed(self, *, deadline: bool = False) -> None:
+        """One request refused (queue full, or budget died queueing)."""
+        with self._lock:
+            self.sheds += 1
+            if deadline:
+                self.deadline_sheds += 1
+        if self._service_metrics is not None:
+            self._service_metrics.record_shed()
+
+    def record_protocol_error(self) -> None:
+        with self._lock:
+            self.protocol_errors += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def coalesce_hit_rate(self) -> float:
+        """Fraction of optimize requests served by coalescing."""
+        with self._lock:
+            total = self.coalesce_hits + self.coalesce_leaders
+            return self.coalesce_hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        """Point-in-time copy of all counters (safe to serialize)."""
+        with self._lock:
+            counters = {
+                "connections": self.connections,
+                "requests": self.requests,
+                "responses_by_code": dict(self.responses_by_code),
+                "coalesce_hits": self.coalesce_hits,
+                "coalesce_leaders": self.coalesce_leaders,
+                "sheds": self.sheds,
+                "deadline_sheds": self.deadline_sheds,
+                "protocol_errors": self.protocol_errors,
+            }
+        total = counters["coalesce_hits"] + counters["coalesce_leaders"]
+        counters["coalesce_hit_rate"] = (
+            counters["coalesce_hits"] / total if total else 0.0
+        )
+        counters["latency"] = self.latency.snapshot()
+        return counters

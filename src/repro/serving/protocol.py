@@ -1,0 +1,179 @@
+"""Wire protocol of the serving layer: envelopes, codes, HTTP mapping.
+
+One request/response cycle of :class:`~repro.serving.server.AsyncOptimizerServer`:
+
+* the client ``POST``s a JSON body in the shape produced by
+  :func:`repro.plans.serialize.request_to_dict` (queries either
+  structurally or via the ``{"kind": "tpch", "number": N}`` shorthand);
+* the server answers with a :class:`ServerResponse` envelope — a typed
+  wrapper carrying a machine-readable ``code``, the serialized
+  :func:`~repro.plans.serialize.result_to_dict` payload on success, an
+  error message otherwise, plus serving metadata (whether the response
+  was coalesced onto another request's optimization, the request
+  fingerprint, server-side latency).
+
+Codes map onto HTTP statuses (:data:`HTTP_STATUS`): admission-control
+sheds answer ``429 Too Many Requests``, budget-expired requests
+``503 Service Unavailable``, malformed payloads ``400``. The envelope
+``code`` — not the HTTP status — is the API contract; the HTTP status
+is a faithful projection for generic clients and load balancers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.request import OptimizationRequest
+from repro.exceptions import ReproError
+from repro.plans.serialize import request_from_dict
+
+#: Machine-readable envelope codes (the API contract).
+CODE_OK = "ok"
+CODE_BAD_REQUEST = "bad_request"
+CODE_NOT_FOUND = "not_found"
+CODE_SHED = "shed"
+CODE_DEADLINE_EXPIRED = "deadline_expired"
+CODE_INTERNAL = "internal"
+CODE_UNAVAILABLE = "unavailable"
+
+#: Envelope code -> (HTTP status, reason phrase).
+HTTP_STATUS: dict[str, tuple[int, str]] = {
+    CODE_OK: (200, "OK"),
+    CODE_BAD_REQUEST: (400, "Bad Request"),
+    CODE_NOT_FOUND: (404, "Not Found"),
+    CODE_SHED: (429, "Too Many Requests"),
+    CODE_DEADLINE_EXPIRED: (503, "Service Unavailable"),
+    CODE_INTERNAL: (500, "Internal Server Error"),
+    CODE_UNAVAILABLE: (503, "Service Unavailable"),
+}
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed wire payloads (maps to ``bad_request``)."""
+
+
+@dataclass(frozen=True)
+class ServerResponse:
+    """Typed response envelope of the optimize endpoint.
+
+    ``result`` stays a plain dictionary on the envelope — the wire
+    format — so responses serialize without touching plan objects;
+    callers wanting an :class:`~repro.core.result.OptimizationResult`
+    pass it through :func:`repro.plans.serialize.result_from_dict`.
+    ``coalesced`` marks responses that awaited another in-flight
+    request's optimization instead of running their own.
+    """
+
+    code: str = CODE_OK
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    coalesced: bool = False
+    fingerprint: str | None = None
+    latency_ms: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was served with a result."""
+        return self.code == CODE_OK
+
+    @property
+    def http_status(self) -> int:
+        """HTTP status code this envelope travels under."""
+        return HTTP_STATUS.get(self.code, HTTP_STATUS[CODE_INTERNAL])[0]
+
+    @property
+    def http_reason(self) -> str:
+        """HTTP reason phrase for :attr:`http_status`."""
+        return HTTP_STATUS.get(self.code, HTTP_STATUS[CODE_INTERNAL])[1]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the envelope (``None`` fields are omitted)."""
+        payload: dict[str, Any] = {
+            "status": "ok" if self.ok else "error",
+            "code": self.code,
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.coalesced:
+            payload["coalesced"] = True
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint
+        if self.latency_ms is not None:
+            payload["latency_ms"] = self.latency_ms
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ServerResponse":
+        """Rebuild an envelope parsed from a response body."""
+        try:
+            return cls(
+                code=payload["code"],
+                result=payload.get("result"),
+                error=payload.get("error"),
+                coalesced=bool(payload.get("coalesced", False)),
+                fingerprint=payload.get("fingerprint"),
+                latency_ms=payload.get("latency_ms"),
+            )
+        except (KeyError, TypeError) as error:
+            raise ProtocolError(
+                f"malformed response envelope: {error}"
+            ) from error
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "ServerResponse":
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ProtocolError(
+                f"response is not valid JSON: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise ProtocolError("response envelope must be a JSON object")
+        return cls.from_dict(payload)
+
+
+def parse_optimize_body(body: bytes) -> OptimizationRequest:
+    """Parse a ``POST /optimize`` body into a validated request.
+
+    Raises :class:`ProtocolError` for anything the optimizer must never
+    see: invalid JSON, non-object payloads, structurally broken queries
+    or preferences, and requests the algorithm registry rejects.
+    """
+    try:
+        payload = json.loads(body)
+    except ValueError as error:
+        raise ProtocolError(
+            f"request body is not valid JSON: {error}"
+        ) from error
+    try:
+        return request_from_dict(payload)
+    except ReproError as error:
+        raise ProtocolError(str(error)) from error
+
+
+def shed_response(fingerprint: str | None = None) -> ServerResponse:
+    """Admission-control refusal (HTTP 429)."""
+    return ServerResponse(
+        code=CODE_SHED,
+        error="server overloaded: admission queue is full, retry later",
+        fingerprint=fingerprint,
+    )
+
+
+def deadline_expired_response(
+    fingerprint: str | None = None,
+) -> ServerResponse:
+    """Budget exhausted while queueing (HTTP 503)."""
+    return ServerResponse(
+        code=CODE_DEADLINE_EXPIRED,
+        error="request deadline expired while queued",
+        fingerprint=fingerprint,
+    )

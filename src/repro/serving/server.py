@@ -1,0 +1,510 @@
+"""AsyncOptimizerServer: the asyncio HTTP/JSON optimizer front end.
+
+Built entirely on ``asyncio.start_server`` — no third-party HTTP stack.
+The server speaks a minimal but correct subset of HTTP/1.1 (request
+line, headers, ``Content-Length`` bodies, keep-alive until either side
+sends ``Connection: close``) and exposes three routes:
+
+* ``POST /optimize`` — body per :func:`repro.plans.serialize.request_from_dict`;
+  answers a :class:`~repro.serving.protocol.ServerResponse` envelope;
+* ``GET /metrics`` — JSON snapshot of serving + service + admission +
+  coalescer counters;
+* ``GET /healthz`` — liveness probe.
+
+Request lifecycle (the interesting 20 lines):
+
+1. arrival is stamped immediately — every later budget computation
+   measures from this instant, so queueing counts end to end;
+2. the request's fingerprint is checked against the coalescer: if an
+   identical request is in flight the connection becomes a *follower*
+   and awaits the shared future (shielded — a dropped follower cannot
+   cancel shared work);
+3. otherwise admission control decides: queue full → 429 shed; admitted
+   → the connection becomes the *leader* and the optimization runs in a
+   detached task (client disconnects never cancel it) that waits for an
+   execution slot, re-checks the deadline budget (optionally shedding
+   requests that went overdue while queued), and finally runs
+   ``OptimizerService.submit(request, admitted_epoch=arrival)`` on a
+   thread-pool executor;
+4. the result lands in the shared future; every waiter serializes the
+   same result object — responses are bitwise-identical up to the
+   per-connection envelope metadata.
+
+CPU-bound note: optimizations execute on a thread pool of
+``max_in_flight`` threads. Under the GIL that serializes pure-Python
+enumeration work; point the service at ``backend="processes"`` (the
+executor thread then merely blocks on the worker pool) when true CPU
+parallelism matters. The asyncio loop itself only ever parses HTTP and
+shuffles futures, so it stays responsive under load either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+
+from repro.core.service import OptimizerService
+from repro.exceptions import ReproError
+from repro.plans.serialize import result_to_dict
+from repro.serving.admission import AdmissionController
+from repro.serving.coalescer import RequestCoalescer
+from repro.serving.metrics import ServingMetrics
+from repro.serving.protocol import (
+    CODE_BAD_REQUEST,
+    CODE_INTERNAL,
+    CODE_NOT_FOUND,
+    CODE_OK,
+    ServerResponse,
+    deadline_expired_response,
+    parse_optimize_body,
+    shed_response,
+)
+
+#: Largest accepted request body (1 MiB) — a structural query of
+#: thousands of tables is a client bug, not a workload.
+MAX_BODY_BYTES = 1 << 20
+
+_SERVER_NAME = "repro-optimizer"
+
+
+class _DeadlineShed(Exception):
+    """Internal: a queued request's budget died before execution."""
+
+
+class AsyncOptimizerServer:
+    """Async HTTP front end over one :class:`OptimizerService`.
+
+    ``owns_service=True`` hands the service's lifecycle to the server:
+    :meth:`stop` closes it (idempotently — closing an already-closed
+    service is a no-op by contract). ``shed_expired=True`` turns the
+    deadline scheduler's :meth:`~repro.parallel.deadline.DeadlineScheduler.overdue`
+    verdict into a 503 at dequeue time instead of burning an executor
+    slot on the paper's single-plan fallback; the default keeps the
+    fallback semantics (a late request still gets a plan, flagged
+    ``deadline_hit``).
+    """
+
+    def __init__(
+        self,
+        service: OptimizerService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 4,
+        max_queue_depth: int = 16,
+        owns_service: bool = False,
+        shed_expired: bool = False,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._owns_service = owns_service
+        self._shed_expired = shed_expired
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else ServingMetrics(service.metrics)
+        )
+        self.admission = AdmissionController(
+            max_in_flight=max_in_flight, max_queue_depth=max_queue_depth
+        )
+        self.coalescer = RequestCoalescer()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_in_flight,
+            thread_name_prefix="repro-serving",
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._leader_tasks: set[asyncio.Task] = set()
+        self._connection_tasks: set[asyncio.Task] = set()
+        self._connection_writers: set[asyncio.StreamWriter] = set()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> OptimizerService:
+        return self._service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound (host, port); valid after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting connections; returns the address."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight leaders, release resources.
+
+        Idempotent: callable any number of times, including on a server
+        that never started.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._leader_tasks:
+            await asyncio.gather(
+                *list(self._leader_tasks), return_exceptions=True
+            )
+        # Close idle keep-alive connections so their handler tasks exit
+        # on EOF instead of being cancelled at loop teardown (which is
+        # noisy on 3.11 — task.exception() inside the streams callback).
+        for writer in list(self._connection_writers):
+            writer.close()
+        if self._connection_tasks:
+            await asyncio.gather(
+                *list(self._connection_tasks), return_exceptions=True
+            )
+        self._executor.shutdown(wait=True)
+        if self._owns_service:
+            self._service.close()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro serve`` entry point)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    async def __aenter__(self) -> "AsyncOptimizerServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.metrics.record_connection()
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        self._connection_writers.add(writer)
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or not request_line.strip():
+                    break  # client closed (or trailing CRLF)
+                try:
+                    method, path, headers, body = await self._read_request(
+                        request_line, reader
+                    )
+                except _HttpParseError as error:
+                    await self._write_response(
+                        writer,
+                        ServerResponse(
+                            code=CODE_BAD_REQUEST, error=str(error)
+                        ),
+                        close=True,
+                    )
+                    break
+                response = await self._dispatch(method, path, body)
+                close = headers.get("connection", "").lower() == "close"
+                await self._write_response(writer, response, close=close)
+                if close:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass  # client went away mid-exchange; nothing to salvage
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            self._connection_writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, request_line: bytes, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes]:
+        try:
+            method, path, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            raise _HttpParseError("malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise _HttpParseError("connection closed inside headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, separator, value = line.decode("latin-1").partition(":")
+            if not separator:
+                raise _HttpParseError(f"malformed header {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpParseError("malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise _HttpParseError(
+                f"unacceptable Content-Length {length} "
+                f"(limit {MAX_BODY_BYTES})"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        response: ServerResponse,
+        *,
+        close: bool,
+    ) -> None:
+        body = response.to_json().encode("utf-8")
+        head = (
+            f"HTTP/1.1 {response.http_status} {response.http_reason}\r\n"
+            f"Server: {_SERVER_NAME}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+        )
+        if response.http_status == 429:
+            head += "Retry-After: 1\r\n"
+        head += f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> ServerResponse:
+        if method == "POST" and path == "/optimize":
+            self.metrics.record_request()
+            started = time.perf_counter()
+            response = await self._handle_optimize(body)
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            self.metrics.record_response(response.code, latency_ms)
+            return ServerResponse(
+                code=response.code,
+                result=response.result,
+                error=response.error,
+                coalesced=response.coalesced,
+                fingerprint=response.fingerprint,
+                latency_ms=latency_ms,
+            )
+        if method == "GET" and path == "/metrics":
+            return ServerResponse(result=self.metrics_snapshot())
+        if method == "GET" and path == "/healthz":
+            return ServerResponse(result={"status": "ok"})
+        return ServerResponse(
+            code=CODE_NOT_FOUND, error=f"no route for {method} {path}"
+        )
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """Combined serving/admission/coalescer/service snapshot."""
+        return {
+            "serving": self.metrics.snapshot(),
+            "admission": self.admission.snapshot(),
+            "coalescer": self.coalescer.snapshot(),
+            "service": self._service.metrics.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # The optimize path
+    # ------------------------------------------------------------------
+    async def _handle_optimize(self, body: bytes) -> ServerResponse:
+        arrival = time.time()
+        try:
+            request = parse_optimize_body(body)
+        except ReproError as error:
+            self.metrics.record_protocol_error()
+            return ServerResponse(
+                code=CODE_BAD_REQUEST, error=str(error)
+            )
+        fingerprint = request.fingerprint(self._service.config)
+
+        future = self.coalescer.lookup(fingerprint)
+        coalesced = future is not None
+        if coalesced:
+            self.metrics.record_coalesce_hit()
+        else:
+            if not self.admission.try_admit():
+                self.metrics.record_shed()
+                return shed_response(fingerprint)
+            self.metrics.record_coalesce_leader()
+            future = self.coalescer.register(fingerprint)
+            task = asyncio.get_running_loop().create_task(
+                self._run_leader(request, fingerprint, arrival)
+            )
+            self._leader_tasks.add(task)
+            task.add_done_callback(self._leader_tasks.discard)
+
+        try:
+            result = await asyncio.shield(future)
+        except _DeadlineShed:
+            self.metrics.record_shed(deadline=True)
+            return deadline_expired_response(fingerprint)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            return ServerResponse(
+                code=CODE_INTERNAL,
+                error=f"optimization failed: {error}",
+                coalesced=coalesced,
+                fingerprint=fingerprint,
+            )
+        return ServerResponse(
+            code=CODE_OK,
+            result=result_to_dict(result),
+            coalesced=coalesced,
+            fingerprint=fingerprint,
+        )
+
+    async def _run_leader(
+        self,
+        request,
+        fingerprint: str,
+        arrival: float,
+    ) -> None:
+        """Detached leader task: slot wait, deadline re-check, execute.
+
+        Runs to completion even if every waiter disconnects — the
+        result still lands in the plan cache, which is exactly what a
+        read-mostly serving workload wants.
+        """
+        try:
+            async with self.admission.slot():
+                scheduler = self._service.scheduler
+                if (
+                    self._shed_expired
+                    and scheduler is not None
+                    and scheduler.overdue(
+                        request,
+                        arrival,
+                        default_timeout=(
+                            self._service.config.timeout_seconds
+                        ),
+                    )
+                ):
+                    raise _DeadlineShed(fingerprint)
+                result = await asyncio.get_running_loop().run_in_executor(
+                    self._executor,
+                    partial(
+                        self._service.submit,
+                        request,
+                        admitted_epoch=arrival,
+                    ),
+                )
+        except BaseException as error:
+            self.coalescer.fail(fingerprint, error)
+            if isinstance(error, asyncio.CancelledError):
+                raise
+        else:
+            self.coalescer.resolve(fingerprint, result)
+
+
+class _HttpParseError(Exception):
+    """Internal: unreadable HTTP request (maps to 400 + close)."""
+
+
+# ----------------------------------------------------------------------
+# Sync embedding helper
+# ----------------------------------------------------------------------
+class ServerThread:
+    """Run a server on a dedicated event-loop thread (sync embedding).
+
+    For examples, tests and benchmarks that are synchronous programs:
+    ``with ServerThread(server) as (host, port): ...`` starts the loop
+    thread, binds the server, and tears both down on exit. Coroutine
+    tests drive the server directly with ``asyncio.run`` instead.
+    """
+
+    def __init__(self, server: AsyncOptimizerServer) -> None:
+        self.server = server
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+        self._address: tuple[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-server",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5)
+            raise self._startup_error
+        assert self._address is not None
+        return self._address
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            self._address = await self.server.start()
+        except BaseException as error:  # surface bind failures upward
+            self._startup_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.server.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise RuntimeError("server thread is not started")
+        return self._address
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,14 +1,29 @@
-"""Plan/result serialization tests."""
+"""Plan/result/request serialization tests."""
 
+import dataclasses
 import json
 
 import pytest
 
-from repro import Objective, Preferences, tpch_query
+from repro import (
+    FAST_CONFIG,
+    Objective,
+    OptimizationRequest,
+    Preferences,
+    tpch_query,
+)
 from repro.exceptions import ReproError
 from repro.plans.serialize import (
     plan_from_dict,
     plan_to_dict,
+    preferences_from_dict,
+    preferences_to_dict,
+    query_from_dict,
+    query_to_dict,
+    request_from_dict,
+    request_from_json,
+    request_to_dict,
+    request_to_json,
     result_from_dict,
     result_from_json,
     result_to_dict,
@@ -130,3 +145,179 @@ class TestRoundTrip:
             plan_from_dict({"node": "teleport", "cost": {}})
         with pytest.raises(ReproError):
             result_from_dict({"algorithm": "rta"})
+
+
+class TestNewerResultFields:
+    """Round-trips for fields added after the original wire format:
+    ``deadline_hit`` and ``candidates_vectorized``."""
+
+    def test_deadline_hit_round_trips(self, result):
+        flagged = dataclasses.replace(result, deadline_hit=True)
+        payload = result_to_dict(flagged)
+        assert payload["metrics"]["deadline_hit"] is True
+        rebuilt = result_from_dict(payload)
+        assert rebuilt.deadline_hit is True
+
+    def test_candidates_vectorized_round_trips(self, result):
+        vectorized = dataclasses.replace(
+            result, candidates_vectorized=1234
+        )
+        payload = result_to_dict(vectorized)
+        assert payload["metrics"]["candidates_vectorized"] == 1234
+        rebuilt = result_from_dict(payload)
+        assert rebuilt.candidates_vectorized == 1234
+
+    def test_old_payloads_without_newer_fields_still_load(self, result):
+        """Back-compat: payloads serialized before these fields existed
+        deserialize with safe defaults."""
+        payload = result_to_dict(result)
+        del payload["metrics"]["deadline_hit"]
+        del payload["metrics"]["candidates_vectorized"]
+        rebuilt = result_from_dict(payload)
+        assert rebuilt.deadline_hit is False
+        assert rebuilt.candidates_vectorized == 0
+
+    def test_service_metrics_snapshot_json_serializable(self, tpch):
+        """The /metrics route serializes the full ServiceMetrics
+        snapshot — including per-worker counts — as JSON."""
+        from repro.core.instrumentation import (
+            RequestMetrics,
+            ServiceMetrics,
+        )
+
+        metrics = ServiceMetrics()
+        metrics.record(RequestMetrics(
+            fingerprint="fp", query_name="q", algorithm="rta",
+            tags=(), cache_hit=False, elapsed_ms=1.0,
+            timed_out=False, worker="worker-1", deadline_hit=True,
+        ))
+        metrics.record_coalesce_hit()
+        metrics.record_shed()
+        snapshot = json.loads(json.dumps(metrics.snapshot()))
+        assert snapshot["by_worker"] == {"worker-1": 1}
+        assert snapshot["deadline_hits"] == 1
+        assert snapshot["coalesce_hits"] == 1
+        assert snapshot["sheds"] == 1
+
+
+class TestQueryWireFormat:
+    def test_single_block_structural_round_trip(self):
+        from tests.conftest import make_chain_query
+
+        query = make_chain_query(3)
+        rebuilt = query_from_dict(
+            json.loads(json.dumps(query_to_dict(query)))
+        )
+        assert rebuilt.name == query.name
+        assert rebuilt.table_refs == query.table_refs
+        assert rebuilt.filters == query.filters
+        assert rebuilt.joins == query.joins
+
+    def test_tpch_shorthand(self):
+        rebuilt = query_from_dict({"kind": "tpch", "number": 3})
+        assert rebuilt.name == tpch_query(3).name
+        assert rebuilt.blocks == tpch_query(3).blocks
+
+    def test_multi_block_structural_round_trip(self):
+        query = tpch_query(18)  # has a subquery block
+        rebuilt = query_from_dict(
+            json.loads(json.dumps(query_to_dict(query)))
+        )
+        assert type(rebuilt) is type(query)
+        assert rebuilt.name == query.name
+        assert rebuilt.blocks == query.blocks
+
+    def test_malformed_query_rejected(self):
+        with pytest.raises(ReproError):
+            query_from_dict({"kind": "teleport"})
+        with pytest.raises(ReproError):
+            query_from_dict({"kind": "block", "name": "q"})
+        with pytest.raises(ReproError):
+            query_from_dict({"kind": "tpch", "number": 99})
+
+
+class TestPreferencesWireFormat:
+    def test_aligned_list_round_trip(self):
+        preferences = Preferences.from_maps(
+            (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+            weights={Objective.TOTAL_TIME: 2.0},
+            bounds={Objective.TUPLE_LOSS: 0.0},
+        )
+        rebuilt = preferences_from_dict(
+            json.loads(json.dumps(preferences_to_dict(preferences)))
+        )
+        assert rebuilt == preferences
+
+    def test_name_keyed_mapping_form(self):
+        rebuilt = preferences_from_dict({
+            "objectives": ["total_time", "tuple_loss"],
+            "weights": {"total_time": 2.0},
+            "bounds": {"tuple_loss": 0.0},
+        })
+        assert rebuilt.weights == (2.0, 0.0)
+        assert rebuilt.bounds == (float("inf"), 0.0)
+
+    def test_malformed_preferences_rejected(self):
+        with pytest.raises(ReproError):
+            preferences_from_dict({"objectives": ["made_up_objective"]})
+        with pytest.raises(ReproError):
+            preferences_from_dict({})
+
+
+class TestRequestWireFormat:
+    def make_request(self, **overrides):
+        fields = dict(
+            query=tpch_query(3),
+            preferences=Preferences.from_maps(
+                (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+                weights={Objective.TOTAL_TIME: 1.0},
+            ),
+            algorithm="rta",
+            alpha=2.0,
+        )
+        fields.update(overrides)
+        return OptimizationRequest(**fields)
+
+    def test_json_round_trip_preserves_fingerprint(self):
+        request = self.make_request(
+            strict=True, timeout_seconds=5.0, tags=("tenant-a",)
+        )
+        rebuilt = request_from_json(request_to_json(request))
+        assert rebuilt.fingerprint() == request.fingerprint()
+        assert rebuilt.algorithm == request.algorithm
+        assert rebuilt.alpha == request.alpha
+        assert rebuilt.strict is True
+        assert rebuilt.timeout_seconds == 5.0
+        assert rebuilt.tags == ("tenant-a",)
+
+    def test_defaults_applied(self):
+        rebuilt = request_from_dict({
+            "query": {"kind": "tpch", "number": 3},
+            "preferences": {
+                "objectives": ["total_time", "tuple_loss"],
+                "weights": {"total_time": 1.0},
+            },
+        })
+        assert rebuilt.algorithm == "rta"
+        assert rebuilt.strict is False
+        assert rebuilt.timeout_seconds is None
+
+    def test_config_carrying_request_rejected(self):
+        request = self.make_request(config=FAST_CONFIG)
+        with pytest.raises(ReproError, match="server's config"):
+            request_to_dict(request)
+
+    def test_invalid_request_fields_rejected(self):
+        base = json.loads(request_to_json(self.make_request()))
+        for patch in (
+            {"algorithm": "quantum"},
+            {"alpha": 0.5},
+            {"query": None},
+            {"preferences": None},
+        ):
+            with pytest.raises(ReproError):
+                request_from_dict({**base, **patch})
+        with pytest.raises(ReproError):
+            request_from_json("{not json")
+        with pytest.raises(ReproError):
+            request_from_dict([1, 2, 3])

@@ -218,6 +218,41 @@ class TestBatch:
         assert small_service.metrics.cache_hits == 1
 
 
+class TestLifecycle:
+    def test_close_is_idempotent(self, small_schema, chain2):
+        from tests.conftest import TINY_CONFIG
+
+        service = OptimizerService(small_schema, config=TINY_CONFIG)
+        service.submit(chain_request(chain2))
+        assert not service.closed
+        service.close()
+        assert service.closed
+        service.close()  # double close must not raise
+        service.close()  # nor any later close
+        assert service.closed
+
+    def test_context_manager_then_explicit_close(self, small_schema,
+                                                 chain2):
+        from tests.conftest import TINY_CONFIG
+
+        with OptimizerService(small_schema, config=TINY_CONFIG) as service:
+            result = service.submit(chain_request(chain2))
+            assert result.plan is not None
+        assert service.closed
+        # A serving layer owning the service may close it again on its
+        # own teardown — still a no-op.
+        service.close()
+        assert service.closed
+
+    def test_close_before_any_request(self, small_schema):
+        from tests.conftest import TINY_CONFIG
+
+        service = OptimizerService(small_schema, config=TINY_CONFIG)
+        service.close()
+        service.close()
+        assert service.closed
+
+
 class TestHooksAndMetrics:
     def test_hooks_receive_per_request_records(self, small_service, chain2):
         records = []

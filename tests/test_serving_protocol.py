@@ -1,0 +1,374 @@
+"""Wire protocol: envelopes, codes, request parsing, building blocks.
+
+Coroutine tests drive asyncio with ``asyncio.run`` inside sync test
+functions — pytest-asyncio is not installed (see README).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import Objective, OptimizationRequest, Preferences, tpch_query
+from repro.serving.admission import AdmissionController
+from repro.serving.coalescer import RequestCoalescer
+from repro.serving.metrics import ServingMetrics
+from repro.serving.protocol import (
+    CODE_BAD_REQUEST,
+    CODE_DEADLINE_EXPIRED,
+    CODE_INTERNAL,
+    CODE_OK,
+    CODE_SHED,
+    ProtocolError,
+    ServerResponse,
+    deadline_expired_response,
+    parse_optimize_body,
+    shed_response,
+)
+from repro.core.instrumentation import LatencyHistogram, ServiceMetrics
+
+PREFS = Preferences.from_maps(
+    (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+    weights={Objective.TOTAL_TIME: 1.0},
+)
+
+
+def wire_payload(**overrides):
+    payload = {
+        "query": {"kind": "tpch", "number": 3},
+        "preferences": {
+            "objectives": ["total_time", "tuple_loss"],
+            "weights": {"total_time": 1.0},
+        },
+        "algorithm": "rta",
+        "alpha": 2.0,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestServerResponse:
+    def test_ok_envelope_round_trip(self):
+        envelope = ServerResponse(
+            code=CODE_OK,
+            result={"algorithm": "rta"},
+            coalesced=True,
+            fingerprint="abc",
+            latency_ms=1.25,
+        )
+        rebuilt = ServerResponse.from_json(envelope.to_json())
+        assert rebuilt == envelope
+        assert rebuilt.ok
+        assert rebuilt.http_status == 200
+
+    def test_error_envelope_round_trip(self):
+        envelope = ServerResponse(code=CODE_SHED, error="overloaded")
+        rebuilt = ServerResponse.from_json(envelope.to_json())
+        assert not rebuilt.ok
+        assert rebuilt.error == "overloaded"
+        assert rebuilt.result is None
+
+    def test_http_status_mapping(self):
+        assert ServerResponse(code=CODE_OK).http_status == 200
+        assert ServerResponse(code=CODE_BAD_REQUEST).http_status == 400
+        assert ServerResponse(code=CODE_SHED).http_status == 429
+        assert (
+            ServerResponse(code=CODE_DEADLINE_EXPIRED).http_status == 503
+        )
+        assert ServerResponse(code=CODE_INTERNAL).http_status == 500
+        # Unknown codes degrade to 500 instead of crashing the writer.
+        assert ServerResponse(code="martian").http_status == 500
+
+    def test_none_fields_omitted_from_wire_form(self):
+        payload = ServerResponse(code=CODE_OK, result={}).to_dict()
+        assert "error" not in payload
+        assert "coalesced" not in payload
+        assert payload["status"] == "ok"
+
+    def test_helper_envelopes(self):
+        assert shed_response("fp").code == CODE_SHED
+        assert shed_response("fp").http_status == 429
+        assert deadline_expired_response().code == CODE_DEADLINE_EXPIRED
+        assert ServerResponse.from_json(b'{"code": "ok"}').ok
+
+    def test_malformed_envelope_rejected(self):
+        with pytest.raises(ProtocolError):
+            ServerResponse.from_json(b"not json")
+        with pytest.raises(ProtocolError):
+            ServerResponse.from_json(b'["array"]')
+
+
+class TestParseOptimizeBody:
+    def test_valid_body(self):
+        request = parse_optimize_body(
+            json.dumps(wire_payload()).encode()
+        )
+        assert isinstance(request, OptimizationRequest)
+        assert request.query_name == "tpch_q3"
+        assert request.algorithm == "rta"
+
+    def test_matches_native_request_fingerprint(self):
+        native = OptimizationRequest(
+            query=tpch_query(3), preferences=PREFS,
+            algorithm="rta", alpha=2.0,
+        )
+        parsed = parse_optimize_body(json.dumps(wire_payload()).encode())
+        assert parsed.fingerprint() == native.fingerprint()
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_optimize_body(b"{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_optimize_body(b"[1, 2]")
+
+    def test_unknown_algorithm_rejected(self):
+        body = json.dumps(wire_payload(algorithm="quantum")).encode()
+        with pytest.raises(ProtocolError):
+            parse_optimize_body(body)
+
+    def test_bad_alpha_rejected(self):
+        body = json.dumps(wire_payload(alpha=0.5)).encode()
+        with pytest.raises(ProtocolError):
+            parse_optimize_body(body)
+
+    def test_missing_query_rejected(self):
+        payload = wire_payload()
+        del payload["query"]
+        with pytest.raises(ProtocolError):
+            parse_optimize_body(json.dumps(payload).encode())
+
+
+class TestRequestCoalescer:
+    def test_leader_then_followers(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            assert coalescer.lookup("fp") is None
+            future = coalescer.register("fp")
+            waiters = [
+                asyncio.ensure_future(
+                    asyncio.shield(coalescer.lookup("fp"))
+                )
+                for _ in range(3)
+            ]
+            assert coalescer.in_flight == 1
+            coalescer.resolve("fp", "result")
+            values = await asyncio.gather(*waiters)
+            assert values == ["result"] * 3
+            assert await future == "result"
+            assert coalescer.in_flight == 0
+            assert coalescer.leaders == 1
+            assert coalescer.followers == 3
+
+        asyncio.run(scenario())
+
+    def test_double_register_rejected(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            coalescer.register("fp")
+            with pytest.raises(RuntimeError):
+                coalescer.register("fp")
+            coalescer.resolve("fp", None)
+
+        asyncio.run(scenario())
+
+    def test_failure_propagates_to_all_waiters(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            coalescer.register("fp")
+            waiter = asyncio.ensure_future(
+                asyncio.shield(coalescer.lookup("fp"))
+            )
+            coalescer.fail("fp", RuntimeError("boom"))
+            with pytest.raises(RuntimeError, match="boom"):
+                await waiter
+            assert coalescer.in_flight == 0
+
+        asyncio.run(scenario())
+
+    def test_cancelled_follower_does_not_cancel_shared_work(self):
+        """The cancellation-safety contract: a dropped client kills its
+        own await, never the in-flight optimization."""
+
+        async def scenario():
+            coalescer = RequestCoalescer()
+            future = coalescer.register("fp")
+            doomed = asyncio.ensure_future(
+                asyncio.shield(coalescer.lookup("fp"))
+            )
+            survivor = asyncio.ensure_future(
+                asyncio.shield(coalescer.lookup("fp"))
+            )
+            await asyncio.sleep(0)  # let both attach
+            doomed.cancel()
+            await asyncio.sleep(0)
+            assert not future.cancelled()  # shared work survives
+            coalescer.resolve("fp", "result")
+            assert await survivor == "result"
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+
+        asyncio.run(scenario())
+
+    def test_leader_cancellation_cancels_waiters(self):
+        async def scenario():
+            coalescer = RequestCoalescer()
+            coalescer.register("fp")
+            waiter = asyncio.ensure_future(
+                asyncio.shield(coalescer.lookup("fp"))
+            )
+            await asyncio.sleep(0)
+            coalescer.fail("fp", asyncio.CancelledError())
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_in_flight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)
+
+    def test_sheds_beyond_capacity(self):
+        async def scenario():
+            admission = AdmissionController(
+                max_in_flight=2, max_queue_depth=1
+            )
+            # Outstanding capacity is 2 running + 1 waiting = 3.
+            assert admission.try_admit()
+            assert admission.try_admit()
+            assert admission.try_admit()
+            assert not admission.try_admit()
+            assert admission.shed == 1
+            assert admission.admitted == 3
+
+        asyncio.run(scenario())
+
+    def test_zero_queue_depth_means_run_or_shed(self):
+        async def scenario():
+            admission = AdmissionController(
+                max_in_flight=1, max_queue_depth=0
+            )
+            assert admission.try_admit()
+            assert not admission.try_admit()
+
+        asyncio.run(scenario())
+
+    def test_slot_cycle_restores_capacity(self):
+        async def scenario():
+            admission = AdmissionController(
+                max_in_flight=1, max_queue_depth=0
+            )
+            assert admission.try_admit()
+            async with admission.slot():
+                assert admission.running == 1
+                assert admission.queue_depth == 0
+                assert not admission.try_admit()
+            assert admission.running == 0
+            assert admission.try_admit()
+            async with admission.slot():
+                pass
+
+        asyncio.run(scenario())
+
+    def test_queue_depth_counts_waiters_only(self):
+        async def scenario():
+            admission = AdmissionController(
+                max_in_flight=1, max_queue_depth=4
+            )
+            for _ in range(3):
+                assert admission.try_admit()
+            entered = asyncio.Event()
+            release = asyncio.Event()
+
+            async def occupant():
+                async with admission.slot():
+                    entered.set()
+                    await release.wait()
+
+            task = asyncio.ensure_future(occupant())
+            await entered.wait()
+            # One running, two still queued.
+            assert admission.running == 1
+            assert admission.queue_depth == 2
+            assert admission.peak_queue_depth >= 2
+            release.set()
+            await task
+
+        asyncio.run(scenario())
+
+    def test_snapshot_serializes(self):
+        admission = AdmissionController()
+        json.dumps(admission.snapshot())
+
+
+class TestLatencyHistogram:
+    def test_percentiles(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(0.50) == pytest.approx(50.0, abs=1)
+        assert histogram.percentile(0.99) == pytest.approx(99.0, abs=1)
+        assert histogram.percentile(1.0) == 100.0
+        assert histogram.mean == pytest.approx(50.5)
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(0.5) == 0.0
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0.0
+        json.dumps(snapshot)
+
+    def test_bounded_memory_keeps_observing(self):
+        histogram = LatencyHistogram(max_samples=64)
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert histogram.count == 1000
+        assert len(histogram._samples) <= 64
+        assert histogram.snapshot()["max_ms"] == 999.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(max_samples=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+
+class TestServingMetrics:
+    def test_forwards_into_service_metrics(self):
+        service_metrics = ServiceMetrics()
+        metrics = ServingMetrics(service_metrics)
+        metrics.record_coalesce_hit()
+        metrics.record_coalesce_hit()
+        metrics.record_coalesce_leader()
+        metrics.record_shed()
+        metrics.record_shed(deadline=True)
+        assert service_metrics.coalesce_hits == 2
+        assert service_metrics.sheds == 2
+        assert metrics.coalesce_hit_rate == pytest.approx(2 / 3)
+        snapshot = metrics.snapshot()
+        assert snapshot["deadline_sheds"] == 1
+        assert snapshot["coalesce_hit_rate"] == pytest.approx(2 / 3)
+        json.dumps(snapshot)
+
+    def test_response_latency_lands_in_histogram(self):
+        metrics = ServingMetrics()
+        metrics.record_response("ok", 12.5)
+        metrics.record_response("shed", 0.1)
+        assert metrics.responses_by_code == {"ok": 1, "shed": 1}
+        assert metrics.latency.count == 2
+
+    def test_service_metrics_snapshot_includes_serving_counters(self):
+        service_metrics = ServiceMetrics()
+        service_metrics.record_coalesce_hit()
+        service_metrics.record_shed()
+        snapshot = service_metrics.snapshot()
+        assert snapshot["coalesce_hits"] == 1
+        assert snapshot["sheds"] == 1
+        json.dumps(snapshot)

@@ -1,0 +1,545 @@
+"""End-to-end tests for the asyncio optimizer server.
+
+pytest-asyncio is not installed, so every coroutine scenario runs via
+``asyncio.run`` inside a plain sync test (see README). Requests use the
+small three-table schema under ``TINY_CONFIG`` so an optimization takes
+milliseconds and the whole module stays inside the tier-1 budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro import (
+    Objective,
+    OptimizationRequest,
+    OptimizerService,
+    Preferences,
+)
+from repro.parallel.deadline import DeadlineScheduler
+from repro.plans.serialize import request_to_dict
+from repro.serving import (
+    AsyncHttpClient,
+    AsyncOptimizerServer,
+    ServerThread,
+    get_metrics,
+    http_request,
+    post_optimize,
+)
+from repro.serving.protocol import (
+    CODE_BAD_REQUEST,
+    CODE_DEADLINE_EXPIRED,
+    CODE_NOT_FOUND,
+    CODE_OK,
+    CODE_SHED,
+)
+from tests.conftest import TINY_CONFIG, make_chain_query
+
+PREFS = Preferences.from_maps(
+    (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+    weights={Objective.TOTAL_TIME: 1.0, Objective.TUPLE_LOSS: 1.0},
+)
+
+
+def make_request(alpha: float = 1.5, tables: int = 3) -> OptimizationRequest:
+    return OptimizationRequest(
+        query=make_chain_query(tables),
+        preferences=PREFS,
+        algorithm="rta",
+        alpha=alpha,
+    )
+
+
+def make_payload(alpha: float = 1.5, tables: int = 3) -> dict:
+    return request_to_dict(make_request(alpha=alpha, tables=tables))
+
+
+def make_service(small_schema, **kwargs) -> OptimizerService:
+    kwargs.setdefault("config", TINY_CONFIG)
+    return OptimizerService(small_schema, **kwargs)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_run_one_optimization(
+        self, small_schema
+    ):
+        """The acceptance-criterion test: M concurrent identical
+        requests produce exactly one underlying optimization, observed
+        through ServiceMetrics, and bitwise-equal result payloads."""
+        M = 6
+        service = make_service(small_schema)
+        payload = make_payload()
+
+        async def scenario():
+            server = AsyncOptimizerServer(
+                service, max_in_flight=2, owns_service=True
+            )
+            async with server:
+                host, port = server.address
+
+                async def one_call():
+                    async with AsyncHttpClient(host, port) as client:
+                        return await client.optimize(payload)
+
+                outcomes = await asyncio.gather(
+                    *(one_call() for _ in range(M))
+                )
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+
+        envelopes = [envelope for envelope, _body in outcomes]
+        assert all(e.code == CODE_OK for e in envelopes)
+        # Exactly one optimization ran underneath: one cache miss, no
+        # cache hits (followers never reached the service at all).
+        snapshot = service.metrics.snapshot()
+        assert snapshot["requests"] == 1
+        assert snapshot["cache_misses"] == 1
+        assert snapshot["cache_hits"] == 0
+        assert snapshot["coalesce_hits"] == M - 1
+        # All requests shared one fingerprint and one result payload —
+        # bitwise equality via canonical JSON of the result dict.
+        assert len({e.fingerprint for e in envelopes}) == 1
+        canonical = {
+            json.dumps(e.result, sort_keys=True) for e in envelopes
+        }
+        assert len(canonical) == 1
+        assert sum(1 for e in envelopes if e.coalesced) == M - 1
+        assert sum(1 for e in envelopes if not e.coalesced) == 1
+
+    def test_distinct_requests_do_not_coalesce(self, small_schema):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(
+                service, max_in_flight=4, owns_service=True
+            )
+            async with server:
+                host, port = server.address
+
+                async def one_call(alpha):
+                    async with AsyncHttpClient(host, port) as client:
+                        envelope, _ = await client.optimize(
+                            make_payload(alpha=alpha)
+                        )
+                        return envelope
+
+            # distinct alphas -> distinct fingerprints -> no coalescing
+                return await asyncio.gather(
+                    one_call(1.5), one_call(2.0), one_call(3.0)
+                )
+
+        envelopes = asyncio.run(scenario())
+        assert all(e.code == CODE_OK for e in envelopes)
+        assert not any(e.coalesced for e in envelopes)
+        assert len({e.fingerprint for e in envelopes}) == 3
+        assert service.metrics.snapshot()["cache_misses"] == 3
+
+    def test_sequential_repeat_hits_plan_cache(self, small_schema):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                async with AsyncHttpClient(host, port) as client:
+                    first, _ = await client.optimize(make_payload())
+                    second, _ = await client.optimize(make_payload())
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.code == CODE_OK and second.code == CODE_OK
+        # The second wave is a plan-cache hit, not a coalesce hit.
+        snapshot = service.metrics.snapshot()
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["coalesce_hits"] == 0
+        assert json.dumps(first.result, sort_keys=True) == json.dumps(
+            second.result, sort_keys=True
+        )
+
+
+class TestAdmissionAndShedding:
+    def test_overload_sheds_with_429(self, small_schema):
+        service = make_service(small_schema)
+        release = threading.Event()
+        real_submit = service.submit
+
+        def slow_submit(request, **kwargs):
+            release.wait(timeout=30)
+            return real_submit(request, **kwargs)
+
+        service.submit = slow_submit  # type: ignore[method-assign]
+
+        async def scenario():
+            server = AsyncOptimizerServer(
+                service,
+                max_in_flight=1,
+                max_queue_depth=0,
+                owns_service=True,
+            )
+            async with server:
+                host, port = server.address
+                first_client = AsyncHttpClient(host, port)
+                first = asyncio.ensure_future(
+                    first_client.optimize(make_payload(alpha=1.5))
+                )
+                # Wait until the first request occupies the only slot.
+                while server.admission.running == 0:
+                    await asyncio.sleep(0.01)
+                # A *distinct* request now finds no capacity -> 429.
+                async with AsyncHttpClient(host, port) as client:
+                    status, body = await client.request(
+                        "POST", "/optimize", make_payload(alpha=4.0)
+                    )
+                release.set()
+                shed_envelope = json.loads(body)
+                first_envelope, _ = await first
+                await first_client.close()
+            return status, shed_envelope, first_envelope, server
+
+        status, shed_envelope, first_envelope, server = asyncio.run(
+            scenario()
+        )
+        assert status == 429
+        assert shed_envelope["code"] == CODE_SHED
+        assert first_envelope.code == CODE_OK
+        assert server.admission.shed == 1
+        assert server.metrics.sheds == 1
+        assert service.metrics.sheds == 1
+
+    def test_identical_request_coalesces_instead_of_shedding(
+        self, small_schema
+    ):
+        """A full server still absorbs identical requests: coalescing
+        is checked before admission, so twins ride the in-flight work
+        instead of burning queue capacity."""
+        service = make_service(small_schema)
+        release = threading.Event()
+        real_submit = service.submit
+
+        def slow_submit(request, **kwargs):
+            release.wait(timeout=30)
+            return real_submit(request, **kwargs)
+
+        service.submit = slow_submit  # type: ignore[method-assign]
+
+        async def scenario():
+            server = AsyncOptimizerServer(
+                service,
+                max_in_flight=1,
+                max_queue_depth=0,
+                owns_service=True,
+            )
+            async with server:
+                host, port = server.address
+                leader_client = AsyncHttpClient(host, port)
+                leader = asyncio.ensure_future(
+                    leader_client.optimize(make_payload())
+                )
+                while server.admission.running == 0:
+                    await asyncio.sleep(0.01)
+                follower_client = AsyncHttpClient(host, port)
+                follower = asyncio.ensure_future(
+                    follower_client.optimize(make_payload())
+                )
+                await asyncio.sleep(0.05)
+                release.set()
+                leader_envelope, _ = await leader
+                follower_envelope, _ = await follower
+                await leader_client.close()
+                await follower_client.close()
+            return leader_envelope, follower_envelope
+
+        leader_envelope, follower_envelope = asyncio.run(scenario())
+        assert leader_envelope.code == CODE_OK
+        assert follower_envelope.code == CODE_OK
+        assert follower_envelope.coalesced
+        assert service.metrics.sheds == 0
+
+
+class TestDeadlineIntegration:
+    def test_queueing_counts_against_budget(self, small_schema):
+        """With an end-to-end budget far below the scheduler's minimum
+        slice, the optimization runs as the paper's single-plan
+        fallback and the result is flagged deadline_hit."""
+        service = make_service(
+            small_schema,
+            config=TINY_CONFIG.with_timeout(0.001),
+            scheduler=DeadlineScheduler(),
+        )
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                async with AsyncHttpClient(host, port) as client:
+                    envelope, _ = await client.optimize(make_payload())
+            return envelope
+
+        envelope = asyncio.run(scenario())
+        assert envelope.code == CODE_OK
+        assert envelope.result["metrics"]["deadline_hit"] is True
+        assert service.metrics.snapshot()["deadline_hits"] == 1
+
+    def test_shed_expired_returns_503(self, small_schema):
+        service = make_service(
+            small_schema,
+            config=TINY_CONFIG.with_timeout(0.001),
+            scheduler=DeadlineScheduler(),
+        )
+
+        async def scenario():
+            server = AsyncOptimizerServer(
+                service, owns_service=True, shed_expired=True
+            )
+            async with server:
+                host, port = server.address
+                async with AsyncHttpClient(host, port) as client:
+                    return await client.request(
+                        "POST", "/optimize", make_payload()
+                    )
+
+        status, body = asyncio.run(scenario())
+        assert status == 503
+        envelope = json.loads(body)
+        assert envelope["code"] == CODE_DEADLINE_EXPIRED
+        # Shed before execution: the service never saw the request.
+        assert service.metrics.snapshot()["requests"] == 0
+
+
+class TestHttpSurface:
+    def test_routes_and_errors(self, small_schema):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                async with AsyncHttpClient(host, port) as client:
+                    health = await client.request("GET", "/healthz")
+                    missing = await client.request("GET", "/nope")
+                    bad = await client.request(
+                        "POST", "/optimize", {"query": "not a query"}
+                    )
+            return health, missing, bad
+
+        health, missing, bad = asyncio.run(scenario())
+        assert health[0] == 200
+        assert missing[0] == 404
+        assert json.loads(missing[1])["code"] == CODE_NOT_FOUND
+        assert bad[0] == 400
+        assert json.loads(bad[1])["code"] == CODE_BAD_REQUEST
+        assert service.metrics.snapshot()["requests"] == 0
+
+    def test_metrics_endpoint_sections(self, small_schema):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                async with AsyncHttpClient(host, port) as client:
+                    await client.optimize(make_payload())
+                    return await client.metrics()
+
+        snapshot = asyncio.run(scenario())
+        assert set(snapshot) == {
+            "serving", "admission", "coalescer", "service"
+        }
+        assert snapshot["service"]["requests"] == 1
+        assert snapshot["serving"]["responses_by_code"]["ok"] == 1
+        assert snapshot["serving"]["latency"]["count"] == 1
+        json.dumps(snapshot)
+
+    def test_keep_alive_and_latency_annotation(self, small_schema):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                async with AsyncHttpClient(host, port) as client:
+                    # Several exchanges over ONE connection.
+                    first, _ = await client.optimize(make_payload())
+                    second, _ = await client.optimize(make_payload())
+                    health_status, _ = await client.request(
+                        "GET", "/healthz"
+                    )
+            return first, second, health_status, server
+
+        first, second, health_status, server = asyncio.run(scenario())
+        assert health_status == 200
+        assert first.latency_ms is not None and first.latency_ms >= 0
+        assert second.latency_ms is not None
+        assert server.metrics.connections == 1
+
+    def test_oversized_body_rejected(self, small_schema):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    b"POST /optimize HTTP/1.1\r\n"
+                    b"Content-Length: 99999999\r\n\r\n"
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            return status_line
+
+        status_line = asyncio.run(scenario())
+        assert b"400" in status_line
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_closes_owned_service(
+        self, small_schema
+    ):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            await server.start()
+            await server.stop()
+            await server.stop()  # double stop must not raise
+            assert service.closed
+            service.close()  # and neither must a third close
+            return server
+
+        asyncio.run(scenario())
+
+    def test_unowned_service_survives_server_stop(self, small_schema):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=False)
+            async with server:
+                pass
+
+        asyncio.run(scenario())
+        assert not service.closed
+        result = service.submit(make_request())
+        assert result.plan is not None
+        service.close()
+
+    def test_leader_survives_client_disconnect(self, small_schema):
+        """A dropped client must not cancel shared in-flight work: the
+        optimization completes and lands in the plan cache."""
+        service = make_service(small_schema)
+        started = threading.Event()
+        release = threading.Event()
+        real_submit = service.submit
+
+        def slow_submit(request, **kwargs):
+            started.set()
+            release.wait(timeout=30)
+            return real_submit(request, **kwargs)
+
+        service.submit = slow_submit  # type: ignore[method-assign]
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                client = AsyncHttpClient(host, port)
+                doomed = asyncio.ensure_future(
+                    client.optimize(make_payload())
+                )
+                while not started.is_set():
+                    await asyncio.sleep(0.01)
+                doomed.cancel()
+                await client.close()
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+                release.set()
+                # The detached leader finishes despite the disconnect.
+                while service.metrics.snapshot()["requests"] == 0:
+                    await asyncio.sleep(0.01)
+
+        asyncio.run(scenario())
+        snapshot = service.metrics.snapshot()
+        assert snapshot["cache_misses"] == 1
+        # …and the result is in the cache for the next client.
+        assert service.cache.get(
+            make_request().fingerprint(service.config)
+        ) is not None
+
+
+class TestServerThread:
+    def test_blocking_clients_against_thread_hosted_server(
+        self, small_schema
+    ):
+        service = make_service(small_schema)
+        server = AsyncOptimizerServer(service, owns_service=True)
+        with ServerThread(server) as (host, port):
+            envelope, raw = post_optimize(host, port, make_payload())
+            assert envelope.code == CODE_OK
+            assert b'"status": "ok"' in raw or b'"status":"ok"' in raw
+            status, _body = http_request(host, port, "GET", "/healthz")
+            assert status == 200
+            snapshot = get_metrics(host, port)
+            assert snapshot["service"]["requests"] == 1
+        assert service.closed
+
+    def test_thread_stop_is_idempotent(self, small_schema):
+        service = make_service(small_schema)
+        thread = ServerThread(
+            AsyncOptimizerServer(service, owns_service=True)
+        )
+        thread.start()
+        thread.stop()
+        thread.stop()
+        assert service.closed
+
+    def test_concurrent_blocking_clients_coalesce(self, small_schema):
+        """Sync clients from real threads — the ServerThread embedding
+        exercised the way the multi-tenant example uses it."""
+        M = 4
+        service = make_service(small_schema)
+        server = AsyncOptimizerServer(service, owns_service=True)
+        payload = make_payload(alpha=2.5)
+        results: list[tuple] = []
+        lock = threading.Lock()
+        with ServerThread(server) as (host, port):
+            barrier = threading.Barrier(M)
+
+            def worker():
+                barrier.wait()
+                envelope, body = post_optimize(host, port, payload)
+                with lock:
+                    results.append((envelope, body))
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(M)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert len(results) == M
+        assert all(e.code == CODE_OK for e, _ in results)
+        payloads = {
+            json.dumps(e.result, sort_keys=True) for e, _ in results
+        }
+        assert len(payloads) == 1
+        snapshot = service.metrics.snapshot()
+        # Concurrency across OS threads is not perfectly simultaneous:
+        # late arrivals may land after the leader finished and hit the
+        # plan cache instead of the coalescer. Either way, exactly one
+        # optimization ran.
+        assert snapshot["cache_misses"] == 1
+        assert (
+            snapshot["coalesce_hits"] + snapshot["cache_hits"] == M - 1
+        )
