@@ -13,6 +13,10 @@ Examples::
     # Serve the optimizer over HTTP/JSON (POST /optimize, GET /metrics):
     python -m repro.cli serve --port 8080 --fast --max-in-flight 4 \\
         --queue-limit 64 --deadline-timeout 2.0
+
+    # Serve with request tracing, then summarize the recorded traces:
+    python -m repro.cli serve --port 8080 --fast --trace-dir traces/
+    python -m repro.cli trace traces/trace-*.jsonl --chrome trace.json
 """
 
 from __future__ import annotations
@@ -183,6 +187,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="503 requests whose budget died while queueing instead of "
              "running the single-plan fallback for them",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="trace every request: append spans to DIR/trace-<pid>.jsonl "
+             "(summarize with `repro trace`)",
+    )
     return parser
 
 
@@ -212,6 +221,7 @@ def serve_main(argv: list[str]) -> int:
             max_queue_depth=args.queue_limit,
             owns_service=True,
             shed_expired=args.shed_expired,
+            trace_dir=args.trace_dir,
         )
     except Exception as error:  # bad flags -> CLI error, no traceback
         raise SystemExit(str(error))
@@ -223,12 +233,74 @@ def serve_main(argv: list[str]) -> int:
         print(f"  backend={args.backend} max_in_flight={args.max_in_flight} "
               f"queue_limit={args.queue_limit} "
               f"deadline={'on' if scheduler else 'off'}")
+        if args.trace_dir:
+            print(f"  tracing to {args.trace_dir}/trace-*.jsonl "
+                  f"(summarize with `repro trace`)")
         await server.serve_forever()
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("shutting down")
+    return 0
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description=(
+            "Summarize JSONL trace files recorded by `repro serve "
+            "--trace-dir`: per-request phase breakdown "
+            "(queue/coalesce/cache/dispatch/enumerate/kernel/prune/"
+            "materialize) and optional Chrome trace-event export"
+        ),
+    )
+    parser.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="one or more trace-*.jsonl files",
+    )
+    parser.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="also write the spans as Chrome trace-event JSON "
+             "(load in Perfetto / chrome://tracing)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only print the first N request summaries",
+    )
+    return parser
+
+
+def trace_main(argv: list[str]) -> int:
+    """Entry point of the ``trace`` subcommand."""
+    import json as json_module
+
+    from repro.obs.trace import (
+        format_trace_summaries,
+        read_spans_jsonl,
+        spans_to_chrome_trace,
+        summarize_spans,
+    )
+
+    args = build_trace_parser().parse_args(argv)
+    spans = []
+    for path in args.files:
+        try:
+            spans.extend(read_spans_jsonl(path))
+        except OSError as error:
+            raise SystemExit(f"cannot read {path}: {error}")
+        except ValueError as error:
+            raise SystemExit(f"malformed trace file {path}: {error}")
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as sink:
+            json_module.dump(spans_to_chrome_trace(spans), sink)
+        print(f"chrome trace written to {args.chrome} "
+              f"({len(spans)} spans; open in Perfetto)")
+        print()
+    summaries = summarize_spans(spans)
+    if args.limit is not None:
+        summaries = summaries[: args.limit]
+    print(format_trace_summaries(summaries))
     return 0
 
 
@@ -250,6 +322,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         objectives = tuple(
@@ -334,6 +408,9 @@ def main(argv: list[str] | None = None) -> int:
             profiler.dump_stats(args.profile)
             print(f"profile written to {args.profile} "
                   f"(inspect with `python -m pstats` or snakeviz)")
+        phase_summary = result.phase_summary()
+        if phase_summary:
+            print(phase_summary)
         print()
 
     print(result.summary())

@@ -73,6 +73,13 @@ class OptimizerConfig:
     #: debugging, not because the paths can disagree.
     vectorized_enumeration: bool = True
 
+    #: Whether the DP loop accumulates per-phase wall-clock timers
+    #: (enumerate/kernel/prune/materialize) into its
+    #: :class:`~repro.core.instrumentation.Counters`. Timing happens at
+    #: block granularity only, so the overhead is a few clock reads per
+    #: candidate batch; disable for the leanest possible hot path.
+    phase_timers: bool = True
+
     def __post_init__(self) -> None:
         if not self.dop_values:
             raise OptimizerError("dop_values must be non-empty")
@@ -106,7 +113,9 @@ class OptimizerConfig:
         plans a run can produce. ``vectorized_enumeration`` is
         deliberately excluded: the batched and scalar paths are
         bit-for-bit identical, so results cached under one are valid
-        for the other.
+        for the other. ``phase_timers`` is excluded for the same
+        reason — it only changes what gets *measured*, never which
+        plans are produced.
         """
         return (
             "cfg["

@@ -97,6 +97,7 @@ def weighted_sum_baseline(
         timed_out=counters.timed_out,
         alpha=None,
         deadline_hit=counters.timed_out or deadline_exceeded(deadline),
+        phase_ms=counters.phase_ms() if config.phase_timers else {},
     )
 
 
@@ -206,6 +207,9 @@ def idp_moqo(
         iterations=rounds,
         alpha=None,
         deadline_hit=counters_total.timed_out or deadline_exceeded(deadline),
+        phase_ms=(
+            counters_total.phase_ms() if config.phase_timers else {}
+        ),
     )
 
 

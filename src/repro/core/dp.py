@@ -43,6 +43,7 @@ import numpy as np
 from repro.config import OptimizerConfig, PlanShape
 from repro.core.instrumentation import Counters
 from repro.core.pruning import PlanSet, SingleBestPlanSet
+from repro.obs.trace import active_tracer
 from repro.cost.model import CostModel
 from repro.cost.vector import project
 from repro.plans.operators import JoinMethod
@@ -147,6 +148,10 @@ class DPRun:
         self._since_check = 0
         self._timed_out = False
         self._vectorized = config.vectorized_enumeration
+        # Phase timers cost a few perf_counter reads per candidate
+        # *block* (never per candidate), so they default on; the scalar
+        # loop's time is charged to enumeration as self time.
+        self._phase_timers = config.phase_timers
         self._all_indices = indices + extra_indices
         self._indices_array = np.array(self._all_indices, dtype=np.intp)
         self._full_projection = (
@@ -165,25 +170,72 @@ class DPRun:
 
     # ------------------------------------------------------------------
     def run(self) -> dict[int, PlanSet]:
-        """Execute the enumeration; returns plan sets keyed by bitmask."""
+        """Execute the enumeration; returns plan sets keyed by bitmask.
+
+        When phase timing is on, the run's wall time minus whatever the
+        block path charged to kernel/prune/materialize is credited to
+        ``enumeration_ms`` — the phases stay disjoint and sum to the DP
+        wall time. When a tracer is active, one span per DP level
+        (table-set size) records where enumeration time went level by
+        level.
+        """
         graph = self.graph
         masks = graph.connected_subsets()
-        self.counters.table_sets_total = len(masks)
+        counters = self.counters
+        counters.table_sets_total = len(masks)
+        tracer = active_tracer()
+        timers = self._phase_timers
+        run_start = _time.perf_counter() if timers else 0.0
+        sub_phase_before = (
+            counters.kernel_ms + counters.pruning_ms + counters.materialize_ms
+        )
+        level_span = None
+        level_plans_before = 0
+        level = 0
         sets: dict[int, PlanSet] = {}
         for mask in masks:
+            size = mask.bit_count()
+            if tracer is not None and size != level:
+                if level_span is not None:
+                    level_span.set(
+                        plans_considered=(
+                            counters.plans_considered - level_plans_before
+                        ),
+                    )
+                    level_span.finish()
+                level = size
+                level_plans_before = counters.plans_considered
+                level_span = tracer.begin(f"dp_level_{size}", "dp_level",
+                                          tables=size)
             fallback_before = self._timed_out
-            if mask.bit_count() == 1:
+            if size == 1:
                 plan_set = self._build_singleton(mask)
             else:
                 plan_set = self._build_composite(mask, sets)
             sets[mask] = plan_set
             # A set counts as "treated completely" only if the whole
             # enumeration for it ran before the timeout.
-            self.counters.complete_table_set(
+            counters.complete_table_set(
                 mask, len(plan_set),
                 fallback=fallback_before or self._timed_out,
             )
-        self.counters.timed_out = self._timed_out
+        if level_span is not None:
+            level_span.set(
+                plans_considered=(
+                    counters.plans_considered - level_plans_before
+                ),
+            )
+            level_span.finish()
+        if timers:
+            wall_ms = (_time.perf_counter() - run_start) * 1000.0
+            sub_phase_ms = (
+                counters.kernel_ms
+                + counters.pruning_ms
+                + counters.materialize_ms
+                - sub_phase_before
+            )
+            counters.enumeration_ms += max(0.0, wall_ms - sub_phase_ms)
+        counters.timed_out = self._timed_out
         return sets
 
     # ------------------------------------------------------------------
@@ -412,6 +464,8 @@ class DPRun:
         n_outer = len(outer_block)
         n_inner = len(inner_block)
         outer_chunk = max(1, _MAX_BLOCK_ROWS // n_inner)
+        timers = self._phase_timers
+        counters = self.counters
         for spec in generic_specs:
             # Chunking the outer axis preserves the outer-major
             # candidate order, so chunk boundaries are invisible to the
@@ -424,12 +478,17 @@ class DPRun:
                     if stop - start == n_outer
                     else outer_block.slice(start, stop)
                 )
+                kernel_start = _time.perf_counter() if timers else 0.0
                 out_rows = (
                     chunk.rows[:, None] * inner_block.rows[None, :]
                 ) * selectivity
                 costs = cost_model.join_cost_block(
                     spec, chunk, inner_block, out_rows
                 ).reshape(-1, 9)
+                if timers:
+                    counters.kernel_ms += (
+                        _time.perf_counter() - kernel_start
+                    ) * 1000.0
                 if not self._insert_block(
                     target, spec, costs, out_rows.reshape(-1),
                     chunk.plans, inner_block.plans, n_inner,
@@ -450,9 +509,14 @@ class DPRun:
                     outer_block.rows * probe.rows
                 ) * selectivity
                 for spec in self.plan_space.index_nl_specs:
+                    kernel_start = _time.perf_counter() if timers else 0.0
                     costs = cost_model.index_nl_cost_block(
                         spec, outer_block, probe, probe_out_rows
                     )
+                    if timers:
+                        counters.kernel_ms += (
+                            _time.perf_counter() - kernel_start
+                        ) * 1000.0
                     if not self._insert_block(
                         target, spec, costs, probe_out_rows,
                         outer_block.plans, (probe,), 1,
@@ -478,9 +542,11 @@ class DPRun:
         like the scalar loop's mid-iteration return).
         """
         counters = self.counters
+        timers = self._phase_timers
         n_rows = costs.shape[0]
         counters.plans_considered += n_rows
         counters.candidates_vectorized += n_rows
+        prune_start = _time.perf_counter() if timers else 0.0
         if self._full_projection:
             projected = costs
         else:
@@ -490,6 +556,9 @@ class DPRun:
                     (projected, out_rows[:, None]), axis=1
                 )
         keep = target.block_accept(projected)
+        if timers:
+            materialize_start = _time.perf_counter()
+            counters.pruning_ms += (materialize_start - prune_start) * 1000.0
         for position in map(int, np.nonzero(keep)[0]):
             cost = tuple(costs[position].tolist())
             if self._full_projection:
@@ -503,6 +572,10 @@ class DPRun:
                 left_plan.width + right_plan.width, cost, cost[8],
             )
             target.force_insert(projected_tuple, plan)
+        if timers:
+            counters.materialize_ms += (
+                _time.perf_counter() - materialize_start
+            ) * 1000.0
         self._since_check += n_rows
         if self._since_check >= self._check_interval:
             self._since_check = 0

@@ -48,6 +48,18 @@ class Counters:
     #: comparable to ``plans_considered`` — their ratio is the
     #: batch-path hit rate reported by ``RequestMetrics``.
     candidates_vectorized: int = 0
+    #: Phase timers (milliseconds), filled by the DP loop when
+    #: ``OptimizerConfig.phase_timers`` is on. The four phases are
+    #: *disjoint*: ``kernel`` is cost-model block evaluation,
+    #: ``pruning`` is dominance filtering (block accept + projection),
+    #: ``materialize`` is survivor plan construction, and
+    #: ``enumeration`` is everything else in the DP wall time (subset
+    #: iteration, partitioning, the scalar loop) — so their sum tracks
+    #: the run's elapsed time.
+    enumeration_ms: float = 0.0
+    kernel_ms: float = 0.0
+    pruning_ms: float = 0.0
+    materialize_ms: float = 0.0
     plans_stored_peak: int = 0
     pareto_last_complete: int = 0
     table_sets_completed: int = 0
@@ -88,10 +100,27 @@ class Counters:
         """Analytic memory estimate for the run (kilobytes)."""
         return BASE_MEMORY_KB + self.plans_stored_peak * PLAN_BYTES / 1024.0
 
+    def phase_ms(self) -> dict[str, float]:
+        """Phase-timer totals keyed by canonical phase name.
+
+        Keys match :data:`repro.obs.prom.CANONICAL_PHASES` and the
+        ``repro trace`` breakdown; all zeros when phase timing is off.
+        """
+        return {
+            "enumerate": self.enumeration_ms,
+            "kernel": self.kernel_ms,
+            "prune": self.pruning_ms,
+            "materialize": self.materialize_ms,
+        }
+
     def merge_peak(self, other: "Counters") -> None:
         """Fold another run's peaks into this one (multi-block queries)."""
         self.plans_considered += other.plans_considered
         self.candidates_vectorized += other.candidates_vectorized
+        self.enumeration_ms += other.enumeration_ms
+        self.kernel_ms += other.kernel_ms
+        self.pruning_ms += other.pruning_ms
+        self.materialize_ms += other.materialize_ms
         self.plans_stored_peak = max(
             self.plans_stored_peak, other.plans_stored_peak
         )
@@ -155,33 +184,41 @@ class LatencyHistogram:
         with self._lock:
             return self._total / self._observed if self._observed else 0.0
 
+    def _percentile_locked(self, fraction: float) -> float:
+        if not self._samples:
+            return 0.0
+        rank = min(
+            len(self._samples) - 1,
+            max(0, int(round(fraction * (len(self._samples) - 1)))),
+        )
+        return self._samples[rank]
+
     def percentile(self, fraction: float) -> float:
         """Nearest-rank percentile; ``fraction`` in [0, 1]."""
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         with self._lock:
-            if not self._samples:
-                return 0.0
-            rank = min(
-                len(self._samples) - 1,
-                max(0, int(round(fraction * (len(self._samples) - 1)))),
-            )
-            return self._samples[rank]
+            return self._percentile_locked(fraction)
 
     def snapshot(self) -> dict[str, float]:
-        """Point-in-time percentile summary (safe to serialize)."""
+        """Point-in-time percentile summary (safe to serialize).
+
+        Everything — count, mean, max, *and* the percentiles — is read
+        under one lock acquisition, so concurrent ``observe()`` calls
+        can never produce a snapshot whose count disagrees with its
+        percentiles (the torn-read hazard of calling :meth:`percentile`
+        separately per quantile).
+        """
         with self._lock:
             count = self._observed
-            mean = self._total / count if count else 0.0
-            maximum = self._max
-        return {
-            "count": float(count),
-            "mean_ms": mean,
-            "p50_ms": self.percentile(0.50),
-            "p95_ms": self.percentile(0.95),
-            "p99_ms": self.percentile(0.99),
-            "max_ms": maximum,
-        }
+            return {
+                "count": float(count),
+                "mean_ms": self._total / count if count else 0.0,
+                "p50_ms": self._percentile_locked(0.50),
+                "p95_ms": self._percentile_locked(0.95),
+                "p99_ms": self._percentile_locked(0.99),
+                "max_ms": self._max,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -197,6 +234,12 @@ class RequestMetrics:
     ``rerouted`` marks requests the deadline scheduler redirected to
     the anytime algorithm; their results must not be cached under the
     original request's fingerprint.
+
+    ``phase_ms`` breaks the optimizer's elapsed time into the disjoint
+    enumerate/kernel/prune/materialize phases (see
+    :meth:`Counters.phase_ms`); empty for cache hits or when phase
+    timing is disabled. It is excluded from equality so the generated
+    ``__hash__`` of this frozen dataclass keeps working.
     """
 
     fingerprint: str
@@ -211,6 +254,7 @@ class RequestMetrics:
     rerouted: bool = False
     plans_considered: int = 0
     candidates_vectorized: int = 0
+    phase_ms: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def vectorized_fraction(self) -> float:
@@ -251,6 +295,7 @@ class ServiceMetrics:
     total_optimization_ms: float = 0.0
     by_algorithm: dict[str, int] = field(default_factory=dict)
     by_worker: dict[str, int] = field(default_factory=dict)
+    phase_ms: dict[str, float] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -267,6 +312,10 @@ class ServiceMetrics:
                 self.by_algorithm[metrics.algorithm] = (
                     self.by_algorithm.get(metrics.algorithm, 0) + 1
                 )
+                for phase, spent_ms in metrics.phase_ms.items():
+                    self.phase_ms[phase] = (
+                        self.phase_ms.get(phase, 0.0) + spent_ms
+                    )
             if metrics.timed_out:
                 self.timeouts += 1
             if metrics.deadline_hit:
@@ -305,5 +354,6 @@ class ServiceMetrics:
                 "total_optimization_ms": self.total_optimization_ms,
                 "by_algorithm": dict(self.by_algorithm),
                 "by_worker": dict(self.by_worker),
+                "phase_ms": dict(self.phase_ms),
                 "hit_rate": self.hit_rate,
             }

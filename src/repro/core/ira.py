@@ -109,6 +109,9 @@ def ira(
     weights = preferences.weights
     total_considered = 0
     total_vectorized = 0
+    # Counters are reset each iteration (memory is reported for the
+    # last one), but phase time is spent across *all* iterations.
+    phase_totals: dict[str, float] = {}
     counters = Counters()
     best = None
     final_set = None
@@ -141,6 +144,9 @@ def ira(
                                   run.projection_width)
         total_considered += counters.plans_considered
         total_vectorized += counters.candidates_vectorized
+        if config.phase_timers:
+            for phase, spent_ms in counters.phase_ms().items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + spent_ms
         best = select_best(final_set, preferences)
         timed_out = counters.timed_out
         if timed_out or exact_iteration:
@@ -169,6 +175,7 @@ def ira(
         iterations=iteration,
         alpha=alpha_u,
         deadline_hit=timed_out or deadline_exceeded(deadline),
+        phase_ms=phase_totals,
     )
 
 

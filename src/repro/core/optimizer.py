@@ -155,6 +155,10 @@ class MultiObjectiveOptimizer:
         across algorithms stay consistent.
         """
         main = block_results[0]
+        phase_totals: dict[str, float] = {}
+        for block_result in block_results:
+            for phase, spent_ms in block_result.phase_ms.items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + spent_ms
         costs = [r.plan_cost for r in block_results if r.plan_cost is not None]
         combined_cost = (
             combine_block_costs(costs, main.preferences.objectives)
@@ -183,6 +187,7 @@ class MultiObjectiveOptimizer:
             alpha=main.alpha,
             block_results=block_results,
             deadline_hit=any(r.deadline_hit for r in block_results),
+            phase_ms=phase_totals,
         )
 
 

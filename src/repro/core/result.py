@@ -51,6 +51,11 @@ class OptimizationResult:
     alpha: float | None = None
     block_results: tuple["OptimizationResult", ...] = field(default=())
     deadline_hit: bool = False
+    #: Optimizer time split into the disjoint
+    #: enumerate/kernel/prune/materialize phases (milliseconds); empty
+    #: when phase timing is disabled. Excluded from equality so the
+    #: frozen dataclass keeps its generated ``__hash__``.
+    phase_ms: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def weighted_cost(self) -> float:
@@ -82,6 +87,16 @@ class OptimizationResult:
             return float("inf")
         position = self.preferences.objectives.index(objective)
         return self.plan_cost[position]
+
+    def phase_summary(self) -> str:
+        """One-line phase-timer breakdown ('' when phase timing is off)."""
+        if not self.phase_ms:
+            return ""
+        parts = " ".join(
+            f"{phase}={self.phase_ms.get(phase, 0.0):.1f}ms"
+            for phase in ("enumerate", "kernel", "prune", "materialize")
+        )
+        return f"phases: {parts}"
 
     def summary(self) -> str:
         """One-line human-readable run summary."""

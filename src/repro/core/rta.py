@@ -114,4 +114,5 @@ def rta(
         timed_out=counters.timed_out,
         alpha=alpha_u,
         deadline_hit=counters.timed_out or deadline_exceeded(deadline),
+        phase_ms=counters.phase_ms() if config.phase_timers else {},
     )

@@ -97,6 +97,7 @@ def selinger(
         timed_out=counters.timed_out,
         alpha=1.0,
         deadline_hit=counters.timed_out or deadline_exceeded(deadline),
+        phase_ms=counters.phase_ms() if config.phase_timers else {},
     )
 
 

@@ -54,6 +54,7 @@ from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
 from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
 from repro.exceptions import OptimizerError
+from repro.obs.trace import active_tracer, current_context
 
 #: Callable invoked with one record per completed request.
 MetricsHook = Callable[[RequestMetrics], None]
@@ -237,12 +238,30 @@ class OptimizerService:
         shortened timeout is identical to a full-budget run) and the
         scheduler did not reroute it to another algorithm (a rerouted
         result would poison the original algorithm's cache key).
+
+        Under the process backend, cache misses execute on a warm
+        worker process (the pool the batch API uses): single served
+        requests get real parallelism instead of competing for the
+        parent's GIL, and their worker-side trace spans merge back into
+        the caller's trace. A closed service falls back to in-process
+        execution rather than silently restarting the pool.
         """
+        tracer = active_tracer()
         key = request.fingerprint(self.config)
-        cached = self.cache.get(key)
+        if tracer is None:
+            cached = self.cache.get(key)
+        else:
+            with tracer.span("cache.lookup", "cache"):
+                cached = self.cache.get(key)
         if cached is not None:
             self._report(request, key, cached, cache_hit=True)
             return cached
+        if self.backend == "processes" and not self._closed:
+            return self._submit_to_pool(
+                request, key,
+                admitted_epoch=admitted_epoch,
+                deadline_epoch=deadline_epoch,
+            )
         executed = request
         rerouted = False
         if self.scheduler is not None:
@@ -259,12 +278,82 @@ class OptimizerService:
                 )
                 executed = scheduled.request
                 rerouted = scheduled.rerouted
-        result = self._optimizer.execute(executed)
+        if tracer is None:
+            result = self._optimizer.execute(executed)
+        else:
+            span = tracer.begin(
+                f"algorithm.{executed.algorithm}", "algorithm",
+                algorithm=executed.algorithm, query=executed.query_name,
+            )
+            try:
+                result = self._optimizer.execute(executed)
+                span.set(
+                    kernel=result.phase_ms.get("kernel", 0.0),
+                    prune=result.phase_ms.get("prune", 0.0),
+                    materialize=result.phase_ms.get("materialize", 0.0),
+                )
+            finally:
+                span.finish()
         if not result.timed_out and not result.deadline_hit and not rerouted:
             self.cache.put(key, result)
         self._report(
             executed, key, result, cache_hit=False, rerouted=rerouted
         )
+        return result
+
+    def _submit_to_pool(
+        self,
+        request: OptimizationRequest,
+        key: str,
+        *,
+        admitted_epoch: float | None,
+        deadline_epoch: float | None,
+    ) -> OptimizationResult:
+        """Route one cache-missed :meth:`submit` to a worker process.
+
+        Admission (deadline stamping) happens in the parent, like the
+        batch path; resolution (reroute/budget decisions) happens in the
+        worker at dequeue time, so pool queueing counts against the
+        budget. The caller's trace context ships with the request and
+        the worker's finished spans come back merged into the caller's
+        tracer, parented where the submit happened.
+        """
+        if self.scheduler is not None and deadline_epoch is None:
+            if admitted_epoch is None:
+                admitted_epoch = time.time()
+            deadline_epoch = self.scheduler.admit(
+                request, admitted_epoch, self.config.timeout_seconds
+            )
+        tracer = active_tracer()
+        if tracer is None:
+            result, record, spans = self.worker_pool().execute_one(
+                request, deadline_epoch
+            )
+        else:
+            # The dispatch span brackets the whole pool round trip; the
+            # worker's spans nest under it, so its self time in a trace
+            # summary is exactly the IPC overhead (pickling, pool
+            # queueing, result shipping).
+            dispatch = tracer.begin(
+                "pool.dispatch", "dispatch", algorithm=request.algorithm
+            )
+            try:
+                result, record, spans = self.worker_pool().execute_one(
+                    request, deadline_epoch, trace_ctx=dispatch.context
+                )
+            finally:
+                dispatch.finish()
+            if spans:
+                tracer.ingest(spans)
+        # Same cache rule as the in-process path; the worker ships its
+        # reroute decision back on the record.
+        if (
+            not result.timed_out
+            and not result.deadline_hit
+            and not record.rerouted
+        ):
+            self.cache.put(key, result)
+        self._dispatch(record)
         return result
 
     def submit_sharded(
@@ -417,13 +506,18 @@ class OptimizerService:
                 shard_by_fingerprint = (
                     len(set(shipped_keys)) < len(shipped_keys)
                 )
+            tracer = active_tracer()
+            trace_ctx = current_context() if tracer is not None else None
             outputs = self.worker_pool().execute_many(
                 [requests[position] for position in shipped],
                 [epochs[position] for position in shipped],
                 shard_by_fingerprint=shard_by_fingerprint,
                 default_config=self.config,
+                trace_ctx=trace_ctx,
             )
-            for position, (result, record) in zip(shipped, outputs):
+            for position, (result, record, spans) in zip(shipped, outputs):
+                if tracer is not None and spans:
+                    tracer.ingest(spans)
                 results[position] = result
                 # Same cache rule as submit(): completed runs only, and
                 # never a result the worker's scheduler rerouted away
@@ -462,6 +556,7 @@ class OptimizerService:
             candidates_vectorized=(
                 0 if cache_hit else result.candidates_vectorized
             ),
+            phase_ms={} if cache_hit else dict(result.phase_ms),
         )
         self._dispatch(record)
 

@@ -1,0 +1,40 @@
+"""Observability: span tracing, phase profiling, Prometheus exposition.
+
+The package is dependency-free and inert by default — nothing traces
+until a :class:`~repro.obs.trace.Tracer` is activated for the current
+context, and :func:`~repro.obs.prom.render_prometheus` is a pure
+function over the metrics snapshots the service/serving layers already
+produce.
+"""
+
+from repro.obs.prom import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import (
+    Span,
+    SpanHandle,
+    TraceContext,
+    Tracer,
+    active_tracer,
+    current_context,
+    format_trace_summaries,
+    read_spans_jsonl,
+    spans_to_chrome_trace,
+    summarize_spans,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "render_prometheus",
+    "Span",
+    "SpanHandle",
+    "TraceContext",
+    "Tracer",
+    "active_tracer",
+    "current_context",
+    "format_trace_summaries",
+    "read_spans_jsonl",
+    "spans_to_chrome_trace",
+    "summarize_spans",
+    "write_spans_jsonl",
+]

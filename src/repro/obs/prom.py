@@ -1,0 +1,284 @@
+"""Prometheus text-exposition rendering of the combined metrics snapshot.
+
+Turns the nested JSON snapshot the server already exposes
+(``{"serving": ..., "admission": ..., "coalescer": ..., "service": ...}``)
+into the Prometheus text format 0.0.4 that a stock scrape job can
+ingest — no client library, no registry, just a pure function over the
+snapshot dict. The JSON endpoint stays the default; the server selects
+this renderer through content negotiation (``Accept: text/plain`` or
+``application/openmetrics-text`` on ``GET /metrics``).
+
+Missing snapshot sections render as absent series rather than raising,
+so the same function serves an embedded :class:`OptimizerService`
+(service-only snapshot) and a full front end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: Phase keys always emitted by ``repro_phase_ms_total`` (0.0 when a
+#: phase never ran) so dashboards can rely on the series existing.
+CANONICAL_PHASES = ("enumerate", "kernel", "prune", "materialize")
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Writer:
+    """Accumulates exposition lines, one # HELP/# TYPE header per metric."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def declare(self, name: str, kind: str, help_text: str) -> None:
+        if name not in self._declared:
+            self._declared.add(name)
+            self._lines.append(f"# HELP {name} {help_text}")
+            self._lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self,
+        name: str,
+        value: Any,
+        labels: Mapping[str, str] | None = None,
+        suffix: str = "",
+    ) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(str(val))}"'
+                for key, val in labels.items()
+            )
+            self._lines.append(
+                f"{name}{suffix}{{{rendered}}} {_format_value(value)}"
+            )
+        else:
+            self._lines.append(f"{name}{suffix} {_format_value(value)}")
+
+    def metric(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        value: Any,
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        self.declare(name, kind, help_text)
+        self.sample(name, value, labels)
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def _render_latency(writer: _Writer, latency: Mapping[str, Any]) -> None:
+    name = "repro_serving_latency_ms"
+    writer.declare(
+        name, "summary",
+        "End-to-end request latency from first byte to response.",
+    )
+    for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"),
+                          ("0.99", "p99_ms")):
+        writer.sample(name, latency.get(key, 0.0), {"quantile": quantile})
+    count = float(latency.get("count", 0.0))
+    writer.sample(name, count, suffix="_count")
+    writer.sample(name, count * float(latency.get("mean_ms", 0.0)),
+                  suffix="_sum")
+    writer.metric(
+        "repro_serving_latency_ms_max", "gauge",
+        "Maximum observed end-to-end request latency.",
+        latency.get("max_ms", 0.0),
+    )
+
+
+def _render_serving(writer: _Writer, serving: Mapping[str, Any]) -> None:
+    writer.metric(
+        "repro_serving_connections_total", "counter",
+        "TCP connections accepted.", serving.get("connections", 0),
+    )
+    writer.metric(
+        "repro_serving_requests_total", "counter",
+        "HTTP requests parsed.", serving.get("requests", 0),
+    )
+    responses = serving.get("responses_by_code", {}) or {}
+    writer.declare(
+        "repro_serving_responses_total", "counter",
+        "Optimize responses by envelope code.",
+    )
+    for code, count in sorted(responses.items()):
+        writer.sample(
+            "repro_serving_responses_total", count, {"code": code}
+        )
+    writer.metric(
+        "repro_serving_coalesce_hits_total", "counter",
+        "Requests served by attaching to an in-flight twin.",
+        serving.get("coalesce_hits", 0),
+    )
+    writer.metric(
+        "repro_serving_coalesce_leaders_total", "counter",
+        "Requests that became coalescing leaders.",
+        serving.get("coalesce_leaders", 0),
+    )
+    writer.metric(
+        "repro_serving_sheds_total", "counter",
+        "Requests refused by admission control.",
+        serving.get("sheds", 0),
+    )
+    writer.metric(
+        "repro_serving_deadline_sheds_total", "counter",
+        "Requests shed because their budget expired while queueing.",
+        serving.get("deadline_sheds", 0),
+    )
+    writer.metric(
+        "repro_serving_protocol_errors_total", "counter",
+        "Malformed HTTP requests.", serving.get("protocol_errors", 0),
+    )
+    latency = serving.get("latency")
+    if isinstance(latency, Mapping):
+        _render_latency(writer, latency)
+
+
+def _render_admission(writer: _Writer, admission: Mapping[str, Any]) -> None:
+    gauges = (
+        ("running", "repro_admission_running",
+         "Requests currently holding an execution slot."),
+        ("queue_depth", "repro_admission_queue_depth",
+         "Admitted requests waiting for a slot."),
+        ("peak_queue_depth", "repro_admission_peak_queue_depth",
+         "Peak admission backlog observed."),
+        ("max_in_flight", "repro_admission_max_in_flight",
+         "Configured concurrent-optimization cap."),
+        ("max_queue_depth", "repro_admission_max_queue_depth",
+         "Configured admission queue capacity."),
+    )
+    for key, name, help_text in gauges:
+        writer.metric(name, "gauge", help_text, admission.get(key, 0))
+    writer.metric(
+        "repro_admission_admitted_total", "counter",
+        "Requests admitted past the queue limit.",
+        admission.get("admitted", 0),
+    )
+    writer.metric(
+        "repro_admission_shed_total", "counter",
+        "Requests refused at admission.", admission.get("shed", 0),
+    )
+
+
+def _render_coalescer(writer: _Writer, coalescer: Mapping[str, Any]) -> None:
+    writer.metric(
+        "repro_coalescer_in_flight", "gauge",
+        "Distinct fingerprints currently being optimized.",
+        coalescer.get("in_flight", 0),
+    )
+    writer.metric(
+        "repro_coalescer_leaders_total", "counter",
+        "Coalescing groups led.", coalescer.get("leaders", 0),
+    )
+    writer.metric(
+        "repro_coalescer_followers_total", "counter",
+        "Requests that followed an in-flight leader.",
+        coalescer.get("followers", 0),
+    )
+
+
+def _render_service(writer: _Writer, service: Mapping[str, Any]) -> None:
+    counters = (
+        ("requests", "repro_service_requests_total",
+         "Optimization requests handled by the service."),
+        ("cache_hits", "repro_service_cache_hits_total",
+         "Plan-cache hits."),
+        ("cache_misses", "repro_service_cache_misses_total",
+         "Plan-cache misses (optimizations executed)."),
+        ("timeouts", "repro_service_timeouts_total",
+         "Optimizations that hit their per-run timeout."),
+        ("deadline_hits", "repro_service_deadline_hits_total",
+         "Requests whose end-to-end deadline intervened."),
+        ("coalesce_hits", "repro_service_coalesce_hits_total",
+         "Requests served by awaiting an in-flight twin."),
+        ("sheds", "repro_service_sheds_total",
+         "Requests refused by serving admission control."),
+    )
+    for key, name, help_text in counters:
+        writer.metric(name, "counter", help_text, service.get(key, 0))
+    writer.metric(
+        "repro_service_cache_hit_rate", "gauge",
+        "Plan-cache hit rate over all requests.",
+        service.get("hit_rate", 0.0),
+    )
+    writer.metric(
+        "repro_service_optimization_ms_total", "counter",
+        "Cumulative optimization wall time (cache misses only).",
+        service.get("total_optimization_ms", 0.0),
+    )
+    by_algorithm = service.get("by_algorithm", {}) or {}
+    writer.declare(
+        "repro_service_algorithm_requests_total", "counter",
+        "Executed (non-cached) requests per algorithm.",
+    )
+    for algorithm, count in sorted(by_algorithm.items()):
+        writer.sample(
+            "repro_service_algorithm_requests_total", count,
+            {"algorithm": algorithm},
+        )
+    by_worker = service.get("by_worker", {}) or {}
+    writer.declare(
+        "repro_service_worker_requests_total", "counter",
+        "Requests executed per worker process.",
+    )
+    for worker, count in sorted(by_worker.items()):
+        writer.sample(
+            "repro_service_worker_requests_total", count,
+            {"worker": worker},
+        )
+    phase_ms = service.get("phase_ms", {}) or {}
+    writer.declare(
+        "repro_phase_ms_total", "counter",
+        "Cumulative optimizer time per phase "
+        "(enumerate/kernel/prune/materialize).",
+    )
+    for phase in CANONICAL_PHASES:
+        writer.sample(
+            "repro_phase_ms_total", float(phase_ms.get(phase, 0.0)),
+            {"phase": phase},
+        )
+    for phase, value in sorted(phase_ms.items()):
+        if phase not in CANONICAL_PHASES:
+            writer.sample(
+                "repro_phase_ms_total", float(value), {"phase": phase}
+            )
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render the combined server snapshot as Prometheus exposition text.
+
+    Accepts the full ``AsyncOptimizerServer.metrics_snapshot()`` shape;
+    any missing top-level section is simply skipped. A bare
+    ``ServiceMetrics.snapshot()`` (no nesting) also works when wrapped
+    as ``{"service": snapshot}``.
+    """
+    writer = _Writer()
+    serving = snapshot.get("serving")
+    if isinstance(serving, Mapping):
+        _render_serving(writer, serving)
+    admission = snapshot.get("admission")
+    if isinstance(admission, Mapping):
+        _render_admission(writer, admission)
+    coalescer = snapshot.get("coalescer")
+    if isinstance(coalescer, Mapping):
+        _render_coalescer(writer, coalescer)
+    service = snapshot.get("service")
+    if isinstance(service, Mapping):
+        _render_service(writer, service)
+    return writer.render()

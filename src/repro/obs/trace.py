@@ -1,0 +1,537 @@
+"""Contextvar-propagated span tracing for the serving → service → DP stack.
+
+The runtime analogue of provenance traces: every request can record
+*where its budget went* — server parse, admission queue wait, coalesce
+follower wait, plan-cache lookup, the algorithm run, and per-DP-level
+enumeration — as a tree of :class:`Span` records that survives thread
+hops (contextvars) and process hops (spans pickle; a
+:class:`TraceContext` travels with the work item and the worker's spans
+ship back to be :meth:`~Tracer.ingest`-ed into the parent trace).
+
+Design constraints, in order:
+
+1. **No-op by default.** Nothing traces unless a :class:`Tracer` is
+   activated for the current context. Instrumented call sites do
+   ``tracer = active_tracer()`` (one contextvar read) and skip all span
+   work when it returns ``None`` — the disabled path stays off the
+   profile (guarded by ``benchmarks/test_tracing_overhead.py``).
+2. **Timestamps are wall-clock epoch seconds** so spans recorded in
+   worker processes align with the parent's on one timeline without
+   cross-process clock translation.
+3. **Exports are boring formats**: JSON-lines (one span per line, the
+   ``repro serve --trace-dir`` sink, summarized by ``repro trace``) and
+   Chrome trace-event JSON (loadable in Perfetto / ``chrome://tracing``).
+
+Span parenting uses one process-wide contextvar holding the current
+:class:`TraceContext`; ``asyncio`` tasks inherit a copy at creation, so
+a detached leader task's spans parent correctly to the request that
+spawned it, and executor threads re-establish the chain explicitly with
+:meth:`Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+#: The tracer instrumented code reports to; ``None`` disables tracing.
+_ACTIVE: ContextVar["Tracer | None"] = ContextVar(
+    "repro_obs_active_tracer", default=None
+)
+
+#: The (trace_id, span_id) new spans parent to.
+_CURRENT: ContextVar["TraceContext | None"] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def active_tracer() -> "Tracer | None":
+    """The tracer active in this context, or ``None`` (tracing off)."""
+    return _ACTIVE.get()
+
+
+def current_context() -> "TraceContext | None":
+    """Propagation handle for the current span (picklable), if any."""
+    return _CURRENT.get()
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Where new spans attach: a (trace, parent span) pair.
+
+    Small, immutable and picklable by design — this is what travels
+    inside work items shipped to worker processes so the worker's spans
+    join the parent's trace.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree.
+
+    ``start_s``/``end_s`` are wall-clock epoch seconds (see module
+    docstring); ``attrs`` carries JSON-serializable annotations only.
+    Spans pickle (worker → parent shipping) and round-trip through
+    :meth:`to_dict`/:meth:`from_dict` (JSONL files).
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    category: str
+    start_s: float
+    end_s: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    thread: str = ""
+    process: str = ""
+
+    @property
+    def duration_ms(self) -> float:
+        """Span duration in milliseconds (0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return (self.end_s - self.start_s) * 1000.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": self.attrs,
+            "thread": self.thread,
+            "process": self.process,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Span":
+        return cls(
+            trace_id=payload["trace_id"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            name=payload["name"],
+            category=payload.get("category", ""),
+            start_s=float(payload["start_s"]),
+            end_s=(
+                None if payload.get("end_s") is None
+                else float(payload["end_s"])
+            ),
+            attrs=dict(payload.get("attrs", {})),
+            thread=payload.get("thread", ""),
+            process=payload.get("process", ""),
+        )
+
+
+class SpanHandle:
+    """A started (or startable) span: context manager or manual control.
+
+    ``with tracer.span("parse"):`` for lexically scoped phases;
+    ``handle = tracer.begin("queue"); ...; handle.finish()`` when the
+    span brackets an ``await`` that no ``with`` block can wrap cleanly.
+    ``finish`` is idempotent — double-finishing (e.g. from a ``finally``
+    after an error path already closed the span) records nothing twice.
+    """
+
+    __slots__ = ("tracer", "span", "_token", "_previous", "_finished")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self.tracer = tracer
+        self.span = span
+        self._token = None
+        self._previous: TraceContext | None = None
+        self._finished = False
+
+    def set(self, **attrs: Any) -> "SpanHandle":
+        """Attach (or overwrite) annotation attributes."""
+        self.span.attrs.update(attrs)
+        return self
+
+    @property
+    def context(self) -> TraceContext:
+        """Propagation handle pointing at this span."""
+        return TraceContext(self.span.trace_id, self.span.span_id)
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SpanHandle":
+        span = self.span
+        parent = _CURRENT.get()
+        if parent is not None:
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+        span.start_s = time.time()
+        span.thread = threading.current_thread().name
+        import multiprocessing
+
+        span.process = multiprocessing.current_process().name
+        self._previous = parent
+        self._token = _CURRENT.set(self.context)
+        return self
+
+    def finish(self) -> Span:
+        if self._finished:
+            return self.span
+        self._finished = True
+        self.span.end_s = time.time()
+        if self._token is not None:
+            try:
+                _CURRENT.reset(self._token)
+            except ValueError:
+                # Finished in a different context than it started in
+                # (cross-task cleanup); restore the remembered parent.
+                _CURRENT.set(self._previous)
+            self._token = None
+        self.tracer._append(self.span)
+        return self.span
+
+    def __enter__(self) -> "SpanHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.finish()
+
+
+class Tracer:
+    """Thread-safe collector of finished spans for one trace sink.
+
+    A tracer does nothing until it is the active tracer of the current
+    context (:meth:`activate`) — instrumented code reaches it through
+    :func:`active_tracer`, never through globals, so concurrent servers
+    and tests can each run their own tracer without interference.
+    """
+
+    def __init__(self) -> None:
+        self._finished: list[Span] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    def span(self, name: str, category: str = "", **attrs: Any) -> SpanHandle:
+        """A not-yet-started span handle (start via ``with`` or ``.start()``)."""
+        span = Span(
+            trace_id=_new_id(),
+            span_id=_new_id(),
+            parent_id=None,
+            name=name,
+            category=category,
+            start_s=0.0,
+            attrs=dict(attrs),
+        )
+        return SpanHandle(self, span)
+
+    def begin(self, name: str, category: str = "", **attrs: Any) -> SpanHandle:
+        """Create *and start* a span (manual ``finish()`` control)."""
+        return self.span(name, category, **attrs).start()
+
+    # ------------------------------------------------------------------
+    # Context plumbing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self):
+        """Make this the active tracer for the current context."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    @contextmanager
+    def adopt(self, context: TraceContext | None):
+        """Parent subsequent spans under a foreign context.
+
+        The hop mechanism: an executor thread (or a worker process)
+        re-establishes the request's span chain by adopting the
+        :class:`TraceContext` captured where the work was submitted.
+        ``None`` adopts nothing (spans start fresh traces).
+        """
+        if context is None:
+            yield
+            return
+        token = _CURRENT.set(context)
+        try:
+            yield
+        finally:
+            _CURRENT.reset(token)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    def ingest(self, spans: Iterable[Span]) -> None:
+        """Adopt foreign (e.g. worker-process) finished spans."""
+        spans = list(spans)
+        if spans:
+            with self._lock:
+                self._finished.extend(spans)
+
+    def drain(self) -> list[Span]:
+        """Remove and return all finished spans collected so far."""
+        with self._lock:
+            spans = self._finished
+            self._finished = []
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+
+# ----------------------------------------------------------------------
+# Export: JSONL and Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def spans_to_jsonl(spans: Sequence[Span]) -> str:
+    """One compact JSON object per line (the ``--trace-dir`` format)."""
+    return "\n".join(
+        json.dumps(span.to_dict(), separators=(",", ":")) for span in spans
+    )
+
+
+def write_spans_jsonl(path, spans: Sequence[Span]) -> None:
+    """Append spans to a JSONL trace file (creates it if missing)."""
+    if not spans:
+        return
+    with open(path, "a", encoding="utf-8") as sink:
+        sink.write(spans_to_jsonl(spans) + "\n")
+
+
+def read_spans_jsonl(path) -> list[Span]:
+    """Load every span from a JSONL trace file (blank lines skipped)."""
+    spans: list[Span] = []
+    with open(path, "r", encoding="utf-8") as source:
+        for line in source:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def spans_to_chrome_trace(spans: Sequence[Span]) -> dict[str, Any]:
+    """Render spans as Chrome trace-event JSON (Perfetto-loadable).
+
+    Complete events (``ph: "X"``) with microsecond timestamps, one
+    synthetic integer pid/tid per distinct (process, thread) name pair,
+    plus metadata events so Perfetto shows the real names.
+    """
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        pid = pids.setdefault(span.process or "main", len(pids) + 1)
+        tid_key = (span.process or "main", span.thread or "main")
+        tid = tids.setdefault(tid_key, len(tids) + 1)
+        args = dict(span.attrs)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": max(0.0, ((span.end_s or span.start_s)
+                                 - span.start_s) * 1e6),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for process, pid in pids.items():
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": process}}
+        )
+    for (process, thread), tid in tids.items():
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": pids[process],
+             "tid": tid, "args": {"name": thread}}
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Summarization (the ``repro trace`` subcommand)
+# ----------------------------------------------------------------------
+#: Phase keys in report order; ``enumerate`` is derived as the
+#: algorithm span's self time (duration minus kernel/prune/materialize)
+#: and ``dispatch`` is the worker-pool hop's self time (IPC overhead of
+#: the process backend: pickling, pool queueing, result shipping).
+PHASE_ORDER = (
+    "parse",
+    "queue",
+    "coalesce",
+    "cache",
+    "dispatch",
+    "enumerate",
+    "kernel",
+    "prune",
+    "materialize",
+    "other",
+)
+
+#: Span categories attributed to a same-named phase by *self time*.
+_DIRECT_CATEGORIES = {
+    "parse": "parse",
+    "queue": "queue",
+    "coalesce": "coalesce",
+    "cache": "cache",
+    "dispatch": "dispatch",
+}
+
+#: Categories that participate in self-time accounting: a counted
+#: span's phase contribution is its duration minus the durations of
+#: counted spans directly nested in it, so overlapping layers (e.g. a
+#: dispatch span enclosing the worker's algorithm span) never double
+#: count.
+_COUNTED_CATEGORIES = frozenset(_DIRECT_CATEGORIES) | {"algorithm"}
+
+
+@dataclass
+class RequestTraceSummary:
+    """Per-request phase breakdown reconstructed from one trace tree."""
+
+    trace_id: str
+    start_s: float
+    total_ms: float
+    phases: dict[str, float]
+    attrs: dict[str, Any]
+    processes: tuple[str, ...]
+
+    @property
+    def phase_sum_ms(self) -> float:
+        """Sum of the named phases (excluding the ``other`` residue)."""
+        return sum(
+            ms for phase, ms in self.phases.items() if phase != "other"
+        )
+
+
+def summarize_spans(spans: Sequence[Span]) -> list[RequestTraceSummary]:
+    """Group spans by trace and reduce each tree to a phase breakdown.
+
+    Phase accounting is designed to be *disjoint*: every counted span
+    contributes its *self time* — its duration minus the durations of
+    counted spans directly nested under it — so layered spans (a
+    ``dispatch`` span enclosing the worker's ``cache`` and
+    ``algorithm`` spans, say) never double count. Direct categories
+    (parse/queue/coalesce/cache/dispatch) fold into same-named phases;
+    an algorithm span's self time is split into kernel/prune/materialize
+    (from its phase attributes) plus an ``enumerate`` remainder; and
+    whatever the root span spent outside all counted spans lands in
+    ``other`` — so the named phases plus ``other`` reconstruct the
+    end-to-end latency.
+    """
+    by_trace: dict[str, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    summaries: list[RequestTraceSummary] = []
+    for trace_id, members in by_trace.items():
+        ids = {span.span_id for span in members}
+        by_id = {span.span_id: span for span in members}
+        roots = [
+            span for span in members
+            if span.parent_id is None or span.parent_id not in ids
+        ]
+        root = min(roots, key=lambda span: span.start_s) if roots else None
+        if root is None:  # pragma: no cover - empty trace group
+            continue
+        counted = [
+            span for span in members
+            if span.category in _COUNTED_CATEGORIES
+        ]
+        # Attribute each counted span's duration to its nearest counted
+        # ancestor (for self-time subtraction) or, lacking one, to the
+        # trace's top level (which bounds ``other``).
+        nested_ms = {span.span_id: 0.0 for span in counted}
+        top_level_ms = 0.0
+        for span in counted:
+            parent_id = span.parent_id
+            while parent_id is not None and parent_id not in nested_ms:
+                parent = by_id.get(parent_id)
+                parent_id = parent.parent_id if parent is not None else None
+            if parent_id is not None:
+                nested_ms[parent_id] += span.duration_ms
+            else:
+                top_level_ms += span.duration_ms
+        phases = {phase: 0.0 for phase in PHASE_ORDER}
+        for span in counted:
+            self_ms = max(0.0, span.duration_ms - nested_ms[span.span_id])
+            direct = _DIRECT_CATEGORIES.get(span.category)
+            if direct is not None:
+                phases[direct] += self_ms
+            else:  # algorithm
+                kernel = float(span.attrs.get("kernel", 0.0))
+                prune = float(span.attrs.get("prune", 0.0))
+                materialize = float(span.attrs.get("materialize", 0.0))
+                phases["kernel"] += kernel
+                phases["prune"] += prune
+                phases["materialize"] += materialize
+                phases["enumerate"] += max(
+                    0.0, self_ms - kernel - prune - materialize
+                )
+        total_ms = root.duration_ms
+        phases["other"] = max(0.0, total_ms - top_level_ms)
+        summaries.append(
+            RequestTraceSummary(
+                trace_id=trace_id,
+                start_s=root.start_s,
+                total_ms=total_ms,
+                phases=phases,
+                attrs=dict(root.attrs),
+                processes=tuple(sorted({
+                    span.process for span in members if span.process
+                })),
+            )
+        )
+    summaries.sort(key=lambda summary: summary.start_s)
+    return summaries
+
+
+def format_trace_summaries(summaries: Sequence[RequestTraceSummary]) -> str:
+    """Human-readable per-request phase table (``repro trace`` output)."""
+    if not summaries:
+        return "no request traces found"
+    lines: list[str] = []
+    for summary in summaries:
+        label = summary.attrs.get("query") or summary.attrs.get(
+            "fingerprint", ""
+        )
+        code = summary.attrs.get("code", "")
+        coalesced = " coalesced" if summary.attrs.get("coalesced") else ""
+        lines.append(
+            f"trace {summary.trace_id}  {label}  code={code}{coalesced}  "
+            f"e2e={summary.total_ms:.1f}ms  "
+            f"workers={','.join(summary.processes) or '-'}"
+        )
+        for phase in PHASE_ORDER:
+            ms = summary.phases.get(phase, 0.0)
+            share = ms / summary.total_ms if summary.total_ms else 0.0
+            lines.append(f"  {phase:<12} {ms:9.2f} ms  {share:6.1%}")
+        sum_ms = summary.phase_sum_ms
+        share = sum_ms / summary.total_ms if summary.total_ms else 0.0
+        lines.append(
+            f"  {'phase sum':<12} {sum_ms:9.2f} ms  {share:6.1%} of e2e"
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()

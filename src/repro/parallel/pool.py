@@ -27,6 +27,7 @@ from repro.core.instrumentation import RequestMetrics
 from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
 from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
+from repro.obs.trace import Span, TraceContext
 from repro.parallel.sharding import ShardOutcome, ShardPlanner, ShardTask
 from repro.parallel.worker import (
     WorkerSetup,
@@ -111,6 +112,24 @@ class WorkerPool:
             return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
+    def execute_one(
+        self,
+        request: OptimizationRequest,
+        deadline_epoch: float | None = None,
+        *,
+        trace_ctx: TraceContext | None = None,
+    ) -> tuple[OptimizationResult, RequestMetrics, list[Span]]:
+        """Execute one request on a worker, blocking until it finishes.
+
+        The single-request analogue of :meth:`execute_many` —
+        :meth:`OptimizerService.submit` routes cache misses here under
+        the process backend. ``trace_ctx`` parents the worker's spans
+        under the caller's span; they ship back in the third slot.
+        """
+        return self._executor.submit(
+            execute_request, request, deadline_epoch, trace_ctx
+        ).result()
+
     def execute_many(
         self,
         requests: Sequence[OptimizationRequest],
@@ -118,7 +137,8 @@ class WorkerPool:
         *,
         shard_by_fingerprint: bool = False,
         default_config: OptimizerConfig | None = None,
-    ) -> list[tuple[OptimizationResult, RequestMetrics]]:
+        trace_ctx: TraceContext | None = None,
+    ) -> list[tuple[OptimizationResult, RequestMetrics, list[Span]]]:
         """Execute a batch on the pool; results keep the input order.
 
         ``shard_by_fingerprint=True`` routes the batch through
@@ -126,7 +146,9 @@ class WorkerPool:
         each executing its requests sequentially on one worker, so
         fingerprint-equal requests hit that worker's plan cache.
         The default submits one task per request — best load balance
-        when the batch has no repeats.
+        when the batch has no repeats. ``trace_ctx`` (when the caller
+        is tracing) parents every request's worker-side spans under the
+        caller's span; they ship back per request in the third slot.
         """
         requests = list(requests)
         if deadline_epochs is None:
@@ -144,6 +166,7 @@ class WorkerPool:
                     execute_request_group,
                     tuple(requests[position] for position in group),
                     tuple(deadline_epochs[position] for position in group),
+                    trace_ctx,
                 )
                 for group in groups
             ]
@@ -153,7 +176,7 @@ class WorkerPool:
                     outputs[position] = output
             return outputs
         futures = [
-            self._executor.submit(execute_request, request, epoch)
+            self._executor.submit(execute_request, request, epoch, trace_ctx)
             for request, epoch in zip(requests, deadline_epochs)
         ]
         return [future.result() for future in futures]

@@ -51,7 +51,7 @@ Batch-level sharding over the process pool is the throughput path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.config import OptimizerConfig
@@ -111,6 +111,7 @@ class ShardOutcome:
     timed_out: bool
     deadline_hit: bool
     candidates_vectorized: int = 0
+    phase_ms: dict = field(default_factory=dict, compare=False)
 
 
 class _ShardDPRun(DPRun):
@@ -237,6 +238,7 @@ def execute_shard(task: ShardTask, cost_model: CostModel) -> ShardOutcome:
         timed_out=counters.timed_out,
         deadline_hit=counters.timed_out or deadline_exceeded(deadline),
         candidates_vectorized=counters.candidates_vectorized,
+        phase_ms=counters.phase_ms() if task.config.phase_timers else {},
     )
 
 
@@ -264,6 +266,10 @@ def merge_shard_outcomes(
     final_set = strip_entries(merged.entries, width)
     best = select_best(final_set, preferences)
     timed_out = any(outcome.timed_out for outcome in outcomes)
+    phase_totals: dict[str, float] = {}
+    for outcome in outcomes:
+        for phase, spent_ms in outcome.phase_ms.items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + spent_ms
     return OptimizationResult(
         algorithm=task.algorithm,
         query_name=task.query.name,
@@ -281,6 +287,7 @@ def merge_shard_outcomes(
         timed_out=timed_out,
         alpha=task.alpha if task.algorithm == "rta" else 1.0,
         deadline_hit=any(outcome.deadline_hit for outcome in outcomes),
+        phase_ms=phase_totals,
     )
 
 

@@ -27,6 +27,7 @@ from repro.core.instrumentation import RequestMetrics
 from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
 from repro.cost.postgres_params import CostParams
+from repro.obs.trace import Span, TraceContext, Tracer
 from repro.parallel.deadline import DeadlineScheduler
 from repro.parallel.sharding import ShardOutcome, ShardTask, execute_shard
 
@@ -107,7 +108,8 @@ def ping(barrier=None, timeout: float = 60.0) -> str:
 def execute_request(
     request: OptimizationRequest,
     deadline_epoch: float | None = None,
-) -> tuple[OptimizationResult, RequestMetrics]:
+    trace_ctx: TraceContext | None = None,
+) -> tuple[OptimizationResult, RequestMetrics, list[Span]]:
     """Execute one request on this worker's warm service.
 
     The worker service's deadline scheduler (if the pool was built with
@@ -116,30 +118,45 @@ def execute_request(
     pool's call queue counts against its deadline. The worker's plan
     cache keys on the *original* request fingerprint, so
     fingerprint-sharded repeats deduplicate even under a scheduler.
+
+    ``trace_ctx`` (when the parent is tracing) parents this worker's
+    spans under the caller's span; the finished spans ship back pickled
+    in the third tuple slot for the parent to ingest. Without a
+    context, tracing stays off — the default, zero-overhead path.
     """
     service = _service()
     captured: list[RequestMetrics] = []
     capture = captured.append
     service.add_hook(capture)
     try:
-        result = service.submit(request, deadline_epoch=deadline_epoch)
+        if trace_ctx is None:
+            result = service.submit(request, deadline_epoch=deadline_epoch)
+            spans: list[Span] = []
+        else:
+            tracer = Tracer()
+            with tracer.activate(), tracer.adopt(trace_ctx):
+                result = service.submit(
+                    request, deadline_epoch=deadline_epoch
+                )
+            spans = tracer.drain()
     finally:
         service.remove_hook(capture)
     record = dataclasses.replace(captured[-1], worker=worker_name())
-    return result, record
+    return result, record, spans
 
 
 def execute_request_group(
     requests: tuple[OptimizationRequest, ...],
     deadline_epochs: tuple[float | None, ...],
-) -> list[tuple[OptimizationResult, RequestMetrics]]:
+    trace_ctx: TraceContext | None = None,
+) -> list[tuple[OptimizationResult, RequestMetrics, list[Span]]]:
     """Execute a fingerprint-sharded group sequentially on one worker.
 
     Sequential execution is the point: repeats within the group hit this
     worker's plan cache instead of racing each other.
     """
     return [
-        execute_request(request, epoch)
+        execute_request(request, epoch, trace_ctx)
         for request, epoch in zip(requests, deadline_epochs)
     ]
 

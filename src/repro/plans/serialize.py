@@ -169,6 +169,7 @@ def result_to_dict(result: "OptimizationResult") -> dict[str, Any]:
             "iterations": result.iterations,
             "timed_out": result.timed_out,
             "deadline_hit": result.deadline_hit,
+            "phase_ms": dict(result.phase_ms),
         },
     }
 
@@ -222,6 +223,10 @@ def result_from_dict(payload: dict[str, Any]) -> "OptimizationResult":
             iterations=metrics["iterations"],
             alpha=payload["alpha"],
             deadline_hit=metrics.get("deadline_hit", False),
+            phase_ms={
+                str(phase): float(value)
+                for phase, value in (metrics.get("phase_ms") or {}).items()
+            },
         )
     except (KeyError, ValueError, TypeError) as error:
         raise ReproError(f"malformed result dictionary: {error}") from error

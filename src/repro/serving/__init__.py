@@ -28,6 +28,7 @@ from repro.serving.admission import AdmissionController
 from repro.serving.client import (
     AsyncHttpClient,
     get_metrics,
+    get_metrics_text,
     http_request,
     post_optimize,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "ServerThread",
     "ServingMetrics",
     "get_metrics",
+    "get_metrics_text",
     "http_request",
     "post_optimize",
 ]

@@ -24,7 +24,12 @@ from repro.serving.protocol import ProtocolError, ServerResponse
 
 
 def _build_request(
-    method: str, path: str, payload: Any | None, *, close: bool
+    method: str,
+    path: str,
+    payload: Any | None,
+    *,
+    close: bool,
+    headers: dict[str, str] | None = None,
 ) -> bytes:
     body = b""
     if payload is not None:
@@ -34,8 +39,10 @@ def _build_request(
         f"Host: repro\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
     )
+    for name, value in (headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
     return head.encode("latin-1") + body
 
 
@@ -60,10 +67,13 @@ def http_request(
     payload: Any | None = None,
     *,
     timeout: float = 30.0,
+    headers: dict[str, str] | None = None,
 ) -> tuple[int, bytes]:
     """One blocking HTTP exchange; returns (status, body bytes)."""
     with socket.create_connection((host, port), timeout=timeout) as sock:
-        sock.sendall(_build_request(method, path, payload, close=True))
+        sock.sendall(
+            _build_request(method, path, payload, close=True, headers=headers)
+        )
         reader = sock.makefile("rb")
         status = _parse_status_line(reader.readline())
         length = 0
@@ -103,6 +113,17 @@ def get_metrics(
     )
     envelope = ServerResponse.from_json(body)
     return envelope.result or {}
+
+
+def get_metrics_text(
+    host: str, port: int, *, timeout: float = 30.0
+) -> str:
+    """Fetch the server's metrics as Prometheus text exposition."""
+    _status, body = http_request(
+        host, port, "GET", "/metrics", timeout=timeout,
+        headers={"Accept": "text/plain"},
+    )
+    return body.decode("utf-8")
 
 
 # ----------------------------------------------------------------------

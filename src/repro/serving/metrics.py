@@ -53,12 +53,18 @@ class ServingMetrics:
             self.requests += 1
 
     def record_response(self, code: str, latency_ms: float) -> None:
-        """Count one finished optimize cycle and its end-to-end latency."""
+        """Count one finished optimize cycle and its end-to-end latency.
+
+        The histogram update happens *inside* this object's lock (the
+        histogram's own lock nests within — same order everywhere, so
+        no deadlock): a snapshot can then never observe a response
+        count that disagrees with the latency histogram's count.
+        """
         with self._lock:
             self.responses_by_code[code] = (
                 self.responses_by_code.get(code, 0) + 1
             )
-        self.latency.observe(latency_ms)
+            self.latency.observe(latency_ms)
 
     def record_coalesce_hit(self) -> None:
         """One request attached to an in-flight twin (no new work)."""
@@ -106,9 +112,11 @@ class ServingMetrics:
                 "deadline_sheds": self.deadline_sheds,
                 "protocol_errors": self.protocol_errors,
             }
+            # Read inside the lock, matching record_response, so the
+            # histogram count always equals the response-code totals.
+            counters["latency"] = self.latency.snapshot()
         total = counters["coalesce_hits"] + counters["coalesce_leaders"]
         counters["coalesce_hit_rate"] = (
             counters["coalesce_hits"] / total if total else 0.0
         )
-        counters["latency"] = self.latency.snapshot()
         return counters

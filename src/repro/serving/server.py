@@ -8,8 +8,18 @@ sends ``Connection: close``) and exposes three routes:
 * ``POST /optimize`` — body per :func:`repro.plans.serialize.request_from_dict`;
   answers a :class:`~repro.serving.protocol.ServerResponse` envelope;
 * ``GET /metrics`` — JSON snapshot of serving + service + admission +
-  coalescer counters;
-* ``GET /healthz`` — liveness probe.
+  coalescer counters by default; Prometheus text exposition when the
+  request's ``Accept`` header asks for ``text/plain`` or OpenMetrics;
+* ``GET /healthz`` — liveness probe with build/version info and server
+  uptime.
+
+Tracing: construct with ``trace_dir=...`` (or pass an explicit
+:class:`~repro.obs.trace.Tracer`) and every ``/optimize`` request runs
+under a root ``request`` span with children for parse, admission-queue
+wait, coalesce wait, cache lookup, worker-pool dispatch and the
+algorithm itself — including spans shipped back from worker processes.
+Finished spans append to ``trace_dir/trace-<pid>.jsonl`` after each
+request; summarize or convert them with ``repro trace``.
 
 Request lifecycle (the interesting 20 lines):
 
@@ -41,14 +51,19 @@ shuffles futures, so it stays responsive under load either way.
 from __future__ import annotations
 
 import asyncio
-import json
+import os
+import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
+from pathlib import Path
 
 from repro.core.service import OptimizerService
 from repro.exceptions import ReproError
+from repro.obs.prom import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import Tracer, write_spans_jsonl
 from repro.plans.serialize import result_to_dict
 from repro.serving.admission import AdmissionController
 from repro.serving.coalescer import RequestCoalescer
@@ -86,6 +101,14 @@ class AsyncOptimizerServer:
     slot on the paper's single-plan fallback; the default keeps the
     fallback semantics (a late request still gets a plan, flagged
     ``deadline_hit``).
+
+    ``trace_dir`` enables request tracing: the server builds (or uses
+    the passed) :class:`Tracer`, wraps each ``/optimize`` request in a
+    root span, and appends finished spans to
+    ``trace_dir/trace-<pid>.jsonl`` after every traced request. Passing
+    only ``tracer`` traces without writing — the embedder drains the
+    tracer itself. Both default to off: the untraced path costs one
+    ``None`` check per request.
     """
 
     def __init__(
@@ -99,12 +122,23 @@ class AsyncOptimizerServer:
         owns_service: bool = False,
         shed_expired: bool = False,
         metrics: ServingMetrics | None = None,
+        tracer: Tracer | None = None,
+        trace_dir: str | os.PathLike | None = None,
     ) -> None:
         self._service = service
         self._host = host
         self._port = port
         self._owns_service = owns_service
         self._shed_expired = shed_expired
+        self._trace_path: Path | None = None
+        if trace_dir is not None:
+            directory = Path(trace_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            self._trace_path = directory / f"trace-{os.getpid()}.jsonl"
+            if tracer is None:
+                tracer = Tracer()
+        self._tracer = tracer
+        self._started_epoch: float | None = None
         self.metrics = (
             metrics
             if metrics is not None
@@ -147,6 +181,7 @@ class AsyncOptimizerServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
         )
+        self._started_epoch = time.time()
         return self.address
 
     async def stop(self) -> None:
@@ -226,9 +261,12 @@ class AsyncOptimizerServer:
                         close=True,
                     )
                     break
-                response = await self._dispatch(method, path, body)
+                response = await self._dispatch(method, path, body, headers)
                 close = headers.get("connection", "").lower() == "close"
-                await self._write_response(writer, response, close=close)
+                if isinstance(response, _RawResponse):
+                    await self._write_raw(writer, response, close=close)
+                else:
+                    await self._write_response(writer, response, close=close)
                 if close:
                     break
         except (
@@ -299,16 +337,53 @@ class AsyncOptimizerServer:
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
+    async def _write_raw(
+        self,
+        writer: asyncio.StreamWriter,
+        response: "_RawResponse",
+        *,
+        close: bool,
+    ) -> None:
+        head = (
+            f"HTTP/1.1 {response.status} {response.reason}\r\n"
+            f"Server: {_SERVER_NAME}\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(response.body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + response.body)
+        await writer.drain()
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     async def _dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> ServerResponse:
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> "ServerResponse | _RawResponse":
+        headers = headers or {}
         if method == "POST" and path == "/optimize":
             self.metrics.record_request()
             started = time.perf_counter()
-            response = await self._handle_optimize(body)
+            tracer = self._tracer
+            if tracer is None:
+                response = await self._handle_optimize(body)
+            else:
+                with tracer.activate():
+                    root = tracer.begin("request", "request")
+                    try:
+                        response = await self._handle_optimize(body, root)
+                        root.set(
+                            code=response.code,
+                            coalesced=response.coalesced,
+                            fingerprint=response.fingerprint or "",
+                        )
+                    finally:
+                        root.finish()
+                self._flush_spans()
             latency_ms = (time.perf_counter() - started) * 1000.0
             self.metrics.record_response(response.code, latency_ms)
             return ServerResponse(
@@ -320,9 +395,16 @@ class AsyncOptimizerServer:
                 latency_ms=latency_ms,
             )
         if method == "GET" and path == "/metrics":
+            accept = headers.get("accept", "").lower()
+            if "text/plain" in accept or "openmetrics" in accept:
+                exposition = render_prometheus(self.metrics_snapshot())
+                return _RawResponse(
+                    200, "OK", PROMETHEUS_CONTENT_TYPE,
+                    exposition.encode("utf-8"),
+                )
             return ServerResponse(result=self.metrics_snapshot())
         if method == "GET" and path == "/healthz":
-            return ServerResponse(result={"status": "ok"})
+            return ServerResponse(result=self.health_snapshot())
         return ServerResponse(
             code=CODE_NOT_FOUND, error=f"no route for {method} {path}"
         )
@@ -336,18 +418,64 @@ class AsyncOptimizerServer:
             "service": self._service.metrics.snapshot(),
         }
 
+    def health_snapshot(self) -> dict[str, object]:
+        """Liveness payload: build/version info plus server uptime."""
+        # Imported here: the package __init__ imports this module
+        # before it defines __version__.
+        from repro import __version__
+
+        uptime = (
+            time.time() - self._started_epoch
+            if self._started_epoch is not None
+            else 0.0
+        )
+        return {
+            "status": "ok",
+            "server": _SERVER_NAME,
+            "version": __version__,
+            "pid": os.getpid(),
+            "python": sys.version.split()[0],
+            "backend": self._service.backend,
+            "uptime_seconds": round(uptime, 3),
+            "tracing": self._tracer is not None,
+        }
+
+    def _flush_spans(self) -> None:
+        """Append finished spans to the trace file (``trace_dir`` mode).
+
+        A no-op unless the server was built with ``trace_dir``; with
+        only an explicit ``tracer`` the embedder drains it instead.
+        Traces that straddle a flush (a coalesce leader still running
+        when a follower responds) simply land across appends — readers
+        regroup by trace id.
+        """
+        if self._trace_path is None or self._tracer is None:
+            return
+        spans = self._tracer.drain()
+        if spans:
+            write_spans_jsonl(self._trace_path, spans)
+
     # ------------------------------------------------------------------
     # The optimize path
     # ------------------------------------------------------------------
-    async def _handle_optimize(self, body: bytes) -> ServerResponse:
+    async def _handle_optimize(
+        self, body: bytes, root=None
+    ) -> ServerResponse:
         arrival = time.time()
+        tracer = self._tracer
         try:
-            request = parse_optimize_body(body)
+            if tracer is None:
+                request = parse_optimize_body(body)
+            else:
+                with tracer.span("parse", "parse"):
+                    request = parse_optimize_body(body)
         except ReproError as error:
             self.metrics.record_protocol_error()
             return ServerResponse(
                 code=CODE_BAD_REQUEST, error=str(error)
             )
+        if root is not None:
+            root.set(query=request.query_name, algorithm=request.algorithm)
         fingerprint = request.fingerprint(self._service.config)
 
         future = self.coalescer.lookup(fingerprint)
@@ -360,12 +488,21 @@ class AsyncOptimizerServer:
                 return shed_response(fingerprint)
             self.metrics.record_coalesce_leader()
             future = self.coalescer.register(fingerprint)
+            # The leader task copies this context at creation, so its
+            # spans (queue wait, dispatch, algorithm) parent under this
+            # request's root span.
             task = asyncio.get_running_loop().create_task(
                 self._run_leader(request, fingerprint, arrival)
             )
             self._leader_tasks.add(task)
             task.add_done_callback(self._leader_tasks.discard)
 
+        # Followers spend their whole wait on the leader's shared
+        # future — that is their coalesce phase. The leader's wait is
+        # accounted by its own child spans instead.
+        wait_span = None
+        if tracer is not None and coalesced:
+            wait_span = tracer.begin("coalesce.wait", "coalesce")
         try:
             result = await asyncio.shield(future)
         except _DeadlineShed:
@@ -380,6 +517,9 @@ class AsyncOptimizerServer:
                 coalesced=coalesced,
                 fingerprint=fingerprint,
             )
+        finally:
+            if wait_span is not None:
+                wait_span.finish()
         return ServerResponse(
             code=CODE_OK,
             result=result_to_dict(result),
@@ -399,8 +539,17 @@ class AsyncOptimizerServer:
         result still lands in the plan cache, which is exactly what a
         read-mostly serving workload wants.
         """
+        tracer = self._tracer
+        queue_span = None
         try:
+            if tracer is not None:
+                queue_span = tracer.begin("admission.queue", "queue")
             async with self.admission.slot():
+                if queue_span is not None:
+                    # Finishing here both stops the queue clock and pops
+                    # the span off the context, so the executor submit
+                    # parents under the root span, not the queue span.
+                    queue_span.finish()
                 scheduler = self._service.scheduler
                 if (
                     self._shed_expired
@@ -414,24 +563,78 @@ class AsyncOptimizerServer:
                     )
                 ):
                     raise _DeadlineShed(fingerprint)
-                result = await asyncio.get_running_loop().run_in_executor(
-                    self._executor,
-                    partial(
-                        self._service.submit,
-                        request,
-                        admitted_epoch=arrival,
-                    ),
-                )
+                if tracer is None:
+                    result = await (
+                        asyncio.get_running_loop().run_in_executor(
+                            self._executor,
+                            partial(
+                                self._service.submit,
+                                request,
+                                admitted_epoch=arrival,
+                            ),
+                        )
+                    )
+                else:
+                    # Brackets the executor round trip; the submit's
+                    # spans nest under it, so its self time is the
+                    # thread-pool handoff and wakeup latency.
+                    dispatch_span = tracer.begin(
+                        "executor.dispatch", "dispatch"
+                    )
+                    try:
+                        result = await (
+                            asyncio.get_running_loop().run_in_executor(
+                                self._executor,
+                                partial(
+                                    self._traced_submit,
+                                    request,
+                                    arrival,
+                                    dispatch_span.context,
+                                ),
+                            )
+                        )
+                    finally:
+                        dispatch_span.finish()
         except BaseException as error:
             self.coalescer.fail(fingerprint, error)
             if isinstance(error, asyncio.CancelledError):
                 raise
         else:
             self.coalescer.resolve(fingerprint, result)
+        finally:
+            if queue_span is not None:
+                queue_span.finish()  # idempotent; covers the shed paths
+
+    def _traced_submit(self, request, arrival: float, context):
+        """Executor-side submit with the leader's trace context restored.
+
+        ``run_in_executor`` does not propagate contextvars, so the
+        executor thread re-activates the server's tracer and adopts the
+        leader task's span context before submitting; spans created
+        below (cache lookup, pool dispatch, algorithm) then parent
+        correctly and collect into the same tracer.
+        """
+        tracer = self._tracer
+        with tracer.activate(), tracer.adopt(context):
+            return self._service.submit(request, admitted_epoch=arrival)
 
 
 class _HttpParseError(Exception):
     """Internal: unreadable HTTP request (maps to 400 + close)."""
+
+
+class _RawResponse:
+    """A non-envelope HTTP response (Prometheus text exposition)."""
+
+    __slots__ = ("status", "reason", "content_type", "body")
+
+    def __init__(
+        self, status: int, reason: str, content_type: str, body: bytes
+    ) -> None:
+        self.status = status
+        self.reason = reason
+        self.content_type = content_type
+        self.body = body
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,148 @@
+"""Multi-threaded hammer tests for metrics snapshot consistency.
+
+Each test drives many writer threads against one metrics object while a
+reader thread takes snapshots; the assertions are invariants that only
+hold if every snapshot is internally consistent (taken under one lock
+acquisition) — a torn read surfaces as a count that disagrees with the
+derived statistics sampled in the same snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.instrumentation import (
+    LatencyHistogram,
+    RequestMetrics,
+    ServiceMetrics,
+)
+from repro.serving.metrics import ServingMetrics
+
+WRITERS = 8
+PER_WRITER = 500
+
+
+def hammer(worker, reader, writers: int = WRITERS):
+    """Run writer threads against a concurrent reader; return reader data."""
+    start = threading.Barrier(writers + 1)
+    done = threading.Event()
+    observations: list = []
+
+    def write(index: int) -> None:
+        start.wait()
+        worker(index)
+
+    def read() -> None:
+        start.wait()
+        while not done.is_set():
+            observations.append(reader())
+        observations.append(reader())  # one final, quiescent snapshot
+
+    threads = [
+        threading.Thread(target=write, args=(i,)) for i in range(writers)
+    ]
+    reader_thread = threading.Thread(target=read)
+    for thread in threads:
+        thread.start()
+    reader_thread.start()
+    for thread in threads:
+        thread.join()
+    done.set()
+    reader_thread.join()
+    return observations
+
+
+class TestLatencyHistogramConsistency:
+    def test_snapshot_is_never_torn(self):
+        histogram = LatencyHistogram()
+
+        def write(index: int) -> None:
+            for step in range(PER_WRITER):
+                histogram.observe(float(index * PER_WRITER + step))
+
+        snapshots = hammer(write, histogram.snapshot)
+
+        for snap in snapshots:
+            count = snap["count"]
+            if count == 0:
+                assert snap["mean_ms"] == 0.0
+                assert snap["max_ms"] == 0.0
+                continue
+            # Percentiles and max come from the same locked read as the
+            # count — they can never exceed the largest value that could
+            # have been observed by then, and are mutually ordered.
+            assert 0.0 <= snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"]
+            assert snap["p99_ms"] <= snap["max_ms"]
+            assert 0.0 <= snap["mean_ms"] <= snap["max_ms"]
+        final = snapshots[-1]
+        assert final["count"] == WRITERS * PER_WRITER
+        assert final["max_ms"] == float(WRITERS * PER_WRITER - 1)
+
+    def test_percentile_matches_snapshot_when_quiet(self):
+        histogram = LatencyHistogram()
+        for value in range(100):
+            histogram.observe(float(value))
+        snap = histogram.snapshot()
+        assert snap["p50_ms"] == histogram.percentile(0.50)
+        assert snap["p99_ms"] == histogram.percentile(0.99)
+
+
+class TestServiceMetricsConsistency:
+    def test_hits_plus_misses_always_equal_requests(self):
+        metrics = ServiceMetrics()
+
+        def record(index: int) -> None:
+            for step in range(PER_WRITER):
+                metrics.record(
+                    RequestMetrics(
+                        fingerprint=f"f{index}",
+                        query_name="q",
+                        algorithm="rta",
+                        tags=(),
+                        cache_hit=(step % 2 == 0),
+                        elapsed_ms=1.0,
+                        timed_out=False,
+                        phase_ms={"enumerate": 0.5, "kernel": 0.25},
+                    )
+                )
+
+        snapshots = hammer(record, metrics.snapshot)
+
+        for snap in snapshots:
+            assert snap["cache_hits"] + snap["cache_misses"] == (
+                snap["requests"]
+            )
+        final = snapshots[-1]
+        assert final["requests"] == WRITERS * PER_WRITER
+        expected_misses = WRITERS * (PER_WRITER // 2)
+        assert final["cache_misses"] == expected_misses
+        # Phase accumulation only happens on the cache-miss branch and
+        # under the same lock as the counters.
+        assert final["phase_ms"]["enumerate"] == expected_misses * 0.5
+        assert final["phase_ms"]["kernel"] == expected_misses * 0.25
+
+
+class TestServingMetricsConsistency:
+    def test_responses_by_code_sum_to_latency_count(self):
+        serving = ServingMetrics(ServiceMetrics())
+        codes = ("ok", "shed", "error")
+
+        def record(index: int) -> None:
+            for step in range(PER_WRITER):
+                serving.record_request()
+                serving.record_response(codes[step % len(codes)], 1.0)
+
+        snapshots = hammer(record, serving.snapshot)
+
+        for snap in snapshots:
+            by_code = snap["responses_by_code"]
+            # Responses recorded so far can never exceed requests, and
+            # the latency histogram (updated and read under the same
+            # lock as the code counters) counts exactly the responses.
+            assert sum(by_code.values()) <= snap["requests"]
+            assert snap["latency"]["count"] == sum(by_code.values())
+        final = snapshots[-1]
+        assert final["requests"] == WRITERS * PER_WRITER
+        assert sum(final["responses_by_code"].values()) == (
+            WRITERS * PER_WRITER
+        )

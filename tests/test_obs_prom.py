@@ -1,0 +1,200 @@
+"""Prometheus text-exposition rendering: format validity and coverage.
+
+The format checker here is deliberately strict about the parts a real
+scraper cares about — every sample line must parse as
+``name{labels} value``, every sample must follow a # TYPE declaration
+for its metric family, and label values must be properly escaped.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.prom import (
+    CANONICAL_PHASES,
+    CONTENT_TYPE,
+    render_prometheus,
+)
+
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def full_snapshot() -> dict:
+    return {
+        "serving": {
+            "connections": 3,
+            "requests": 10,
+            "responses_by_code": {"ok": 8, "shed": 2},
+            "coalesce_hits": 4,
+            "coalesce_leaders": 6,
+            "sheds": 2,
+            "deadline_sheds": 1,
+            "protocol_errors": 0,
+            "coalesce_hit_rate": 0.4,
+            "latency": {
+                "count": 10,
+                "mean_ms": 5.5,
+                "p50_ms": 4.0,
+                "p95_ms": 12.0,
+                "p99_ms": 20.0,
+                "max_ms": 21.5,
+            },
+        },
+        "admission": {
+            "max_in_flight": 4,
+            "max_queue_depth": 16,
+            "running": 1,
+            "queue_depth": 0,
+            "peak_queue_depth": 3,
+            "admitted": 8,
+            "shed": 2,
+        },
+        "coalescer": {"in_flight": 1, "leaders": 6, "followers": 4},
+        "service": {
+            "requests": 8,
+            "cache_hits": 2,
+            "cache_misses": 6,
+            "timeouts": 0,
+            "deadline_hits": 1,
+            "coalesce_hits": 4,
+            "sheds": 2,
+            "total_optimization_ms": 123.4,
+            "by_algorithm": {"rta": 5, "exa": 1},
+            "by_worker": {"SpawnProcess-1": 6},
+            "phase_ms": {"enumerate": 100.0, "kernel": 10.5},
+            "hit_rate": 0.25,
+        },
+    }
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse exposition text; asserts structural validity as it goes."""
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    typed: set[str] = set()
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.split(" ", 1)
+            assert kind in {"counter", "gauge", "summary", "histogram"}
+            typed.add(name)
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = SAMPLE_LINE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name = match.group("name")
+        family = re.sub(r"_(count|sum|bucket)$", "", name)
+        assert family in typed or name in typed, (
+            f"sample {name} has no # TYPE declaration"
+        )
+        labels = {}
+        if match.group("labels"):
+            for pair in match.group("labels").split(","):
+                assert LABEL_PAIR.match(pair), f"bad label pair {pair!r}"
+                key, _, value = pair.partition("=")
+                labels[key] = value.strip('"')
+        value = float(match.group("value"))
+        assert math.isfinite(value)
+        samples.setdefault(name, []).append((labels, value))
+    return samples
+
+
+class TestExposition:
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_full_snapshot_is_structurally_valid(self):
+        parse_exposition(render_prometheus(full_snapshot()))
+
+    def test_required_series_present(self):
+        samples = parse_exposition(render_prometheus(full_snapshot()))
+        required = [
+            # cache
+            "repro_service_cache_hits_total",
+            "repro_service_cache_misses_total",
+            "repro_service_cache_hit_rate",
+            # coalescing
+            "repro_serving_coalesce_hits_total",
+            "repro_serving_coalesce_leaders_total",
+            "repro_coalescer_leaders_total",
+            "repro_coalescer_followers_total",
+            # shedding + deadlines
+            "repro_serving_sheds_total",
+            "repro_serving_deadline_sheds_total",
+            "repro_admission_shed_total",
+            "repro_service_deadline_hits_total",
+            # latency summary
+            "repro_serving_latency_ms",
+            "repro_serving_latency_ms_count",
+            "repro_serving_latency_ms_sum",
+            # phase timers
+            "repro_phase_ms_total",
+        ]
+        for name in required:
+            assert name in samples, f"missing series {name}"
+
+    def test_sample_values_round_trip(self):
+        samples = parse_exposition(render_prometheus(full_snapshot()))
+        assert samples["repro_service_cache_misses_total"][0][1] == 6.0
+        assert samples["repro_serving_latency_ms_count"][0][1] == 10.0
+        assert samples["repro_serving_latency_ms_sum"][0][1] == 55.0
+        by_code = {
+            labels["code"]: value
+            for labels, value in samples["repro_serving_responses_total"]
+        }
+        assert by_code == {"ok": 8.0, "shed": 2.0}
+
+    def test_phase_series_cover_canonical_phases(self):
+        samples = parse_exposition(render_prometheus(full_snapshot()))
+        phases = {
+            labels["phase"]: value
+            for labels, value in samples["repro_phase_ms_total"]
+        }
+        for phase in CANONICAL_PHASES:
+            assert phase in phases
+        assert phases["enumerate"] == 100.0
+        assert phases["kernel"] == 10.5
+        assert phases["prune"] == 0.0  # canonical default
+
+    def test_quantile_labels(self):
+        samples = parse_exposition(render_prometheus(full_snapshot()))
+        quantiles = {
+            labels["quantile"]: value
+            for labels, value in samples["repro_serving_latency_ms"]
+        }
+        assert quantiles == {"0.5": 4.0, "0.95": 12.0, "0.99": 20.0}
+
+    def test_missing_sections_are_skipped(self):
+        text = render_prometheus({"service": full_snapshot()["service"]})
+        samples = parse_exposition(text)
+        assert "repro_service_requests_total" in samples
+        assert "repro_serving_requests_total" not in samples
+        assert render_prometheus({}) == "\n"
+
+    def test_label_escaping(self):
+        snapshot = {
+            "service": {
+                "by_algorithm": {'evil"name\\with\nnewline': 1},
+            }
+        }
+        text = render_prometheus(snapshot)
+        line = next(
+            line for line in text.splitlines()
+            if line.startswith("repro_service_algorithm_requests_total{")
+        )
+        assert '\\"' in line and "\\\\" in line and "\\n" in line
+        assert "\n" not in line  # the raw newline never leaks through
+        parse_exposition(text)
+
+    def test_exposition_ends_with_newline(self):
+        assert render_prometheus(full_snapshot()).endswith("\n")

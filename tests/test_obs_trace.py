@@ -1,0 +1,344 @@
+"""Tracer mechanics: nesting, propagation, pickling, export, summary.
+
+The process-backend scenario spins up one real (spawn) worker — kept to
+a single test so the module stays inside the tier-1 budget; the rest of
+the module exercises the tracer in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.core.preferences import Preferences
+from repro.core.request import OptimizationRequest
+from repro.core.service import OptimizerService
+from repro.cost.objectives import Objective
+from repro.obs.trace import (
+    PHASE_ORDER,
+    Span,
+    TraceContext,
+    Tracer,
+    active_tracer,
+    current_context,
+    format_trace_summaries,
+    read_spans_jsonl,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    summarize_spans,
+    write_spans_jsonl,
+)
+from tests.conftest import TINY_CONFIG, make_chain_query, make_small_schema
+
+
+class TestTracerBasics:
+    def test_inactive_by_default(self):
+        assert active_tracer() is None
+        assert current_context() is None
+
+    def test_activate_scopes_the_tracer(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert active_tracer() is tracer
+        assert active_tracer() is None
+
+    def test_span_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with tracer.span("outer", "request") as outer:
+                with tracer.span("inner", "cache") as inner:
+                    assert inner.span.parent_id == outer.span.span_id
+                    assert inner.span.trace_id == outer.span.trace_id
+        spans = tracer.drain()
+        assert {span.name for span in spans} == {"outer", "inner"}
+        assert all(span.end_s >= span.start_s for span in spans)
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.activate():
+            root = tracer.begin("root", "request")
+            with tracer.span("a", "cache"):
+                pass
+            with tracer.span("b", "cache"):
+                pass
+            root.finish()
+        spans = {span.name: span for span in tracer.drain()}
+        assert spans["a"].parent_id == spans["root"].span_id
+        assert spans["b"].parent_id == spans["root"].span_id
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        with tracer.activate():
+            handle = tracer.begin("once", "request")
+            handle.finish()
+            end = handle.span.end_s
+            handle.finish()
+            assert handle.span.end_s == end
+        assert len(tracer.drain()) == 1
+
+    def test_spans_without_activation_are_not_recorded(self):
+        tracer = Tracer()
+        # begin/finish outside activate() still works (the handle owns
+        # its tracer); this guards the contextvar helpers specifically.
+        assert active_tracer() is None
+        with tracer.activate():
+            pass
+        assert tracer.drain() == []
+
+    def test_adopt_parents_under_foreign_context(self):
+        tracer = Tracer()
+        foreign = TraceContext(trace_id="t" * 16, span_id="s" * 16)
+        with tracer.activate(), tracer.adopt(foreign):
+            with tracer.span("child", "cache") as child:
+                assert child.span.trace_id == foreign.trace_id
+                assert child.span.parent_id == foreign.span_id
+
+    def test_adopt_none_is_a_no_op(self):
+        tracer = Tracer()
+        with tracer.activate(), tracer.adopt(None):
+            with tracer.span("orphan", "cache") as handle:
+                assert handle.span.parent_id is None
+
+
+class TestThreadPropagation:
+    def test_context_hops_threads_via_adopt(self):
+        """The run_in_executor pattern: a worker thread re-activates the
+        tracer and adopts the caller's context; its spans parent under
+        the caller's span and collect into the same tracer."""
+        tracer = Tracer()
+        with tracer.activate():
+            root = tracer.begin("request", "request")
+            context = current_context()
+
+            def worker():
+                with tracer.activate(), tracer.adopt(context):
+                    with tracer.span("work", "algorithm"):
+                        pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            root.finish()
+        spans = {span.name: span for span in tracer.drain()}
+        assert spans["work"].parent_id == spans["request"].span_id
+        assert spans["work"].trace_id == spans["request"].trace_id
+
+    def test_concurrent_spans_do_not_corrupt_each_other(self):
+        tracer = Tracer()
+        errors: list[str] = []
+
+        def worker(index: int):
+            with tracer.activate():
+                with tracer.span(f"outer{index}", "request") as outer:
+                    with tracer.span(f"inner{index}", "cache") as inner:
+                        if inner.span.parent_id != outer.span.span_id:
+                            errors.append(f"thread {index} mis-parented")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(tracer.drain()) == 16
+
+
+class TestPicklingAndExport:
+    def test_trace_context_pickle_round_trip(self):
+        context = TraceContext(trace_id="a" * 16, span_id="b" * 16)
+        assert pickle.loads(pickle.dumps(context)) == context
+
+    def test_span_parent_ids_survive_pickling(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with tracer.span("outer", "request"):
+                with tracer.span("inner", "cache"):
+                    pass
+        spans = tracer.drain()
+        restored = pickle.loads(pickle.dumps(spans))
+        assert [span.to_dict() for span in restored] == [
+            span.to_dict() for span in spans
+        ]
+
+    def test_ingest_merges_foreign_spans(self):
+        parent = Tracer()
+        with parent.activate():
+            root = parent.begin("request", "request")
+            context = root.context
+            root.finish()
+        worker = Tracer()
+        with worker.activate(), worker.adopt(context):
+            with worker.span("remote", "algorithm"):
+                pass
+        shipped = pickle.loads(pickle.dumps(worker.drain()))
+        parent.ingest(shipped)
+        spans = {span.name: span for span in parent.drain()}
+        assert spans["remote"].parent_id == spans["request"].span_id
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.activate():
+            with tracer.span("a", "request", query="q1"):
+                pass
+        spans = tracer.drain()
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(path, spans)
+        write_spans_jsonl(path, spans)  # appends
+        loaded = read_spans_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded[0].to_dict() == spans[0].to_dict()
+
+    def test_chrome_trace_shape(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with tracer.span("outer", "request"):
+                with tracer.span("inner", "cache"):
+                    pass
+        document = spans_to_chrome_trace(tracer.drain())
+        events = document["traceEvents"]
+        complete = [event for event in events if event["ph"] == "X"]
+        meta = [event for event in events if event["ph"] == "M"]
+        assert len(complete) == 2
+        assert meta, "expected process/thread name metadata events"
+        for event in complete:
+            assert event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        # Valid JSON end to end.
+        json.dumps(document)
+
+
+class TestSummaries:
+    def build_trace(self) -> list[Span]:
+        tracer = Tracer()
+        with tracer.activate():
+            root = tracer.begin("request", "request", query="q", code="ok")
+            with tracer.span("parse", "parse"):
+                time.sleep(0.001)
+            with tracer.span("cache.lookup", "cache"):
+                pass
+            algorithm = tracer.begin("algorithm.rta", "algorithm")
+            time.sleep(0.002)
+            algorithm.set(kernel=0.5, prune=0.25, materialize=0.25)
+            algorithm.finish()
+            root.finish()
+        return tracer.drain()
+
+    def test_phases_reconstruct_end_to_end(self):
+        summaries = summarize_spans(self.build_trace())
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert set(summary.phases) == set(PHASE_ORDER)
+        assert summary.phases["parse"] > 0
+        assert summary.phases["kernel"] == pytest.approx(0.5)
+        assert summary.phases["prune"] == pytest.approx(0.25)
+        assert summary.phases["materialize"] == pytest.approx(0.25)
+        assert summary.phases["enumerate"] > 0
+        # Named phases + other == e2e, so the sum never exceeds it.
+        reconstructed = summary.phase_sum_ms + summary.phases["other"]
+        assert reconstructed == pytest.approx(summary.total_ms, rel=0.02)
+
+    def test_nested_counted_spans_use_self_time(self):
+        """A dispatch span wrapping the worker's algorithm span must
+        contribute only its self time (the IPC overhead), never the
+        enclosed algorithm time again."""
+        tracer = Tracer()
+        with tracer.activate():
+            root = tracer.begin("request", "request")
+            dispatch = tracer.begin("pool.dispatch", "dispatch")
+            algorithm = tracer.begin("algorithm.rta", "algorithm")
+            time.sleep(0.002)
+            algorithm.finish()
+            dispatch.finish()
+            root.finish()
+        summary = summarize_spans(tracer.drain())[0]
+        algorithm_ms = summary.phases["enumerate"]
+        dispatch_ms = summary.phases["dispatch"]
+        assert algorithm_ms >= 2.0
+        assert dispatch_ms < algorithm_ms  # self time only
+        assert summary.phase_sum_ms <= summary.total_ms * 1.01
+
+    def test_multiple_traces_sorted_by_start(self):
+        spans = self.build_trace() + self.build_trace()
+        summaries = summarize_spans(spans)
+        assert len(summaries) == 2
+        assert summaries[0].start_s <= summaries[1].start_s
+
+    def test_format_includes_phases_and_sum(self):
+        text = format_trace_summaries(summarize_spans(self.build_trace()))
+        for phase in PHASE_ORDER:
+            assert phase in text
+        assert "phase sum" in text
+        assert format_trace_summaries([]) == "no request traces found"
+
+
+PREFS = Preferences.from_maps(
+    (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+    weights={Objective.TOTAL_TIME: 1.0, Objective.TUPLE_LOSS: 1.0},
+)
+
+
+@pytest.mark.parallel
+class TestProcessBackendTracing:
+    def test_worker_spans_merge_into_parent_trace(self, parallel_workers):
+        """Spans created inside a worker process ship back pickled and
+        parent correctly under the caller's request span."""
+        with OptimizerService(
+            make_small_schema(),
+            config=TINY_CONFIG,
+            backend="processes",
+            workers=1,
+        ) as service:
+            service.worker_pool().warm_up()
+            request = OptimizationRequest(
+                query=make_chain_query(3),
+                preferences=PREFS,
+                algorithm="rta",
+                alpha=1.5,
+            )
+            tracer = Tracer()
+            with tracer.activate():
+                root = tracer.begin("request", "request")
+                service.submit(request)
+                root.finish()
+            spans = tracer.drain()
+
+        by_id = {span.span_id: span for span in spans}
+        processes = {span.process for span in spans}
+        assert len(processes) >= 2, "expected spans from a worker process"
+        # Every span's parent resolves within the merged set.
+        orphans = [
+            span.name
+            for span in spans
+            if span.parent_id is not None and span.parent_id not in by_id
+        ]
+        assert orphans == []
+        names = {span.name for span in spans}
+        assert "pool.dispatch" in names
+        assert any(name.startswith("algorithm.") for name in names)
+        # One coherent trace whose phase sum lands within 10% of e2e.
+        summaries = summarize_spans(spans)
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert summary.phases["dispatch"] > 0
+        assert (
+            summary.phase_sum_ms + summary.phases["other"]
+            == pytest.approx(summary.total_ms, rel=0.02)
+        )
+
+
+def test_jsonl_text_round_trip():
+    tracer = Tracer()
+    with tracer.activate():
+        with tracer.span("a", "request"):
+            pass
+    spans = tracer.drain()
+    lines = spans_to_jsonl(spans).splitlines()
+    assert len(lines) == 1
+    assert Span.from_dict(json.loads(lines[0])).to_dict() == spans[0].to_dict()

@@ -177,6 +177,27 @@ class TestNewerResultFields:
         assert rebuilt.deadline_hit is False
         assert rebuilt.candidates_vectorized == 0
 
+    def test_phase_ms_round_trips(self, result):
+        timed = dataclasses.replace(
+            result,
+            phase_ms={"enumerate": 12.5, "kernel": 3.25, "prune": 1.0},
+        )
+        payload = result_to_dict(timed)
+        assert payload["metrics"]["phase_ms"] == {
+            "enumerate": 12.5, "kernel": 3.25, "prune": 1.0,
+        }
+        rebuilt = result_from_dict(json.loads(json.dumps(payload)))
+        assert rebuilt.phase_ms == timed.phase_ms
+
+    def test_old_payloads_without_phase_ms_still_load(self, result):
+        payload = result_to_dict(result)
+        del payload["metrics"]["phase_ms"]
+        rebuilt = result_from_dict(payload)
+        assert rebuilt.phase_ms == {}
+        # And an explicit null is treated like absence.
+        payload["metrics"]["phase_ms"] = None
+        assert result_from_dict(payload).phase_ms == {}
+
     def test_service_metrics_snapshot_json_serializable(self, tpch):
         """The /metrics route serializes the full ServiceMetrics
         snapshot — including per-worker counts — as JSON."""

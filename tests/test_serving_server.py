@@ -543,3 +543,136 @@ class TestServerThread:
         assert (
             snapshot["coalesce_hits"] + snapshot["cache_hits"] == M - 1
         )
+
+
+class TestObservability:
+    def test_healthz_reports_build_and_uptime(self, small_schema):
+        import repro
+
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                async with AsyncHttpClient(host, port) as client:
+                    status, body = await client.request("GET", "/healthz")
+            return status, json.loads(body)["result"]
+
+        status, health = asyncio.run(scenario())
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["version"] == repro.__version__
+        assert health["server"] == "repro-optimizer"
+        assert health["backend"] == "threads"
+        assert health["uptime_seconds"] >= 0
+        assert health["tracing"] is False
+        assert isinstance(health["pid"], int)
+
+    def test_prometheus_exposition_via_accept_header(self, small_schema):
+        import http.client
+
+        from repro.serving import get_metrics_text
+
+        service = make_service(small_schema)
+        server = AsyncOptimizerServer(service, owns_service=True)
+        with ServerThread(server) as (host, port):
+            post_optimize(host, port, make_payload())
+            # Content negotiation: Accept: text/plain flips the format.
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            connection.request(
+                "GET", "/metrics", headers={"Accept": "text/plain"}
+            )
+            response = connection.getresponse()
+            content_type = response.getheader("Content-Type")
+            text = response.read().decode("utf-8")
+            connection.close()
+            # The blocking helper fetches the same exposition.
+            helper_text = get_metrics_text(host, port)
+            # And the JSON default is unaffected.
+            snapshot = get_metrics(host, port)
+
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        for series in (
+            "repro_service_cache_misses_total 1",
+            "repro_serving_coalesce_leaders_total 1",
+            "repro_serving_sheds_total 0",
+            "repro_serving_deadline_sheds_total 0",
+            'repro_phase_ms_total{phase="enumerate"}',
+            "repro_serving_latency_ms_count 1",
+        ):
+            assert series in text, f"missing {series!r} in exposition"
+        assert "# TYPE repro_phase_ms_total counter" in helper_text
+        assert set(snapshot) == {
+            "serving", "admission", "coalescer", "service"
+        }
+
+    def test_trace_dir_records_phase_breakdown(self, tmp_path):
+        """The acceptance-criterion test: a traced serving request's
+        phase sum (queue/coalesce/cache/dispatch/enumerate/kernel/
+        prune/materialize) lands within 10% of its end-to-end latency,
+        and the cache-hit repeat shows no algorithm time at all."""
+        from repro.catalog.tpch import tpch_schema
+        from repro.config import FAST_CONFIG
+        from repro.obs.trace import (
+            format_trace_summaries,
+            read_spans_jsonl,
+            summarize_spans,
+        )
+        from repro.plans.serialize import request_to_dict
+        from repro.query.tpch_queries import tpch_query
+
+        payload = request_to_dict(
+            OptimizationRequest(
+                query=tpch_query(5),
+                preferences=PREFS,
+                algorithm="rta",
+                alpha=1.5,
+            )
+        )
+        service = OptimizerService(tpch_schema(), config=FAST_CONFIG)
+        server = AsyncOptimizerServer(
+            service, owns_service=True, trace_dir=tmp_path
+        )
+        with ServerThread(server) as (host, port):
+            first, _ = post_optimize(host, port, payload)
+            second, _ = post_optimize(host, port, payload)
+        assert first.code == CODE_OK and second.code == CODE_OK
+
+        trace_files = sorted(tmp_path.glob("trace-*.jsonl"))
+        assert len(trace_files) == 1
+        spans = read_spans_jsonl(trace_files[0])
+        summaries = summarize_spans(spans)
+        assert len(summaries) == 2
+
+        miss, hit = summaries
+        # Cache miss: the optimizer phases dominate and the named
+        # phases reconstruct the end-to-end latency within 10%.
+        assert miss.phases["enumerate"] > 0
+        assert miss.phase_sum_ms >= 0.90 * miss.total_ms
+        assert miss.phase_sum_ms <= miss.total_ms * 1.01
+        # Cache hit: no algorithm ran; only front-end phases remain.
+        assert hit.phases["enumerate"] == 0.0
+        assert hit.phases["kernel"] == 0.0
+        assert hit.total_ms < miss.total_ms
+        # The rendered report carries the breakdown per request.
+        report = format_trace_summaries(summaries)
+        assert report.count("phase sum") == 2
+        for phase in ("queue", "cache", "dispatch", "enumerate"):
+            assert phase in report
+
+    def test_tracing_disabled_leaves_no_files(self, small_schema, tmp_path):
+        service = make_service(small_schema)
+
+        async def scenario():
+            server = AsyncOptimizerServer(service, owns_service=True)
+            async with server:
+                host, port = server.address
+                async with AsyncHttpClient(host, port) as client:
+                    envelope, _ = await client.optimize(make_payload())
+            return envelope
+
+        envelope = asyncio.run(scenario())
+        assert envelope.code == CODE_OK
+        assert list(tmp_path.iterdir()) == []
