@@ -1,0 +1,151 @@
+"""Resilience-overhead guard: idle supervision must be (nearly) free.
+
+The production process-backend path now runs every dispatch through the
+resilience machinery — a closed circuit breaker consulted per submit, a
+retry loop that never iterates, a chaos hook that is ``None``, and a
+heartbeat that is off. This guard times the same request stream through
+ONE process-backend service and its one warm pool, toggling the
+resilience knobs between runs — supervised (the default: breaker +
+retry present but idle) vs stripped (both nulled out) — interleaved in
+alternating order so thermal/frequency drift hits both sides equally,
+and compares the median of paired per-round ratios (adjacent batches
+see the same box-wide disturbances, which cancel in the ratio). A
+single shared pool is the point: a two-service
+comparison makes two worker sets contend for the same cores and the
+scheduling jitter swamps the microseconds actually under test. The
+idle path must stay under the regression gate (quiet-box
+measurement ~1.00x; the gate is a tripwire sized for contended CI
+boxes); both configurations must produce
+bit-for-bit identical results, because idle supervision may never
+change a plan.
+
+When the baseline runs too fast to time reliably the ratio is reported
+but not asserted, same policy as the other timing gates.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.bench.experiments import BENCH_CONFIG, make_service
+from repro.plans.serialize import result_to_dict
+from repro.workload import WorkloadGenerator
+
+#: Query numbers feeding the request stream (3-objective RTA cells).
+WORKLOAD_QUERIES = (5, 8)
+
+#: Requests per query number; total batch = len(queries) * this.
+PER_QUERY = 12
+
+#: Interleaved rounds; the median of 5 paired ratios shrugs off two
+#: disturbed rounds.
+ROUNDS = 5
+
+#: Below this baseline duration the ratio is noise, not signal.
+MIN_MEASURABLE_SECONDS = 0.2
+
+#: Regression tripwire, not the expected value: quiet-box runs
+#: measure ~1.00x, but on a contended CI box the paired-median ratio
+#: wobbles a few percent, and a real regression (a sleep or poll on
+#: the dispatch path) costs far more than 10%.
+MAX_OVERHEAD_RATIO = 1.10
+
+
+def signature(result) -> dict:
+    """The deterministic part of a result (plan, costs, frontier)."""
+    payload = result_to_dict(result)
+    del payload["metrics"]  # wall times legitimately differ per run
+    return payload
+
+
+def test_idle_supervision_overhead(parallel_workers, report):
+    generator = WorkloadGenerator(
+        make_service().schema, config=BENCH_CONFIG, seed=42
+    )
+    requests = [
+        case.to_request(algorithm="rta", alpha=2.0)
+        for query_number in WORKLOAD_QUERIES
+        for case in generator.weighted_cases(
+            query_number, num_objectives=3, count=PER_QUERY
+        )
+    ]
+
+    service = make_service(backend="processes", workers=parallel_workers)
+    breaker, retry_policy = service.breaker, service.retry_policy
+    assert breaker is not None and retry_policy is not None
+    assert service.chaos is None, "overhead guard must run without chaos"
+    assert service.heartbeat_s is None
+
+    # The process backend always builds a breaker (there is no public
+    # "unsupervised" configuration — that is the point of the ladder),
+    # so the stripped baseline is the same service with the knobs
+    # removed between runs: the dispatch loop then runs decision-free,
+    # the closest living relative of the pre-supervision code path.
+    def timed_batch(supervise: bool):
+        service.breaker = breaker if supervise else None
+        service.retry_policy = retry_policy if supervise else None
+        start = time.perf_counter()
+        results = [service.submit(r) for r in requests]
+        return time.perf_counter() - start, results
+
+    with service:
+        service.worker_pool().warm_up()  # exclude spawn cost
+
+        base_times: list[float] = []
+        sup_times: list[float] = []
+        for round_number in range(ROUNDS):
+            # Alternate the order each round so slowdowns the first
+            # batch triggers (turbo decay, background tasks) do not
+            # systematically land on one side.
+            if round_number % 2:
+                elapsed, supervised_results = timed_batch(supervise=True)
+                sup_times.append(elapsed)
+                elapsed, baseline_results = timed_batch(supervise=False)
+                base_times.append(elapsed)
+            else:
+                elapsed, baseline_results = timed_batch(supervise=False)
+                base_times.append(elapsed)
+                elapsed, supervised_results = timed_batch(supervise=True)
+                sup_times.append(elapsed)
+
+        breaker_state = breaker.snapshot()
+        best_baseline = min(base_times)
+        best_supervised = min(sup_times)
+
+    # Idle supervision changes nothing: same plans, same frontiers, no
+    # retries, no degradation, and the breaker never left "closed".
+    assert [signature(r) for r in supervised_results] == [
+        signature(r) for r in baseline_results
+    ]
+    assert not any(r.degraded for r in supervised_results)
+    assert service.metrics.retries == 0
+    assert service.metrics.worker_failures == 0
+    assert breaker_state["state"] == "closed"
+
+    # Paired per-round ratios + median: adjacent batches see the same
+    # box-wide disturbances, which then cancel in the ratio; the median
+    # drops the rounds where a disturbance split a pair.
+    ratio = statistics.median(
+        sup / base for sup, base in zip(sup_times, base_times)
+    )
+    per_request_us = (
+        (best_supervised - best_baseline) / len(requests) * 1e6
+    )
+    lines = [
+        "resilience overhead -- idle supervision vs stripped dispatch",
+        f"  {len(requests)} requests x {ROUNDS} rounds, "
+        f"workers={parallel_workers}",
+        f"  stripped   {best_baseline * 1000:8.1f} ms",
+        f"  supervised {best_supervised * 1000:8.1f} ms",
+        f"  median ratio {ratio:5.3f}  (gate < {MAX_OVERHEAD_RATIO})   "
+        f"best-of-N delta {per_request_us:+.1f} us/request",
+    ]
+    report("\n".join(lines))
+
+    if best_baseline >= MIN_MEASURABLE_SECONDS:
+        assert ratio < MAX_OVERHEAD_RATIO, (
+            f"idle resilience machinery costs {ratio:.3f}x the stripped "
+            f"dispatch path (gate: < {MAX_OVERHEAD_RATIO}x)"
+        )
+    # Sub-measurable runs: reported, not asserted (timing noise wins).

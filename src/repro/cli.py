@@ -192,12 +192,27 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="trace every request: append spans to DIR/trace-<pid>.jsonl "
              "(summarize with `repro trace`)",
     )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, give in-flight optimizations this long "
+             "to finish before cancelling them; a forced drain exits "
+             "nonzero (default: 10)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="enable fault injection, e.g. 'seed=7,kill=0.1,drop=0.05' "
+             "(same spec format as the REPRO_CHAOS env var; for "
+             "resilience testing only)",
+    )
     return parser
 
 
 def serve_main(argv: list[str]) -> int:
     """Entry point of the ``serve`` subcommand."""
+    import signal
+
     from repro.parallel.deadline import DeadlineScheduler
+    from repro.resilience.chaos import ChaosInjector, parse_chaos_spec
     from repro.serving.server import AsyncOptimizerServer
 
     args = build_serve_parser().parse_args(argv)
@@ -209,10 +224,16 @@ def serve_main(argv: list[str]) -> int:
             scheduler = DeadlineScheduler()
         elif args.timeout is not None:
             config = config.with_timeout(args.timeout)
+        chaos = None
+        if args.chaos is not None:
+            chaos_config = parse_chaos_spec(args.chaos)
+            if chaos_config.enabled:
+                chaos = ChaosInjector(chaos_config)
         service = OptimizerService(
             tpch_schema(args.scale_factor), config=config,
             cache_size=args.cache_size, backend=args.backend,
             workers=args.workers, scheduler=scheduler,
+            chaos=chaos,
         )
         server = AsyncOptimizerServer(
             service,
@@ -226,7 +247,20 @@ def serve_main(argv: list[str]) -> int:
     except Exception as error:  # bad flags -> CLI error, no traceback
         raise SystemExit(str(error))
 
-    async def run() -> None:
+    async def run() -> int:
+        # Graceful drain on SIGTERM/SIGINT. Handlers go in *before* the
+        # banner prints: supervisors (and the CLI test) treat the banner
+        # as "ready", and a signal landing between banner and handler
+        # would otherwise kill the process with the default disposition.
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        handled: list[int] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # e.g. Windows event loops
         host, port = await server.start()
         print(f"repro optimizer serving on http://{host}:{port}")
         print("  POST /optimize   GET /metrics   GET /healthz")
@@ -236,10 +270,33 @@ def serve_main(argv: list[str]) -> int:
         if args.trace_dir:
             print(f"  tracing to {args.trace_dir}/trace-*.jsonl "
                   f"(summarize with `repro trace`)")
-        await server.serve_forever()
+        if service.chaos is not None:
+            print(f"  CHAOS ENABLED: {args.chaos or 'REPRO_CHAOS env'}")
+        # The started server accepts connections on its own, so the
+        # main coroutine just waits for the first signal, then drains
+        # with the configured timeout.
+        try:
+            if handled:
+                await stop_event.wait()
+                print(
+                    f"signal received, draining "
+                    f"(timeout {args.drain_timeout:g}s)"
+                )
+                clean = await server.stop(
+                    drain_timeout=args.drain_timeout
+                )
+                if not clean:
+                    print("drain timed out: in-flight work cancelled")
+                    return 1
+                return 0
+            await server.serve_forever()
+            return 0
+        finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
 
     try:
-        asyncio.run(run())
+        return asyncio.run(run())
     except KeyboardInterrupt:
         print("shutting down")
     return 0

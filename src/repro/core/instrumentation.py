@@ -252,6 +252,10 @@ class RequestMetrics:
     deadline_hit: bool = False
     worker: str = ""
     rerouted: bool = False
+    #: The request exhausted its retry budget and was answered by the
+    #: in-process heuristic fallback plan (see ``OptimizerService``);
+    #: degraded results are never cached.
+    degraded: bool = False
     plans_considered: int = 0
     candidates_vectorized: int = 0
     phase_ms: dict[str, float] = field(default_factory=dict, compare=False)
@@ -292,6 +296,17 @@ class ServiceMetrics:
     deadline_hits: int = 0
     coalesce_hits: int = 0
     sheds: int = 0
+    # Resilience counters (see repro.resilience): worker_failures counts
+    # observed infrastructure faults, respawns counts pool rebuilds,
+    # retries counts re-dispatches/backoff retries, breaker_trips and
+    # breaker_recoveries track the degradation ladder, and degraded
+    # counts requests answered by the heuristic fallback plan.
+    worker_failures: int = 0
+    respawns: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
+    degraded: int = 0
     total_optimization_ms: float = 0.0
     by_algorithm: dict[str, int] = field(default_factory=dict)
     by_worker: dict[str, int] = field(default_factory=dict)
@@ -320,10 +335,35 @@ class ServiceMetrics:
                 self.timeouts += 1
             if metrics.deadline_hit:
                 self.deadline_hits += 1
+            if metrics.degraded:
+                self.degraded += 1
             if metrics.worker:
                 self.by_worker[metrics.worker] = (
                     self.by_worker.get(metrics.worker, 0) + 1
                 )
+
+    def record_resilience(self, event: str) -> None:
+        """Count one recovery event (pool/service supervision).
+
+        ``event`` is one of ``worker_failure``, ``respawn``, ``retry``
+        (pool re-dispatches and service backoff retries both count
+        here), ``breaker_trip``, ``breaker_recovery``, ``degraded``.
+        Unknown events are ignored — the emitting layers may grow
+        event kinds faster than every consumer updates.
+        """
+        with self._lock:
+            if event == "worker_failure":
+                self.worker_failures += 1
+            elif event == "respawn":
+                self.respawns += 1
+            elif event in ("retry", "redispatch"):
+                self.retries += 1
+            elif event == "breaker_trip":
+                self.breaker_trips += 1
+            elif event == "breaker_recovery":
+                self.breaker_recoveries += 1
+            elif event == "degraded":
+                self.degraded += 1
 
     def record_coalesce_hit(self) -> None:
         """Count one request served by awaiting an in-flight twin."""
@@ -351,6 +391,12 @@ class ServiceMetrics:
                 "deadline_hits": self.deadline_hits,
                 "coalesce_hits": self.coalesce_hits,
                 "sheds": self.sheds,
+                "worker_failures": self.worker_failures,
+                "respawns": self.respawns,
+                "retries": self.retries,
+                "breaker_trips": self.breaker_trips,
+                "breaker_recoveries": self.breaker_recoveries,
+                "degraded": self.degraded,
                 "total_optimization_ms": self.total_optimization_ms,
                 "by_algorithm": dict(self.by_algorithm),
                 "by_worker": dict(self.by_worker),

@@ -51,6 +51,12 @@ class OptimizationResult:
     alpha: float | None = None
     block_results: tuple["OptimizationResult", ...] = field(default=())
     deadline_hit: bool = False
+    #: The service answered this request with the heuristic fallback
+    #: plan after exhausting every retry budget (worker crashes, broken
+    #: pools). A degraded result is a *valid* plan — the paper's
+    #: single-plan fallback mode — but not the full optimization the
+    #: caller asked for, so it is flagged explicitly and never cached.
+    degraded: bool = False
     #: Optimizer time split into the disjoint
     #: enumerate/kernel/prune/materialize phases (milliseconds); empty
     #: when phase timing is disabled. Excluded from equality so the
@@ -100,7 +106,9 @@ class OptimizationResult:
 
     def summary(self) -> str:
         """One-line human-readable run summary."""
-        if self.timed_out:
+        if self.degraded:
+            status = "DEGRADED"
+        elif self.timed_out:
             status = "TIMEOUT"
         elif self.deadline_hit:
             status = "DEADLINE"

@@ -53,8 +53,11 @@ from repro.core.optimizer import MultiObjectiveOptimizer
 from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
 from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
-from repro.exceptions import OptimizerError
+from repro.exceptions import OptimizerError, WorkerCrashError
 from repro.obs.trace import active_tracer, current_context
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.chaos import ChaosInjector, chaos_from_env
+from repro.resilience.policy import DEFAULT_RETRY_POLICY, RetryPolicy
 
 #: Callable invoked with one record per completed request.
 MetricsHook = Callable[[RequestMetrics], None]
@@ -127,6 +130,11 @@ class OptimizerService:
         backend: str = "threads",
         workers: int | None = None,
         scheduler=None,
+        breaker: CircuitBreaker | None = None,
+        retry_policy: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+        heartbeat_s: float | None = None,
+        chaos: ChaosInjector | None = None,
+        degraded_fallback: bool = True,
     ) -> None:
         if backend not in BACKENDS:
             raise OptimizerError(
@@ -140,6 +148,18 @@ class OptimizerService:
         self.backend = backend
         self.workers = workers
         self.scheduler = scheduler
+        # Resilience: the breaker/retry/fallback ladder guards process
+        # dispatches (worker crashes); the other backends cannot infra-
+        # fail, so services not configured for processes skip it all.
+        self.retry_policy = retry_policy
+        self.heartbeat_s = heartbeat_s
+        self.degraded_fallback = degraded_fallback
+        if backend == "processes":
+            self.breaker = breaker if breaker is not None else CircuitBreaker()
+            self.chaos = chaos if chaos is not None else chaos_from_env()
+        else:
+            self.breaker = breaker
+            self.chaos = chaos
         self._pool = None
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -182,6 +202,9 @@ class OptimizerService:
                     workers=self.workers,
                     cache_size=self.cache.max_size,
                     scheduler=self.scheduler,
+                    heartbeat_s=self.heartbeat_s,
+                    chaos=self.chaos,
+                    on_event=self.metrics.record_resilience,
                 )
             return self._pool
 
@@ -206,6 +229,26 @@ class OptimizerService:
     def closed(self) -> bool:
         """Whether :meth:`close` has been called at least once."""
         return self._closed
+
+    def resilience_snapshot(self) -> dict[str, object]:
+        """Point-in-time view of the failure-handling machinery.
+
+        Keys: ``breaker`` (state/level/trips, ``None`` without one),
+        ``pool`` (supervision counters, ``None`` until the worker pool
+        exists), ``chaos`` (injection counters, ``None`` when fault
+        injection is off — the production case).
+        """
+        with self._pool_lock:
+            pool = self._pool
+        return {
+            "breaker": (
+                self.breaker.snapshot() if self.breaker is not None else None
+            ),
+            "pool": pool.stats() if pool is not None else None,
+            "chaos": (
+                self.chaos.snapshot() if self.chaos is not None else None
+            ),
+        }
 
     def __enter__(self) -> "OptimizerService":
         return self
@@ -257,11 +300,32 @@ class OptimizerService:
             self._report(request, key, cached, cache_hit=True)
             return cached
         if self.backend == "processes" and not self._closed:
-            return self._submit_to_pool(
+            return self._execute_resilient(
                 request, key,
                 admitted_epoch=admitted_epoch,
                 deadline_epoch=deadline_epoch,
             )
+        return self._execute_local(
+            request, key,
+            admitted_epoch=admitted_epoch,
+            deadline_epoch=deadline_epoch,
+        )
+
+    def _execute_local(
+        self,
+        request: OptimizationRequest,
+        key: str,
+        *,
+        admitted_epoch: float | None,
+        deadline_epoch: float | None,
+    ) -> OptimizationResult:
+        """Execute one cache-missed request in the calling thread.
+
+        The inline/thread backends' whole story, and the degraded
+        ladder's landing spot when the breaker has tripped away from
+        the process backend.
+        """
+        tracer = active_tracer()
         executed = request
         rerouted = False
         if self.scheduler is not None:
@@ -299,6 +363,143 @@ class OptimizerService:
         self._report(
             executed, key, result, cache_hit=False, rerouted=rerouted
         )
+        return result
+
+    def _execute_resilient(
+        self,
+        request: OptimizationRequest,
+        key: str,
+        *,
+        admitted_epoch: float | None,
+        deadline_epoch: float | None,
+        prior_failures: int = 0,
+    ) -> OptimizationResult:
+        """Run one cache-missed request down the degradation ladder.
+
+        The happy path is a single pool dispatch. When that dispatch
+        infra-fails (:class:`WorkerCrashError` — the pool already spent
+        its own respawn + re-dispatch), this helper:
+
+        1. feeds the failure to the circuit breaker (which may trip the
+           backend down the ``processes`` → ``threads`` → ``inline``
+           ladder for *subsequent* requests),
+        2. retries under :attr:`retry_policy` — jittered exponential
+           backoff, clamped so no sleep outlives the request's
+           remaining deadline budget,
+        3. and when the retry budget is exhausted, answers with the
+           paper's heuristic fallback plan flagged ``degraded=True``
+           (or re-raises, when ``degraded_fallback`` is off).
+
+        Requests arriving while the breaker is tripped run directly on
+        the degraded backend (in-process); half-open probe dispatches
+        go back to the pool and their outcome drives recovery.
+        ``prior_failures`` pre-charges the retry budget — the batch
+        path enters here after a crash it already observed.
+        """
+        if self.scheduler is not None and deadline_epoch is None:
+            if admitted_epoch is None:
+                admitted_epoch = time.time()
+            deadline_epoch = self.scheduler.admit(
+                request, admitted_epoch, self.config.timeout_seconds
+            )
+        failures = prior_failures
+        while True:
+            if failures > 0:
+                delay = None
+                if self.retry_policy is not None:
+                    remaining = None
+                    if self.scheduler is not None:
+                        remaining = self.scheduler.remaining_budget(
+                            deadline_epoch
+                        )
+                    delay = self.retry_policy.next_delay(
+                        failures, remaining_s=remaining
+                    )
+                if delay is None:
+                    if not self.degraded_fallback:
+                        raise WorkerCrashError(
+                            f"request {request.query_name!r} exhausted its "
+                            "retry budget and degraded fallback is disabled"
+                        )
+                    return self._degraded_fallback(request, key)
+                self.metrics.record_resilience("retry")
+                tracer = active_tracer()
+                if tracer is None:
+                    time.sleep(delay)
+                else:
+                    with tracer.span(
+                        "retry.backoff", "retry",
+                        attempt=failures, delay_s=delay,
+                    ):
+                        time.sleep(delay)
+            decision = (
+                self.breaker.decide() if self.breaker is not None else None
+            )
+            backend = (
+                decision.backend if decision is not None else "processes"
+            )
+            try:
+                if backend == "processes" and not self._closed:
+                    result = self._submit_to_pool(
+                        request, key,
+                        admitted_epoch=admitted_epoch,
+                        deadline_epoch=deadline_epoch,
+                    )
+                else:
+                    result = self._execute_local(
+                        request, key,
+                        admitted_epoch=admitted_epoch,
+                        deadline_epoch=deadline_epoch,
+                    )
+            except WorkerCrashError:
+                failures += 1
+                if decision is not None:
+                    if self.breaker.record_failure(decision):
+                        self._note_breaker_trip()
+                continue
+            if decision is not None:
+                if self.breaker.record_success(decision):
+                    self.metrics.record_resilience("breaker_recovery")
+            return result
+
+    def _note_breaker_trip(self) -> None:
+        self.metrics.record_resilience("breaker_trip")
+        tracer = active_tracer()
+        if tracer is not None:
+            # Zero-duration event span marking the ladder transition.
+            tracer.begin(
+                "breaker.trip", "breaker_open",
+                backend=self.breaker.backend, level=self.breaker.level,
+            ).finish()
+
+    def _degraded_fallback(
+        self, request: OptimizationRequest, key: str
+    ) -> OptimizationResult:
+        """Answer with the paper's heuristic fallback plan, flagged.
+
+        Runs in-process with an effectively expired budget, so the DP
+        takes its single-plan fallback mode almost immediately — the
+        caller gets a *valid* plan and an explicit ``degraded=True``
+        instead of an error. Never cached: a healthy rerun must get the
+        chance to do better.
+        """
+        tiny = (
+            self.scheduler.expired_slice_seconds
+            if self.scheduler is not None
+            else 1e-6
+        )
+        degraded_request = request.replace(timeout_seconds=tiny)
+        tracer = active_tracer()
+        if tracer is None:
+            result = self._optimizer.execute(degraded_request)
+        else:
+            with tracer.span(
+                "degraded.fallback", "degraded",
+                algorithm=request.algorithm, query=request.query_name,
+            ):
+                result = self._optimizer.execute(degraded_request)
+        result = dataclasses.replace(result, degraded=True)
+        self._report(request, key, result, cache_hit=False, degraded=True)
         return result
 
     def _submit_to_pool(
@@ -456,7 +657,8 @@ class OptimizerService:
         admitted_epoch = time.time()
         if backend == "processes":
             return self._optimize_many_processes(
-                requests, admitted_epoch, shard_by_fingerprint
+                requests, admitted_epoch, shard_by_fingerprint,
+                max_workers=max_workers,
             )
         submit = partial(self.submit, admitted_epoch=admitted_epoch)
         if max_workers is None:
@@ -472,13 +674,44 @@ class OptimizerService:
         requests: list[OptimizationRequest],
         admitted_epoch: float,
         shard_by_fingerprint: bool | None,
+        max_workers: int | None = None,
     ) -> list[OptimizationResult]:
         """Fan a batch out over the worker pool.
 
         The parent cache is consulted first (known answers never travel
         to a worker); worker results flow back into the parent cache so
         later batches and ``submit`` calls see them.
+
+        Resilience: the batch takes one breaker decision. A tripped
+        breaker reroutes the whole batch through per-request ``submit``
+        on threads (each request then walks the ladder itself,
+        including half-open probes). On the pool, individually crashed
+        dispatches — ones the pool's own respawn + re-dispatch could
+        not save — feed the breaker and finish through the per-request
+        retry/degrade path instead of failing the batch.
         """
+        decision = None
+        if self.breaker is not None and not self._closed:
+            decision = self.breaker.decide()
+            if decision.backend != "processes":
+                submit = partial(self.submit, admitted_epoch=admitted_epoch)
+                workers = (
+                    min(8, len(requests))
+                    if max_workers is None
+                    else max_workers
+                )
+                if (
+                    decision.backend == "inline"
+                    or workers == 1
+                    or len(requests) == 1
+                ):
+                    results = [submit(request) for request in requests]
+                else:
+                    with ThreadPoolExecutor(max_workers=workers) as tpool:
+                        results = list(tpool.map(submit, requests))
+                if self.breaker.record_success(decision):
+                    self.metrics.record_resilience("breaker_recovery")
+                return results
         keys = [request.fingerprint(self.config) for request in requests]
         if self.scheduler is not None:
             epochs = [
@@ -514,8 +747,14 @@ class OptimizerService:
                 shard_by_fingerprint=shard_by_fingerprint,
                 default_config=self.config,
                 trace_ctx=trace_ctx,
+                on_crash="return",
             )
-            for position, (result, record, spans) in zip(shipped, outputs):
+            crashed: list[int] = []
+            for position, output in zip(shipped, outputs):
+                if isinstance(output, WorkerCrashError):
+                    crashed.append(position)
+                    continue
+                result, record, spans = output
                 if tracer is not None and spans:
                     tracer.ingest(spans)
                 results[position] = result
@@ -530,6 +769,25 @@ class OptimizerService:
                 ):
                     self.cache.put(keys[position], result)
                 self._dispatch(record)
+            if decision is not None:
+                if crashed:
+                    # A probe is one experiment — report it once; a
+                    # closed-state decision reports every crash so the
+                    # failure threshold means what it says.
+                    reports = 1 if decision.probe else len(crashed)
+                    for _ in range(reports):
+                        if self.breaker.record_failure(decision):
+                            self._note_breaker_trip()
+                            break
+                elif self.breaker.record_success(decision):
+                    self.metrics.record_resilience("breaker_recovery")
+            for position in crashed:
+                results[position] = self._execute_resilient(
+                    requests[position], keys[position],
+                    admitted_epoch=admitted_epoch,
+                    deadline_epoch=epochs[position],
+                    prior_failures=1,
+                )
         return results
 
     # ------------------------------------------------------------------
@@ -541,6 +799,7 @@ class OptimizerService:
         *,
         cache_hit: bool,
         rerouted: bool = False,
+        degraded: bool = False,
     ) -> None:
         record = RequestMetrics(
             fingerprint=fingerprint,
@@ -552,6 +811,7 @@ class OptimizerService:
             timed_out=result.timed_out,
             deadline_hit=result.deadline_hit,
             rerouted=rerouted,
+            degraded=degraded,
             plans_considered=0 if cache_hit else result.plans_considered,
             candidates_vectorized=(
                 0 if cache_hit else result.candidates_vectorized

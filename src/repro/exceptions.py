@@ -45,6 +45,12 @@ class OptimizerError(ReproError):
     """Raised for invalid optimizer invocations (bad weights, bounds...)."""
 
 
+class WorkerCrashError(ReproError):
+    """Raised when a pool worker died (or hung past its heartbeat) and
+    the at-most-once re-dispatch also failed. Transient by contract:
+    callers may retry on a fresh pool or degrade to another backend."""
+
+
 class RequestValidationError(OptimizerError):
     """Raised when an :class:`~repro.core.request.OptimizationRequest`
     fails declarative validation (bad field types, invalid deadline,

@@ -145,6 +145,16 @@ def _render_serving(writer: _Writer, serving: Mapping[str, Any]) -> None:
         "repro_serving_protocol_errors_total", "counter",
         "Malformed HTTP requests.", serving.get("protocol_errors", 0),
     )
+    writer.metric(
+        "repro_serving_drain_rejects_total", "counter",
+        "Optimize requests refused while the server was draining.",
+        serving.get("drain_rejects", 0),
+    )
+    writer.metric(
+        "repro_serving_drops_total", "counter",
+        "Responses dropped by the chaos harness (tests/CI only).",
+        serving.get("drops", 0),
+    )
     latency = serving.get("latency")
     if isinstance(latency, Mapping):
         _render_latency(writer, latency)
@@ -209,6 +219,18 @@ def _render_service(writer: _Writer, service: Mapping[str, Any]) -> None:
          "Requests served by awaiting an in-flight twin."),
         ("sheds", "repro_service_sheds_total",
          "Requests refused by serving admission control."),
+        ("worker_failures", "repro_service_worker_failures_total",
+         "Infrastructure faults observed on the process backend."),
+        ("respawns", "repro_service_respawns_total",
+         "Worker-pool rebuilds after worker death or hang."),
+        ("retries", "repro_service_retries_total",
+         "Dispatch retries (pool re-dispatches and backoff retries)."),
+        ("breaker_trips", "repro_service_breaker_trips_total",
+         "Circuit-breaker trips down the backend degradation ladder."),
+        ("breaker_recoveries", "repro_service_breaker_recoveries_total",
+         "Circuit-breaker recoveries via half-open probes."),
+        ("degraded", "repro_service_degraded_total",
+         "Requests answered by the heuristic fallback plan."),
     )
     for key, name, help_text in counters:
         writer.metric(name, "counter", help_text, service.get(key, 0))
@@ -260,6 +282,46 @@ def _render_service(writer: _Writer, service: Mapping[str, Any]) -> None:
             )
 
 
+#: Breaker states mapped to the ``repro_breaker_state`` gauge value.
+_BREAKER_STATES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+def _render_resilience(
+    writer: _Writer, resilience: Mapping[str, Any]
+) -> None:
+    breaker = resilience.get("breaker")
+    if isinstance(breaker, Mapping):
+        writer.metric(
+            "repro_breaker_state", "gauge",
+            "Circuit-breaker state (0=closed, 1=open, 2=half_open).",
+            _BREAKER_STATES.get(str(breaker.get("state")), 0),
+        )
+        writer.metric(
+            "repro_breaker_level", "gauge",
+            "Current rung on the backend degradation ladder "
+            "(0=processes).",
+            breaker.get("level", 0),
+        )
+    pool = resilience.get("pool")
+    if isinstance(pool, Mapping):
+        writer.metric(
+            "repro_pool_generation", "gauge",
+            "Worker-pool executor generation (bumps on respawn).",
+            pool.get("generation", 0),
+        )
+        writer.metric(
+            "repro_pool_workers", "gauge",
+            "Configured worker-process count.", pool.get("workers", 0),
+        )
+    chaos = resilience.get("chaos")
+    if isinstance(chaos, Mapping):
+        writer.metric(
+            "repro_chaos_injected_total", "counter",
+            "Faults injected by the chaos harness (tests/CI only).",
+            chaos.get("injected", 0),
+        )
+
+
 def render_prometheus(snapshot: Mapping[str, Any]) -> str:
     """Render the combined server snapshot as Prometheus exposition text.
 
@@ -281,4 +343,7 @@ def render_prometheus(snapshot: Mapping[str, Any]) -> str:
     service = snapshot.get("service")
     if isinstance(service, Mapping):
         _render_service(writer, service)
+    resilience = snapshot.get("resilience")
+    if isinstance(resilience, Mapping):
+        _render_resilience(writer, resilience)
     return writer.render()

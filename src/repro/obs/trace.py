@@ -406,6 +406,15 @@ _DIRECT_CATEGORIES = {
 #: count.
 _COUNTED_CATEGORIES = frozenset(_DIRECT_CATEGORIES) | {"algorithm"}
 
+#: Recovery-event span categories (see :mod:`repro.resilience`). They
+#: are deliberately *not* counted categories: a retry's backoff sleep
+#: or a pool respawn happens inside the dispatch span, and the phase
+#: breakdown should keep reconstructing e2e latency exactly as before —
+#: resilience spans surface as per-trace event counts instead.
+RESILIENCE_CATEGORIES = frozenset(
+    {"retry", "respawn", "breaker_open", "degraded"}
+)
+
 
 @dataclass
 class RequestTraceSummary:
@@ -417,6 +426,10 @@ class RequestTraceSummary:
     phases: dict[str, float]
     attrs: dict[str, Any]
     processes: tuple[str, ...]
+    #: Recovery events observed in this trace, keyed by resilience
+    #: category (``retry``/``respawn``/``breaker_open``/``degraded``);
+    #: empty for the (typical) fault-free request.
+    events: dict[str, int] = field(default_factory=dict)
 
     @property
     def phase_sum_ms(self) -> float:
@@ -492,6 +505,10 @@ def summarize_spans(spans: Sequence[Span]) -> list[RequestTraceSummary]:
                 )
         total_ms = root.duration_ms
         phases["other"] = max(0.0, total_ms - top_level_ms)
+        events: dict[str, int] = {}
+        for span in members:
+            if span.category in RESILIENCE_CATEGORIES:
+                events[span.category] = events.get(span.category, 0) + 1
         summaries.append(
             RequestTraceSummary(
                 trace_id=trace_id,
@@ -502,6 +519,7 @@ def summarize_spans(spans: Sequence[Span]) -> list[RequestTraceSummary]:
                 processes=tuple(sorted({
                     span.process for span in members if span.process
                 })),
+                events=events,
             )
         )
     summaries.sort(key=lambda summary: summary.start_s)
@@ -533,5 +551,11 @@ def format_trace_summaries(summaries: Sequence[RequestTraceSummary]) -> str:
         lines.append(
             f"  {'phase sum':<12} {sum_ms:9.2f} ms  {share:6.1%} of e2e"
         )
+        if summary.events:
+            counts = " ".join(
+                f"{category}={summary.events[category]}"
+                for category in sorted(summary.events)
+            )
+            lines.append(f"  {'recovery':<12} {counts}")
         lines.append("")
     return "\n".join(lines).rstrip()

@@ -201,6 +201,23 @@ class DeadlineScheduler:
             return request.config.timeout_seconds
         return default_timeout
 
+    def remaining_budget(
+        self,
+        deadline_epoch: float | None,
+        now: float | None = None,
+    ) -> float | None:
+        """Seconds until an already-admitted absolute deadline.
+
+        The retry path's view of the budget: a backoff sleep must never
+        exceed this (see :class:`repro.resilience.policy.RetryPolicy`).
+        ``None`` when the request was admitted without a deadline.
+        """
+        if deadline_epoch is None:
+            return None
+        if now is None:
+            now = time.time()
+        return deadline_epoch - now
+
     def _reroute(
         self, request: OptimizationRequest, remaining: float
     ) -> OptimizationRequest | None:

@@ -1,4 +1,4 @@
-"""Process-pool backend: warm worker processes executing requests.
+"""Process-pool backend: warm, *supervised* worker processes.
 
 The GIL serializes the thread-pool backend — the paper's approximation
 schemes are CPU-bound Python dynamic programs, so threads only overlap
@@ -13,13 +13,42 @@ Results and per-request :class:`RequestMetrics` ship back pickled; the
 owning :class:`~repro.core.service.OptimizerService` merges the records
 into its :class:`ServiceMetrics`, so observability is identical across
 backends.
+
+**Supervision.** A single SIGKILLed worker poisons a
+``ProcessPoolExecutor`` permanently: every in-flight future raises
+``BrokenProcessPool`` and the executor refuses new work. The pool turns
+that into a counted, recoverable event instead of a terminal one:
+
+* every dispatch records the executor *generation* it was submitted
+  under; when an await observes an infrastructure failure, the first
+  observer rebuilds the executor (terminating leftover processes
+  best-effort) and bumps the generation — concurrent observers see the
+  bump and skip the rebuild;
+* the failed dispatch is re-submitted **at most once** on the current
+  executor, with any injected chaos fault stripped so a re-dispatch
+  never replays the fault that killed the first attempt;
+* an optional per-dispatch ``heartbeat_s`` bounds how long an await
+  will wait on a worker — a stuck worker (the failure SIGKILL cannot
+  model) is treated as dead: pool respawned, dispatch re-sent.
+
+Only *infrastructure* failures trigger this path (broken pool,
+heartbeat timeout, cancelled queue entries after a respawn, pickling
+failures, injected :class:`ChaosError`); real optimizer exceptions
+propagate to the caller unchanged. When the re-dispatch also fails the
+await raises :class:`~repro.exceptions.WorkerCrashError`, the signal
+the service's retry/degradation ladder keys on.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import threading
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence
 
 from repro.catalog.schema import Schema
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
@@ -27,7 +56,8 @@ from repro.core.instrumentation import RequestMetrics
 from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
 from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
-from repro.obs.trace import Span, TraceContext
+from repro.exceptions import WorkerCrashError
+from repro.obs.trace import Span, TraceContext, active_tracer
 from repro.parallel.sharding import ShardOutcome, ShardPlanner, ShardTask
 from repro.parallel.worker import (
     WorkerSetup,
@@ -37,6 +67,22 @@ from repro.parallel.worker import (
     initialize_worker,
     ping,
 )
+from repro.resilience.chaos import ChaosError, ChaosInjector
+
+#: Failures that mean "the pool (or this dispatch's transport) broke",
+#: never "the optimizer rejected the request".
+_TRANSIENT_EXCEPTIONS = (
+    BrokenProcessPool,
+    FuturesTimeoutError,
+    CancelledError,
+    pickle.PicklingError,
+    ChaosError,
+)
+
+#: The subset that also means worker processes must be replaced (a mere
+#: executor exception or unpicklable result leaves the pool healthy).
+_RESPAWN_EXCEPTIONS = (BrokenProcessPool, FuturesTimeoutError)
+
 
 def usable_cpu_count() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
@@ -54,14 +100,37 @@ def default_worker_count() -> int:
     return max(1, min(8, usable_cpu_count()))
 
 
+class _Submission:
+    """One supervised dispatch: enough state to re-send it once."""
+
+    __slots__ = ("fn", "args", "clean_args", "future", "generation",
+                 "redispatched")
+
+    def __init__(self, fn, args, clean_args, future, generation) -> None:
+        self.fn = fn
+        self.args = args
+        self.clean_args = clean_args
+        self.future = future
+        self.generation = generation
+        self.redispatched = False
+
+
 class WorkerPool:
-    """A warm pool of optimizer worker processes.
+    """A warm, supervised pool of optimizer worker processes.
 
     The pool is cheap to keep around and expensive to start (each spawn
     imports the package and rebuilds the cost model), so services hold
     one pool for their lifetime rather than one per batch. ``warm_up``
     forces all workers to finish initializing — call it before timing
     anything against the pool.
+
+    ``heartbeat_s`` (default off) bounds each dispatch's wait: a worker
+    silent for that long is presumed stuck, the pool is respawned and
+    the dispatch re-sent once. ``chaos`` injects deterministic faults
+    into dispatches (tests/CI only; ``None`` is the zero-overhead
+    production path). ``on_event`` receives ``"worker_failure"`` /
+    ``"respawn"`` / ``"redispatch"`` notifications — the hook the
+    owning service uses to feed its metrics.
     """
 
     def __init__(
@@ -74,10 +143,18 @@ class WorkerPool:
         cache_size: int = 256,
         scheduler=None,
         extra_initializer=None,
+        heartbeat_s: float | None = None,
+        chaos: ChaosInjector | None = None,
+        on_event: Callable[[str], None] | None = None,
     ) -> None:
         self.workers = workers if workers is not None else default_worker_count()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be > 0, got {heartbeat_s}")
+        self.heartbeat_s = heartbeat_s
+        self.chaos = chaos
+        self._on_event = on_event
         self._setup = WorkerSetup(
             schema=schema,
             config=config,
@@ -86,12 +163,138 @@ class WorkerPool:
             scheduler=scheduler,
             extra_initializer=extra_initializer,
         )
-        self._executor = ProcessPoolExecutor(
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._executor = self._build_executor()
+        #: Lifetime supervision counters (read via :meth:`stats`).
+        self.respawns = 0
+        self.redispatches = 0
+        self.worker_failures = 0
+
+    def _build_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=multiprocessing.get_context("spawn"),
             initializer=initialize_worker,
             initargs=(self._setup,),
         )
+
+    # ------------------------------------------------------------------
+    # Supervision internals
+    # ------------------------------------------------------------------
+    def _emit(self, event: str) -> None:
+        if self._on_event is not None:
+            self._on_event(event)
+
+    def _respawn(self, seen_generation: int) -> bool:
+        """Replace the executor; only the first observer of a given
+        generation's failure actually rebuilds (the guard), everyone
+        else returns immediately and re-dispatches on the new pool."""
+        with self._lock:
+            if self._generation != seen_generation:
+                return False
+            old = self._executor
+            tracer = active_tracer()
+            handle = (
+                tracer.begin("respawn", "respawn", generation=seen_generation)
+                if tracer is not None
+                else None
+            )
+            try:
+                # A stuck (heartbeat-timeout) worker never drains its
+                # queue; terminate the old processes so shutdown below
+                # cannot block on them.
+                processes = getattr(old, "_processes", None) or {}
+                for process in list(processes.values()):
+                    try:
+                        process.terminate()
+                    except Exception:
+                        pass
+                old.shutdown(wait=False, cancel_futures=True)
+                self._executor = self._build_executor()
+                self._generation += 1
+                self.respawns += 1
+            finally:
+                if handle is not None:
+                    handle.finish()
+        self._emit("respawn")
+        return True
+
+    def _submit(self, fn, args, clean_args=None) -> _Submission:
+        with self._lock:
+            generation = self._generation
+            future = self._executor.submit(fn, *args)
+        return _Submission(
+            fn, args, clean_args if clean_args is not None else args,
+            future, generation,
+        )
+
+    def _wait_ready(self, timeout: float = 60.0) -> None:
+        """Block until the executor has an initialized worker.
+
+        Called between a respawn and the re-dispatch when a heartbeat is
+        configured: a fresh executor spends seconds spawning and
+        importing, and counting that against the re-dispatch's heartbeat
+        would misdiagnose a healthy pool as stuck (turning one injected
+        hang into a spurious ``WorkerCrashError``). The probe is any
+        picklable no-op — it cannot run before the worker initializer
+        finishes, so its completion proves readiness. Failures fall
+        through: the re-dispatch itself will surface them.
+        """
+        with self._lock:
+            executor = self._executor
+        try:
+            executor.submit(int).result(timeout=timeout)
+        except Exception:
+            pass
+
+    def _redispatch(self, submission: _Submission) -> None:
+        """Re-send a failed dispatch once, chaos faults stripped."""
+        with self._lock:
+            generation = self._generation
+            future = self._executor.submit(
+                submission.fn, *submission.clean_args
+            )
+        submission.future = future
+        submission.generation = generation
+        submission.redispatched = True
+        self.redispatches += 1
+        self._emit("redispatch")
+
+    def _await(self, submission: _Submission):
+        """Await a dispatch, surviving exactly one infrastructure
+        failure via respawn (when needed) + re-dispatch."""
+        while True:
+            try:
+                return submission.future.result(timeout=self.heartbeat_s)
+            except _TRANSIENT_EXCEPTIONS as exc:
+                self.worker_failures += 1
+                self._emit("worker_failure")
+                if isinstance(exc, _RESPAWN_EXCEPTIONS):
+                    self._respawn(submission.generation)
+                    if self.heartbeat_s is not None:
+                        self._wait_ready()
+                if submission.redispatched:
+                    raise WorkerCrashError(
+                        "worker dispatch failed after one re-dispatch: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from exc
+                tracer = active_tracer()
+                if tracer is not None:
+                    with tracer.span(
+                        "redispatch", "retry", cause=type(exc).__name__
+                    ):
+                        self._redispatch(submission)
+                else:
+                    self._redispatch(submission)
+
+    def _await_safe(self, submission: _Submission):
+        """Like :meth:`_await`, but returns the crash instead of raising
+        (batch mode: one poisoned dispatch must not fail its siblings)."""
+        try:
+            return self._await(submission)
+        except WorkerCrashError as crash:
+            return crash
 
     # ------------------------------------------------------------------
     def warm_up(self, timeout: float = 60.0) -> list[str]:
@@ -105,13 +308,28 @@ class WorkerPool:
         """
         with multiprocessing.Manager() as manager:
             barrier = manager.Barrier(self.workers)
+            with self._lock:
+                executor = self._executor
             futures = [
-                self._executor.submit(ping, barrier, timeout)
+                executor.submit(ping, barrier, timeout)
                 for _ in range(self.workers)
             ]
             return [future.result() for future in futures]
 
     # ------------------------------------------------------------------
+    def _submit_request(
+        self,
+        request: OptimizationRequest,
+        deadline_epoch: float | None,
+        trace_ctx: TraceContext | None,
+    ) -> _Submission:
+        fault = self.chaos.draw_dispatch() if self.chaos is not None else None
+        return self._submit(
+            execute_request,
+            (request, deadline_epoch, trace_ctx, fault),
+            (request, deadline_epoch, trace_ctx, None),
+        )
+
     def execute_one(
         self,
         request: OptimizationRequest,
@@ -125,10 +343,11 @@ class WorkerPool:
         :meth:`OptimizerService.submit` routes cache misses here under
         the process backend. ``trace_ctx`` parents the worker's spans
         under the caller's span; they ship back in the third slot.
+        Supervised: survives one worker death / hang per dispatch.
         """
-        return self._executor.submit(
-            execute_request, request, deadline_epoch, trace_ctx
-        ).result()
+        return self._await(
+            self._submit_request(request, deadline_epoch, trace_ctx)
+        )
 
     def execute_many(
         self,
@@ -138,6 +357,7 @@ class WorkerPool:
         shard_by_fingerprint: bool = False,
         default_config: OptimizerConfig | None = None,
         trace_ctx: TraceContext | None = None,
+        on_crash: str = "raise",
     ) -> list[tuple[OptimizationResult, RequestMetrics, list[Span]]]:
         """Execute a batch on the pool; results keep the input order.
 
@@ -149,7 +369,22 @@ class WorkerPool:
         when the batch has no repeats. ``trace_ctx`` (when the caller
         is tracing) parents every request's worker-side spans under the
         caller's span; they ship back per request in the third slot.
+
+        Supervised like :meth:`execute_one`: everything submits up
+        front (full parallelism), and each dispatch independently
+        survives one infrastructure failure — a single worker death
+        mid-batch costs one respawn plus re-dispatches of the
+        not-yet-finished tasks, not the batch. ``on_crash="return"``
+        replaces unsalvageable dispatches' outputs with their
+        :class:`WorkerCrashError` (every shipped position of a crashed
+        shard group) instead of raising, so the caller can recover the
+        rest of the batch.
         """
+        if on_crash not in ("raise", "return"):
+            raise ValueError(
+                f"on_crash must be 'raise' or 'return', got {on_crash!r}"
+            )
+        gather = self._await if on_crash == "raise" else self._await_safe
         requests = list(requests)
         if deadline_epochs is None:
             deadline_epochs = [None] * len(requests)
@@ -161,37 +396,74 @@ class WorkerPool:
         if shard_by_fingerprint:
             planner = ShardPlanner(num_shards=self.workers)
             groups = planner.partition_requests(requests, default_config)
-            futures = [
-                self._executor.submit(
-                    execute_request_group,
-                    tuple(requests[position] for position in group),
-                    tuple(deadline_epochs[position] for position in group),
-                    trace_ctx,
+            submissions = []
+            for group in groups:
+                fault = (
+                    self.chaos.draw_dispatch()
+                    if self.chaos is not None
+                    else None
                 )
-                for group in groups
-            ]
+                grouped_requests = tuple(
+                    requests[position] for position in group
+                )
+                grouped_epochs = tuple(
+                    deadline_epochs[position] for position in group
+                )
+                submissions.append(
+                    self._submit(
+                        execute_request_group,
+                        (grouped_requests, grouped_epochs, trace_ctx, fault),
+                        (grouped_requests, grouped_epochs, trace_ctx, None),
+                    )
+                )
             outputs: list = [None] * len(requests)
-            for group, future in zip(groups, futures):
-                for position, output in zip(group, future.result()):
-                    outputs[position] = output
+            for group, submission in zip(groups, submissions):
+                gathered = gather(submission)
+                if isinstance(gathered, WorkerCrashError):
+                    for position in group:
+                        outputs[position] = gathered
+                else:
+                    for position, output in zip(group, gathered):
+                        outputs[position] = output
             return outputs
-        futures = [
-            self._executor.submit(execute_request, request, epoch, trace_ctx)
+        submissions = [
+            self._submit_request(request, epoch, trace_ctx)
             for request, epoch in zip(requests, deadline_epochs)
         ]
-        return [future.result() for future in futures]
+        return [gather(submission) for submission in submissions]
 
     def execute_shards(self, tasks: list[ShardTask]) -> list[ShardOutcome]:
-        """Fan one query's shard tasks out over the workers."""
-        futures = [
-            self._executor.submit(execute_shard_task, task) for task in tasks
+        """Fan one query's shard tasks out over the workers.
+
+        Supervised (respawn + single re-dispatch per shard) but never
+        chaos-faulted — shards belong to one query, and the intra-query
+        merge contract is exercised elsewhere.
+        """
+        submissions = [
+            self._submit(execute_shard_task, (task,)) for task in tasks
         ]
-        return [future.result() for future in futures]
+        return [self._await(submission) for submission in submissions]
 
     # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Supervision counters (point-in-time, safe to serialize)."""
+        with self._lock:
+            snapshot: dict[str, object] = {
+                "workers": self.workers,
+                "generation": self._generation,
+                "respawns": self.respawns,
+                "redispatches": self.redispatches,
+                "worker_failures": self.worker_failures,
+            }
+        if self.chaos is not None:
+            snapshot["chaos"] = self.chaos.snapshot()
+        return snapshot
+
     def shutdown(self) -> None:
         """Terminate the worker processes (idempotent)."""
-        self._executor.shutdown(wait=True, cancel_futures=True)
+        with self._lock:
+            executor = self._executor
+        executor.shutdown(wait=True, cancel_futures=True)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -30,6 +30,7 @@ from repro.cost.postgres_params import CostParams
 from repro.obs.trace import Span, TraceContext, Tracer
 from repro.parallel.deadline import DeadlineScheduler
 from repro.parallel.sharding import ShardOutcome, ShardTask, execute_shard
+from repro.resilience.chaos import Fault, apply_fault
 
 
 @dataclass(frozen=True)
@@ -109,6 +110,7 @@ def execute_request(
     request: OptimizationRequest,
     deadline_epoch: float | None = None,
     trace_ctx: TraceContext | None = None,
+    fault: Fault | None = None,
 ) -> tuple[OptimizationResult, RequestMetrics, list[Span]]:
     """Execute one request on this worker's warm service.
 
@@ -123,7 +125,14 @@ def execute_request(
     spans under the caller's span; the finished spans ship back pickled
     in the third tuple slot for the parent to ingest. Without a
     context, tracing stays off — the default, zero-overhead path.
+
+    ``fault`` is a chaos injection drawn in the parent: applied before
+    any real work so a ``kill`` dies without side effects (the pool's
+    supervisor strips faults when it re-dispatches).
     """
+    poison = apply_fault(fault)
+    if poison is not None:
+        return poison  # unpicklable: the 'pickle' fault firing
     service = _service()
     captured: list[RequestMetrics] = []
     capture = captured.append
@@ -149,12 +158,18 @@ def execute_request_group(
     requests: tuple[OptimizationRequest, ...],
     deadline_epochs: tuple[float | None, ...],
     trace_ctx: TraceContext | None = None,
+    fault: Fault | None = None,
 ) -> list[tuple[OptimizationResult, RequestMetrics, list[Span]]]:
     """Execute a fingerprint-sharded group sequentially on one worker.
 
     Sequential execution is the point: repeats within the group hit this
-    worker's plan cache instead of racing each other.
+    worker's plan cache instead of racing each other. A chaos ``fault``
+    fires once, at group entry — one drawn fault per dispatch, same as
+    the unsharded path.
     """
+    poison = apply_fault(fault)
+    if poison is not None:
+        return poison  # unpicklable: the 'pickle' fault firing
     return [
         execute_request(request, epoch, trace_ctx)
         for request, epoch in zip(requests, deadline_epochs)

@@ -169,6 +169,7 @@ def result_to_dict(result: "OptimizationResult") -> dict[str, Any]:
             "iterations": result.iterations,
             "timed_out": result.timed_out,
             "deadline_hit": result.deadline_hit,
+            "degraded": result.degraded,
             "phase_ms": dict(result.phase_ms),
         },
     }
@@ -223,6 +224,7 @@ def result_from_dict(payload: dict[str, Any]) -> "OptimizationResult":
             iterations=metrics["iterations"],
             alpha=payload["alpha"],
             deadline_hit=metrics.get("deadline_hit", False),
+            degraded=metrics.get("degraded", False),
             phase_ms={
                 str(phase): float(value)
                 for phase, value in (metrics.get("phase_ms") or {}).items()

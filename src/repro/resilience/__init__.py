@@ -1,0 +1,48 @@
+"""Failure handling for the serving → service → process-pool stack.
+
+Three cooperating pieces, each usable alone:
+
+* :mod:`repro.resilience.policy` — immutable retry/backoff policies
+  (jittered exponential, deadline-aware) shared by the service dispatch
+  path and the HTTP client.
+* :mod:`repro.resilience.breaker` — the backend degradation ladder:
+  a circuit breaker stepping ``processes`` → ``threads`` → ``inline``
+  under repeated infrastructure failures, with half-open probes back.
+* :mod:`repro.resilience.chaos` — deterministic, seedable fault
+  injection (worker SIGKILL, slow worker, executor exception, pickling
+  failure, socket drop) behind the ``REPRO_CHAOS`` env flag; zero
+  overhead when disabled.
+"""
+
+from repro.resilience.breaker import BreakerDecision, CircuitBreaker
+from repro.resilience.chaos import (
+    CHAOS_ENV_VAR,
+    ChaosConfig,
+    ChaosError,
+    ChaosInjector,
+    Fault,
+    apply_fault,
+    chaos_from_env,
+    parse_chaos_spec,
+)
+from repro.resilience.policy import (
+    CLIENT_RETRY_POLICY,
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+)
+
+__all__ = [
+    "BreakerDecision",
+    "CircuitBreaker",
+    "CHAOS_ENV_VAR",
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosInjector",
+    "Fault",
+    "apply_fault",
+    "chaos_from_env",
+    "parse_chaos_spec",
+    "CLIENT_RETRY_POLICY",
+    "DEFAULT_RETRY_POLICY",
+    "RetryPolicy",
+]

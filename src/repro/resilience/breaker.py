@@ -1,0 +1,205 @@
+"""Circuit breaker implementing the backend degradation ladder.
+
+The paper's anytime algorithms degrade *within* a run; this breaker
+degrades *across* runs: when worker processes keep failing, the
+:class:`~repro.core.service.OptimizerService` steps down a ladder of
+ever-more-conservative backends — ``processes`` (real parallelism, real
+failure modes) → ``threads`` (GIL-bound but crash-isolated from worker
+death) → ``inline`` (nothing left to break but the interpreter itself).
+
+State machine, per ladder level:
+
+* **closed** (level 0, healthy): every request runs on the preferred
+  backend; consecutive infrastructure failures count up.
+* **open** (level > 0): requests run on the degraded backend. After
+  ``cooldown_s`` the breaker goes **half-open**: it hands out exactly
+  one *probe* at the next-healthier level. A successful probe recovers
+  one level; a failed probe restarts the cooldown, and
+  ``failure_threshold`` consecutive failed probes push one level
+  further down (that is how ``threads`` eventually yields to
+  ``inline`` even though thread backends cannot crash workers).
+
+The breaker is thread-safe (service dispatch happens on executor
+threads) and clock-injectable so tests drive the cooldown without
+sleeping. Only *infrastructure* failures feed it — worker crashes,
+heartbeat timeouts, broken pools — never optimizer results: a timeout
+or a deadline miss is the paper's expected behavior, not a fault.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+__all__ = ["CircuitBreaker", "BreakerDecision"]
+
+
+class BreakerDecision:
+    """What the breaker told one dispatch to do (pass back on outcome)."""
+
+    __slots__ = ("level", "backend", "probe")
+
+    def __init__(self, level: int, backend: str, probe: bool) -> None:
+        self.level = level
+        self.backend = backend
+        self.probe = probe
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BreakerDecision(level={self.level}, "
+            f"backend={self.backend!r}, probe={self.probe})"
+        )
+
+
+class CircuitBreaker:
+    """Degradation ladder with half-open probing.
+
+    ``ladder`` orders backends healthiest-first; ``level`` indexes the
+    rung requests currently run on. ``failure_threshold`` consecutive
+    failures at the current level trip one rung down; a successful
+    probe recovers one rung up.
+    """
+
+    def __init__(
+        self,
+        ladder: Sequence[str] = ("processes", "threads", "inline"),
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        time_source: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not ladder:
+            raise ValueError("ladder must name at least one backend")
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.ladder = tuple(ladder)
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._now = time_source
+        self._lock = threading.Lock()
+        self._level = 0
+        self._failures = 0
+        self._probe_failures = 0
+        self._opened_at: float | None = None
+        self._probe_outstanding = False
+        #: Lifetime trip / recovery counters (for metrics snapshots).
+        self.trips = 0
+        self.recoveries = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    @property
+    def backend(self) -> str:
+        """Backend of the current ladder level."""
+        with self._lock:
+            return self.ladder[self._level]
+
+    @property
+    def tripped(self) -> bool:
+        with self._lock:
+            return self._level > 0
+
+    # ------------------------------------------------------------------
+    def decide(self) -> BreakerDecision:
+        """Choose the backend for one dispatch.
+
+        Healthy (level 0) always runs the preferred backend. Degraded
+        levels run their rung's backend — except that once per elapsed
+        cooldown, one caller receives a half-open *probe* at the
+        next-healthier level. The caller must report the outcome via
+        :meth:`record_success` / :meth:`record_failure` with the same
+        decision so the probe slot is released.
+        """
+        with self._lock:
+            if (
+                self._level > 0
+                and not self._probe_outstanding
+                and self._opened_at is not None
+                and self._now() - self._opened_at >= self.cooldown_s
+            ):
+                self._probe_outstanding = True
+                probe_level = self._level - 1
+                return BreakerDecision(
+                    probe_level, self.ladder[probe_level], True
+                )
+            return BreakerDecision(
+                self._level, self.ladder[self._level], False
+            )
+
+    def record_success(self, decision: BreakerDecision) -> bool:
+        """Report a successful dispatch; returns True on recovery."""
+        with self._lock:
+            if decision.probe:
+                self._probe_outstanding = False
+                if decision.level < self._level:
+                    self._level = decision.level
+                    self.recoveries += 1
+                    self._failures = 0
+                    self._probe_failures = 0
+                    self._opened_at = (
+                        self._now() if self._level > 0 else None
+                    )
+                    return True
+                return False
+            if decision.level == self._level:
+                self._failures = 0
+            return False
+
+    def record_failure(self, decision: BreakerDecision) -> bool:
+        """Report an infrastructure failure; returns True if it tripped."""
+        with self._lock:
+            if decision.probe:
+                self._probe_outstanding = False
+                self._probe_failures += 1
+                self._opened_at = self._now()  # restart the cooldown
+                if (
+                    self._probe_failures >= self.failure_threshold
+                    and self._level < len(self.ladder) - 1
+                ):
+                    self._level += 1
+                    self.trips += 1
+                    self._probe_failures = 0
+                    return True
+                return False
+            if decision.level != self._level:
+                return False  # stale report from before a transition
+            self._failures += 1
+            if (
+                self._failures >= self.failure_threshold
+                and self._level < len(self.ladder) - 1
+            ):
+                self._level += 1
+                self.trips += 1
+                self._failures = 0
+                self._probe_failures = 0
+                self._opened_at = self._now()
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Point-in-time state (safe to serialize)."""
+        with self._lock:
+            if self._level == 0:
+                state = "closed"
+            elif self._probe_outstanding:
+                state = "half_open"
+            else:
+                state = "open"
+            return {
+                "state": state,
+                "level": self._level,
+                "backend": self.ladder[self._level],
+                "consecutive_failures": self._failures,
+                "trips": self.trips,
+                "recoveries": self.recoveries,
+            }

@@ -1,0 +1,301 @@
+"""Deterministic fault injection for the serving → service → pool stack.
+
+Every recovery path in :mod:`repro.resilience` is only as trustworthy
+as the failures it has actually survived, so this module makes the
+failures reproducible: a :class:`ChaosInjector` draws faults from a
+seeded RNG — the same seed replays the same fault sequence — and each
+fault is applied at a specific seam:
+
+========  =============================================================
+kind      effect
+========  =============================================================
+kill      worker process SIGKILLs itself at task start (worker death —
+          breaks the whole ``ProcessPoolExecutor``, the worst case)
+slow      worker sleeps ``slow_seconds`` before working (stuck worker —
+          what per-dispatch heartbeat timeouts exist to catch)
+error     worker raises :class:`ChaosError` (executor exception)
+pickle    worker returns an object whose pickling fails (result never
+          reaches the parent; surfaces as ``PicklingError``)
+drop      serving layer aborts the client socket before the response
+          (connection reset mid-exchange — what client retries handle)
+========  =============================================================
+
+Zero overhead when disabled: owners hold ``None`` instead of an
+injector, so the production path pays one ``is None`` check and draws
+nothing. Enablement is explicit (constructor argument) or environmental
+(:func:`chaos_from_env`, the ``REPRO_CHAOS`` variable) — never default.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass, fields
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosInjector",
+    "Fault",
+    "apply_fault",
+    "chaos_from_env",
+    "CHAOS_ENV_VAR",
+]
+
+#: Environment variable read by :func:`chaos_from_env`, e.g.
+#: ``REPRO_CHAOS="kill=0.2,seed=7,max=10"``.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Fault kinds drawn at pool dispatch (in draw priority order).
+DISPATCH_FAULTS = ("kill", "slow", "error", "pickle")
+
+
+class ChaosError(ReproError):
+    """Injected executor exception (a transient infrastructure fault)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault decision, drawn in the parent, applied where it bites.
+
+    Picklable by design: dispatch faults travel to the worker process
+    inside the task arguments.
+    """
+
+    kind: str
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Injection probabilities (all default 0 = nothing ever fires).
+
+    Probabilities are per *decision point*: each pool dispatch draws one
+    dispatch fault (kill/slow/error/pickle share a single uniform draw,
+    so their probabilities may sum to at most 1), each served response
+    draws the socket drop independently. ``max_faults`` caps the total
+    number of injected faults — the knob for "exactly one worker death"
+    style tests.
+    """
+
+    seed: int = 0
+    kill_prob: float = 0.0
+    slow_prob: float = 0.0
+    slow_seconds: float = 0.25
+    error_prob: float = 0.0
+    pickle_prob: float = 0.0
+    drop_prob: float = 0.0
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("kill_prob", "slow_prob", "error_prob",
+                     "pickle_prob", "drop_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        dispatch_total = (
+            self.kill_prob + self.slow_prob
+            + self.error_prob + self.pickle_prob
+        )
+        if dispatch_total > 1.0:
+            raise ValueError(
+                "dispatch fault probabilities must sum to <= 1, got "
+                f"{dispatch_total}"
+            )
+        if self.slow_seconds < 0:
+            raise ValueError(
+                f"slow_seconds must be >= 0, got {self.slow_seconds}"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError(
+                f"max_faults must be >= 0, got {self.max_faults}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can ever fire under this config."""
+        if self.max_faults == 0:
+            return False
+        return any(
+            getattr(self, name) > 0.0
+            for name in ("kill_prob", "slow_prob", "error_prob",
+                         "pickle_prob", "drop_prob")
+        )
+
+
+class ChaosInjector:
+    """Seeded fault source; one per process, shared across dispatches.
+
+    Thread-safe: the serving layer dispatches from executor threads, so
+    draws serialize on a lock. Determinism is per-injector — a fixed
+    seed and a fixed sequence of draw calls reproduce the same faults.
+    """
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._lock = threading.Lock()
+        self._injected = 0
+        self.injected_by_kind: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _budget_left(self) -> bool:
+        return (
+            self.config.max_faults is None
+            or self._injected < self.config.max_faults
+        )
+
+    def _record(self, kind: str) -> None:
+        self._injected += 1
+        self.injected_by_kind[kind] = (
+            self.injected_by_kind.get(kind, 0) + 1
+        )
+
+    def draw_dispatch(self) -> Fault | None:
+        """One fault decision for a pool dispatch (or ``None``)."""
+        config = self.config
+        with self._lock:
+            if not self._budget_left():
+                return None
+            roll = self._rng.random()
+            threshold = 0.0
+            for kind, probability in (
+                ("kill", config.kill_prob),
+                ("slow", config.slow_prob),
+                ("error", config.error_prob),
+                ("pickle", config.pickle_prob),
+            ):
+                threshold += probability
+                if probability > 0.0 and roll < threshold:
+                    self._record(kind)
+                    return Fault(kind, config.slow_seconds)
+            return None
+
+    def draw_drop(self) -> bool:
+        """Whether to abort the client socket for this response."""
+        with self._lock:
+            if self.config.drop_prob <= 0.0 or not self._budget_left():
+                return False
+            if self._rng.random() < self.config.drop_prob:
+                self._record("drop")
+                return True
+            return False
+
+    # ------------------------------------------------------------------
+    @property
+    def injected(self) -> int:
+        with self._lock:
+            return self._injected
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "seed": self.config.seed,
+                "injected": self._injected,
+                "by_kind": dict(self.injected_by_kind),
+            }
+
+
+# ----------------------------------------------------------------------
+# Worker-side fault application
+# ----------------------------------------------------------------------
+class _Unpicklable:
+    """A result whose pickling fails — the 'pickle' fault payload."""
+
+    def __reduce__(self):
+        raise pickle.PicklingError(
+            "chaos: injected unpicklable worker result"
+        )
+
+
+def apply_fault(fault: Fault | None):
+    """Apply a dispatch fault inside the worker process.
+
+    Returns ``None`` for no fault (or the survivable ``slow`` fault,
+    which sleeps and lets the task proceed); returns a poison object
+    for ``pickle`` (the caller must return it verbatim so the result
+    pickling fails); never returns for ``kill`` and ``error``.
+    """
+    if fault is None:
+        return None
+    if fault.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if fault.kind == "slow":
+        time.sleep(fault.seconds)
+        return None
+    if fault.kind == "error":
+        raise ChaosError("chaos: injected executor exception")
+    if fault.kind == "pickle":
+        return _Unpicklable()
+    raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Environment gating
+# ----------------------------------------------------------------------
+#: REPRO_CHAOS key -> ChaosConfig field (probabilities accept the short
+#: fault name; everything else uses the field name).
+_ENV_KEYS = {
+    "kill": "kill_prob",
+    "slow": "slow_prob",
+    "error": "error_prob",
+    "pickle": "pickle_prob",
+    "drop": "drop_prob",
+    "max": "max_faults",
+    **{f.name: f.name for f in fields(ChaosConfig)},
+}
+
+_INT_FIELDS = {"seed", "max_faults"}
+
+
+def parse_chaos_spec(spec: str) -> ChaosConfig:
+    """Parse a ``key=value,...`` chaos spec (the ``REPRO_CHAOS`` format).
+
+    Keys are the short fault names (``kill=0.2``) or ``ChaosConfig``
+    field names (``slow_seconds=0.5``, ``seed=7``, ``max=10``). Raises
+    ``ValueError`` on unknown keys or malformed values.
+    """
+    values: dict[str, object] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, separator, raw = part.partition("=")
+        key = key.strip().lower()
+        if not separator:
+            raise ValueError(
+                f"malformed chaos spec entry {part!r}; expected key=value"
+            )
+        field_name = _ENV_KEYS.get(key)
+        if field_name is None:
+            raise ValueError(
+                f"unknown chaos spec key {key!r}; known: "
+                f"{sorted(set(_ENV_KEYS))}"
+            )
+        values[field_name] = (
+            int(raw) if field_name in _INT_FIELDS else float(raw)
+        )
+    return ChaosConfig(**values)  # type: ignore[arg-type]
+
+
+def chaos_from_env(environ=None) -> ChaosInjector | None:
+    """Build an injector from ``REPRO_CHAOS``, or ``None`` when unset.
+
+    An empty value (or one whose probabilities are all zero) also
+    yields ``None`` so the production path keeps its single
+    ``is None`` check as the only cost.
+    """
+    environ = environ if environ is not None else os.environ
+    spec = environ.get(CHAOS_ENV_VAR, "").strip()
+    if not spec:
+        return None
+    config = parse_chaos_spec(spec)
+    if not config.enabled:
+        return None
+    return ChaosInjector(config)

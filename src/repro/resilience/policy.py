@@ -1,0 +1,122 @@
+"""Retry/backoff policy objects shared by the service and the client.
+
+A :class:`RetryPolicy` answers one question — "may I try again, and
+after how long?" — as a pure function of the attempt number, the
+request's remaining deadline budget, and a caller-supplied random
+source. Policies are immutable and picklable; randomness never hides
+inside them, so replaying a seeded ``random.Random`` reproduces the
+exact delay sequence (the property the chaos tests lean on).
+
+Deadline awareness is the contract that makes retries safe under the
+:class:`~repro.parallel.deadline.DeadlineScheduler`: a retry's backoff
+sleep never exceeds the budget the request has left, and once less than
+``min_remaining_s`` remains the policy refuses further attempts —
+better to hand the caller the degraded fallback while there is still
+time to compute it than to burn the last of the budget sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY", "CLIENT_RETRY_POLICY"]
+
+#: Shared fallback RNG for callers that do not inject one. Module-level
+#: so policies stay stateless/picklable.
+_DEFAULT_RNG = random.Random()
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff with a deadline ceiling.
+
+    ``max_attempts`` counts *total* tries, so ``max_attempts=3`` allows
+    two retries after the first failure. Delay for retry ``n`` (1-based)
+    is ``base_delay_s * multiplier**(n-1)`` capped at ``max_delay_s``,
+    then jittered down by up to ``jitter`` (full jitter keeps retry
+    storms from re-synchronizing: each client backs off a different
+    amount). A ``remaining_s`` budget clamps the delay so the sleep can
+    never outlive the request's deadline.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    #: Below this much remaining budget a retry is pointless — the
+    #: attempt itself needs time, not just the backoff sleep.
+    min_remaining_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    # ------------------------------------------------------------------
+    def backoff_s(
+        self, retry_number: int, rng: random.Random | None = None
+    ) -> float:
+        """Jittered backoff (seconds) before retry ``retry_number`` (1-based)."""
+        if retry_number < 1:
+            raise ValueError(
+                f"retry_number must be >= 1, got {retry_number}"
+            )
+        delay = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** (retry_number - 1),
+        )
+        if self.jitter > 0.0 and delay > 0.0:
+            rng = rng if rng is not None else _DEFAULT_RNG
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def next_delay(
+        self,
+        retry_number: int,
+        *,
+        remaining_s: float | None = None,
+        rng: random.Random | None = None,
+    ) -> float | None:
+        """Backoff before retry ``retry_number``, or ``None`` for "stop".
+
+        ``None`` means the retry budget is exhausted — either the
+        attempt count ran out (``retry_number`` would exceed
+        ``max_attempts - 1`` retries) or the request's remaining
+        deadline budget (``remaining_s``, seconds) is too small to be
+        worth another attempt. Otherwise the returned delay is clamped
+        so sleeping it cannot exceed the remaining budget.
+        """
+        if retry_number >= self.max_attempts:
+            return None
+        delay = self.backoff_s(retry_number, rng)
+        if remaining_s is not None:
+            if remaining_s <= self.min_remaining_s:
+                return None
+            # Leave at least min_remaining_s of budget after the sleep.
+            delay = min(delay, max(0.0, remaining_s - self.min_remaining_s))
+        return delay
+
+
+#: Service-side default: one backoff'd retry after the pool's own
+#: immediate re-dispatch, short delays — a server must fail fast into
+#: the degraded fallback rather than stall the admission queue.
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=2, base_delay_s=0.02, max_delay_s=0.25
+)
+
+#: Client-side default for opt-in HTTP retries: more patient, since a
+#: remote server restart takes longer than a worker respawn.
+CLIENT_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, base_delay_s=0.1, max_delay_s=2.0
+)

@@ -11,6 +11,14 @@ Two flavors, both stdlib-only:
 
 Both return the raw response body alongside the parsed envelope so
 callers can assert bitwise equality of coalesced responses.
+
+Retries are opt-in: pass ``retry=CLIENT_RETRY_POLICY`` (or any
+:class:`~repro.resilience.policy.RetryPolicy`) to :func:`post_optimize`
+or :meth:`AsyncHttpClient.optimize` and the client re-sends on
+connection resets, timeouts and mid-response drops with jittered
+exponential backoff, and honors the server's ``Retry-After`` header on
+a 429 shed. ``POST /optimize`` is idempotent (same fingerprint → same
+plan, coalesced server-side), which is what makes blind re-send safe.
 """
 
 from __future__ import annotations
@@ -18,9 +26,34 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+import time
 from typing import Any
 
+from repro.resilience.policy import CLIENT_RETRY_POLICY, RetryPolicy
 from repro.serving.protocol import ProtocolError, ServerResponse
+
+__all__ = [
+    "CLIENT_RETRY_POLICY",
+    "AsyncHttpClient",
+    "get_metrics",
+    "get_metrics_text",
+    "http_request",
+    "post_optimize",
+]
+
+#: Failures worth re-sending an idempotent request over: the TCP
+#: connection died (reset/refused/broken pipe), the socket timed out,
+#: or the server dropped the connection mid-response (which surfaces
+#: as :class:`ProtocolError`/``IncompleteReadError`` from the parser).
+#: ``socket.timeout`` is an alias of ``TimeoutError`` since 3.10 but is
+#: kept for clarity.
+_RETRYABLE_EXCEPTIONS = (
+    ConnectionError,
+    TimeoutError,
+    socket.timeout,
+    ProtocolError,
+    asyncio.IncompleteReadError,
+)
 
 
 def _build_request(
@@ -56,9 +89,65 @@ def _parse_status_line(line: bytes) -> int:
         ) from error
 
 
+def _parse_header_line(line: bytes, headers: dict[str, str]) -> None:
+    name, _, value = line.decode("latin-1").partition(":")
+    headers[name.strip().lower()] = value.strip()
+
+
+def _retry_after_delay(
+    headers: dict[str, str], fallback: float
+) -> float:
+    """Server-requested pause before re-sending a shed request.
+
+    Honors a parseable non-negative ``Retry-After`` (delta-seconds
+    form); anything else — absent, HTTP-date form, garbage — falls
+    back to the policy's own backoff delay.
+    """
+    raw = headers.get("retry-after")
+    if raw is None:
+        return fallback
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return fallback
+    return seconds if seconds >= 0.0 else fallback
+
+
 # ----------------------------------------------------------------------
 # Blocking client
 # ----------------------------------------------------------------------
+def _exchange(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Any | None,
+    *,
+    timeout: float,
+    headers: dict[str, str] | None,
+) -> tuple[int, dict[str, str], bytes]:
+    """One blocking exchange; returns (status, response headers, body)."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(
+            _build_request(method, path, payload, close=True, headers=headers)
+        )
+        reader = sock.makefile("rb")
+        status = _parse_status_line(reader.readline())
+        response_headers: dict[str, str] = {}
+        while True:
+            line = reader.readline()
+            if not line:
+                raise ProtocolError("connection closed inside headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            _parse_header_line(line, response_headers)
+        length = int(response_headers.get("content-length", "0"))
+        body = reader.read(length)
+        if len(body) < length:
+            raise ProtocolError("connection closed inside body")
+        return status, response_headers, body
+
+
 def http_request(
     host: str,
     port: int,
@@ -70,24 +159,10 @@ def http_request(
     headers: dict[str, str] | None = None,
 ) -> tuple[int, bytes]:
     """One blocking HTTP exchange; returns (status, body bytes)."""
-    with socket.create_connection((host, port), timeout=timeout) as sock:
-        sock.sendall(
-            _build_request(method, path, payload, close=True, headers=headers)
-        )
-        reader = sock.makefile("rb")
-        status = _parse_status_line(reader.readline())
-        length = 0
-        while True:
-            line = reader.readline()
-            if not line:
-                raise ProtocolError("connection closed inside headers")
-            if line in (b"\r\n", b"\n"):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
-        body = reader.read(length)
-        return status, body
+    status, _headers, body = _exchange(
+        host, port, method, path, payload, timeout=timeout, headers=headers
+    )
+    return status, body
 
 
 def post_optimize(
@@ -96,12 +171,42 @@ def post_optimize(
     request_payload: dict[str, Any],
     *,
     timeout: float = 30.0,
+    retry: RetryPolicy | None = None,
+    rng=None,
 ) -> tuple[ServerResponse, bytes]:
-    """POST one optimize request; returns (envelope, raw body)."""
-    _status, body = http_request(
-        host, port, "POST", "/optimize", request_payload, timeout=timeout
-    )
-    return ServerResponse.from_json(body), body
+    """POST one optimize request; returns (envelope, raw body).
+
+    With ``retry`` set, connection failures re-send with jittered
+    backoff and a 429 shed waits out the server's ``Retry-After``
+    before re-sending; once attempts (or the policy's patience) run
+    out, the last failure propagates — the final 429 envelope for a
+    shed, the last exception for a connection failure.
+    """
+    failures = 0
+    while True:
+        try:
+            status, response_headers, body = _exchange(
+                host, port, "POST", "/optimize", request_payload,
+                timeout=timeout, headers=None,
+            )
+        except _RETRYABLE_EXCEPTIONS:
+            failures += 1
+            delay = (
+                retry.next_delay(failures, rng=rng)
+                if retry is not None
+                else None
+            )
+            if delay is None:
+                raise
+            time.sleep(delay)
+            continue
+        if status == 429 and retry is not None:
+            failures += 1
+            delay = retry.next_delay(failures, rng=rng)
+            if delay is not None:
+                time.sleep(_retry_after_delay(response_headers, delay))
+                continue
+        return ServerResponse.from_json(body), body
 
 
 def get_metrics(
@@ -166,10 +271,10 @@ class AsyncHttpClient:
         await self.close()
 
     # ------------------------------------------------------------------
-    async def request(
-        self, method: str, path: str, payload: Any | None = None
-    ) -> tuple[int, bytes]:
-        """One HTTP exchange on the keep-alive connection."""
+    async def _exchange(
+        self, method: str, path: str, payload: Any | None
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One exchange; returns (status, response headers, body)."""
         if self._reader is None or self._writer is None:
             await self.connect()
         assert self._reader is not None and self._writer is not None
@@ -178,29 +283,69 @@ class AsyncHttpClient:
         )
         await self._writer.drain()
         status = _parse_status_line(await self._reader.readline())
-        length = 0
+        response_headers: dict[str, str] = {}
         while True:
             line = await self._reader.readline()
             if not line:
                 raise ProtocolError("connection closed inside headers")
             if line in (b"\r\n", b"\n"):
                 break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
+            _parse_header_line(line, response_headers)
+        length = int(response_headers.get("content-length", "0"))
         body = (
             await self._reader.readexactly(length) if length else b""
+        )
+        return status, response_headers, body
+
+    async def request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, bytes]:
+        """One HTTP exchange on the keep-alive connection."""
+        status, _headers, body = await self._exchange(
+            method, path, payload
         )
         return status, body
 
     async def optimize(
-        self, request_payload: dict[str, Any]
+        self,
+        request_payload: dict[str, Any],
+        *,
+        retry: RetryPolicy | None = None,
+        rng=None,
     ) -> tuple[ServerResponse, bytes]:
-        """POST one optimize request; returns (envelope, raw body)."""
-        _status, body = await self.request(
-            "POST", "/optimize", request_payload
-        )
-        return ServerResponse.from_json(body), body
+        """POST one optimize request; returns (envelope, raw body).
+
+        Same retry semantics as :func:`post_optimize`; a connection
+        failure additionally tears the keep-alive connection down so
+        the next attempt reconnects fresh.
+        """
+        failures = 0
+        while True:
+            try:
+                status, response_headers, body = await self._exchange(
+                    "POST", "/optimize", request_payload
+                )
+            except _RETRYABLE_EXCEPTIONS:
+                await self.close()
+                failures += 1
+                delay = (
+                    retry.next_delay(failures, rng=rng)
+                    if retry is not None
+                    else None
+                )
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
+                continue
+            if status == 429 and retry is not None:
+                failures += 1
+                delay = retry.next_delay(failures, rng=rng)
+                if delay is not None:
+                    await asyncio.sleep(
+                        _retry_after_delay(response_headers, delay)
+                    )
+                    continue
+            return ServerResponse.from_json(body), body
 
     async def metrics(self) -> dict[str, Any]:
         _status, body = await self.request("GET", "/metrics")

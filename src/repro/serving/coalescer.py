@@ -72,15 +72,32 @@ class RequestCoalescer:
         if future is not None and not future.done():
             future.set_result(result)
 
-    def fail(self, fingerprint: str, error: BaseException) -> None:
+    def fail(
+        self,
+        fingerprint: str,
+        error: BaseException,
+        *,
+        expected: asyncio.Future | None = None,
+    ) -> None:
         """Deliver the leader's failure to every waiter and deregister.
 
         Cancellation of the detached leader task (server shutdown) is
         forwarded as future cancellation so followers observe
         ``CancelledError`` rather than hanging forever.
+
+        ``expected`` restricts the failure to one specific registered
+        future: when the in-flight entry is a *different* future the
+        call is a no-op. Safety-net callers (a leader task's
+        done-callback) must pass the future their task owned — between
+        the leader resolving and its callback running, a new leader for
+        the same fingerprint may already have registered, and failing
+        *that* future would poison unrelated work.
         """
-        future = self._inflight.pop(fingerprint, None)
-        if future is None or future.done():
+        future = self._inflight.get(fingerprint)
+        if future is None or (expected is not None and future is not expected):
+            return
+        del self._inflight[fingerprint]
+        if future.done():
             return
         if isinstance(error, asyncio.CancelledError):
             future.cancel()

@@ -42,6 +42,8 @@ class ServingMetrics:
         self.sheds = 0
         self.deadline_sheds = 0
         self.protocol_errors = 0
+        self.drain_rejects = 0
+        self.drops = 0
 
     # ------------------------------------------------------------------
     def record_connection(self) -> None:
@@ -91,6 +93,16 @@ class ServingMetrics:
         with self._lock:
             self.protocol_errors += 1
 
+    def record_drain_reject(self) -> None:
+        """One optimize request refused because the server is draining."""
+        with self._lock:
+            self.drain_rejects += 1
+
+    def record_drop(self) -> None:
+        """One response deliberately dropped by the chaos harness."""
+        with self._lock:
+            self.drops += 1
+
     # ------------------------------------------------------------------
     @property
     def coalesce_hit_rate(self) -> float:
@@ -111,6 +123,8 @@ class ServingMetrics:
                 "sheds": self.sheds,
                 "deadline_sheds": self.deadline_sheds,
                 "protocol_errors": self.protocol_errors,
+                "drain_rejects": self.drain_rejects,
+                "drops": self.drops,
             }
             # Read inside the lock, matching record_response, so the
             # histogram count always equals the response-code totals.

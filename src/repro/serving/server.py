@@ -73,6 +73,7 @@ from repro.serving.protocol import (
     CODE_INTERNAL,
     CODE_NOT_FOUND,
     CODE_OK,
+    CODE_UNAVAILABLE,
     ServerResponse,
     deadline_expired_response,
     parse_optimize_body,
@@ -157,6 +158,10 @@ class AsyncOptimizerServer:
         self._connection_tasks: set[asyncio.Task] = set()
         self._connection_writers: set[asyncio.StreamWriter] = set()
         self._stopping = False
+        # The service's fault injector (None unless chaos is enabled);
+        # the server borrows it for response-drop faults so one REPRO_CHAOS
+        # spec exercises the whole stack.
+        self._chaos = getattr(service, "chaos", None)
 
     # ------------------------------------------------------------------
     @property
@@ -184,21 +189,41 @@ class AsyncOptimizerServer:
         self._started_epoch = time.time()
         return self.address
 
-    async def stop(self) -> None:
+    async def stop(self, *, drain_timeout: float | None = None) -> bool:
         """Stop accepting, drain in-flight leaders, release resources.
 
         Idempotent: callable any number of times, including on a server
-        that never started.
+        that never started. With ``drain_timeout`` set, in-flight
+        leaders get that many seconds to finish; stragglers are then
+        cancelled (their followers observe the cancellation instead of
+        hanging). Returns ``True`` for a clean drain, ``False`` when
+        work had to be forced — ``repro serve`` turns that into a
+        nonzero exit status.
+
+        The draining window is observable: ``GET /healthz`` reports
+        ``status: "draining"`` and new ``POST /optimize`` requests are
+        refused with a 503 ``unavailable`` envelope while existing
+        keep-alive connections stay readable for the drain.
         """
         self._stopping = True
+        clean = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         if self._leader_tasks:
-            await asyncio.gather(
-                *list(self._leader_tasks), return_exceptions=True
-            )
+            pending = list(self._leader_tasks)
+            if drain_timeout is None:
+                await asyncio.gather(*pending, return_exceptions=True)
+            else:
+                _done, late = await asyncio.wait(
+                    pending, timeout=drain_timeout
+                )
+                if late:
+                    clean = False
+                    for task in late:
+                        task.cancel()
+                    await asyncio.gather(*late, return_exceptions=True)
         # Close idle keep-alive connections so their handler tasks exit
         # on EOF instead of being cancelled at loop teardown (which is
         # noisy on 3.11 — task.exception() inside the streams callback).
@@ -211,6 +236,12 @@ class AsyncOptimizerServer:
         self._executor.shutdown(wait=True)
         if self._owns_service:
             self._service.close()
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        """Whether the server has begun shutting down."""
+        return self._stopping
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the ``repro serve`` entry point)."""
@@ -262,6 +293,20 @@ class AsyncOptimizerServer:
                     )
                     break
                 response = await self._dispatch(method, path, body, headers)
+                if (
+                    self._chaos is not None
+                    and method == "POST"
+                    and path == "/optimize"
+                    and self._chaos.draw_drop()
+                ):
+                    # Chaos 'drop': the optimization ran (and cached),
+                    # but the client never hears back — exactly the
+                    # failure the client retry policy must absorb. Only
+                    # optimize responses drop; /metrics stays reliable
+                    # so the harness can still observe the run.
+                    self.metrics.record_drop()
+                    writer.transport.abort()
+                    break
                 close = headers.get("connection", "").lower() == "close"
                 if isinstance(response, _RawResponse):
                     await self._write_raw(writer, response, close=close)
@@ -366,6 +411,14 @@ class AsyncOptimizerServer:
     ) -> "ServerResponse | _RawResponse":
         headers = headers or {}
         if method == "POST" and path == "/optimize":
+            if self._stopping:
+                # Keep-alive connections stay readable through the
+                # drain, but new work is refused so the drain converges.
+                self.metrics.record_drain_reject()
+                return ServerResponse(
+                    code=CODE_UNAVAILABLE,
+                    error="server is draining, not accepting new work",
+                )
             self.metrics.record_request()
             started = time.perf_counter()
             tracer = self._tracer
@@ -410,13 +463,17 @@ class AsyncOptimizerServer:
         )
 
     def metrics_snapshot(self) -> dict[str, object]:
-        """Combined serving/admission/coalescer/service snapshot."""
-        return {
+        """Combined serving/admission/coalescer/service/resilience snapshot."""
+        snapshot: dict[str, object] = {
             "serving": self.metrics.snapshot(),
             "admission": self.admission.snapshot(),
             "coalescer": self.coalescer.snapshot(),
             "service": self._service.metrics.snapshot(),
         }
+        resilience = getattr(self._service, "resilience_snapshot", None)
+        if callable(resilience):
+            snapshot["resilience"] = resilience()
+        return snapshot
 
     def health_snapshot(self) -> dict[str, object]:
         """Liveness payload: build/version info plus server uptime."""
@@ -430,7 +487,7 @@ class AsyncOptimizerServer:
             else 0.0
         )
         return {
-            "status": "ok",
+            "status": "draining" if self._stopping else "ok",
             "server": _SERVER_NAME,
             "version": __version__,
             "pid": os.getpid(),
@@ -495,7 +552,9 @@ class AsyncOptimizerServer:
                 self._run_leader(request, fingerprint, arrival)
             )
             self._leader_tasks.add(task)
-            task.add_done_callback(self._leader_tasks.discard)
+            task.add_done_callback(
+                partial(self._leader_done, fingerprint, future)
+            )
 
         # Followers spend their whole wait on the leader's shared
         # future — that is their coalesce phase. The leader's wait is
@@ -604,6 +663,40 @@ class AsyncOptimizerServer:
         finally:
             if queue_span is not None:
                 queue_span.finish()  # idempotent; covers the shed paths
+
+    def _leader_done(
+        self,
+        fingerprint: str,
+        future: "asyncio.Future",
+        task: asyncio.Task,
+    ) -> None:
+        """Done-callback safety net for detached leader tasks.
+
+        ``_run_leader`` resolves or fails its coalescer future on every
+        path it can reach — but a leader task can also die without ever
+        entering its ``try`` block (cancelled between creation and
+        first scheduling, e.g. during loop teardown) or after its
+        ``fail()`` call itself raised. Either way the fingerprint would
+        stay registered and every follower would await a future nobody
+        owns, forever. This callback runs unconditionally when the task
+        finishes and fails any still-inflight future; on the normal
+        path the fingerprint is already deregistered and ``fail`` is a
+        no-op. The ``expected=future`` guard pins the failure to the
+        future *this* task registered: the callback runs a loop
+        iteration after the task finishes, by which time a new leader
+        for the same fingerprint may already be in flight — its future
+        must not be touched. Retrieving ``task.exception()`` here also
+        keeps asyncio from logging "exception was never retrieved" for
+        leader crashes.
+        """
+        self._leader_tasks.discard(task)
+        if task.cancelled():
+            error: BaseException = asyncio.CancelledError()
+        else:
+            error = task.exception() or RuntimeError(
+                f"leader for {fingerprint} died without a result"
+            )
+        self.coalescer.fail(fingerprint, error, expected=future)
 
     def _traced_submit(self, request, arrival: float, context):
         """Executor-side submit with the leader's trace context restored.

@@ -1,0 +1,335 @@
+"""Unit tests for the resilience primitives: retry policy, circuit
+breaker, and the chaos fault-injection harness.
+
+Everything here is deterministic and process-free — seeded RNGs and an
+injectable clock drive every path. The end-to-end recovery behavior
+(real SIGKILLed workers, bitwise-equal re-dispatch) lives in
+``test_resilience_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.resilience import (
+    CHAOS_ENV_VAR,
+    ChaosConfig,
+    ChaosError,
+    ChaosInjector,
+    CircuitBreaker,
+    CLIENT_RETRY_POLICY,
+    DEFAULT_RETRY_POLICY,
+    Fault,
+    RetryPolicy,
+    apply_fault,
+    chaos_from_env,
+    parse_chaos_spec,
+)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.1, max_delay_s=10.0,
+            multiplier=2.0, jitter=0.0,
+        )
+        delays = [policy.backoff_s(n) for n in (1, 2, 3, 4)]
+        assert delays == [0.1, 0.2, 0.4, 0.8]
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            max_attempts=20, base_delay_s=0.1, max_delay_s=0.5,
+            multiplier=2.0, jitter=0.0,
+        )
+        assert policy.backoff_s(10) == 0.5
+
+    def test_jitter_only_shrinks_and_is_seed_reproducible(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=1.0, max_delay_s=10.0,
+            multiplier=1.0, jitter=0.5,
+        )
+        first = [policy.backoff_s(1, random.Random(42)) for _ in range(5)]
+        second = [policy.backoff_s(1, random.Random(42)) for _ in range(5)]
+        assert first == second  # same seed, same delays
+        for delay in first:
+            assert 0.5 <= delay <= 1.0  # jitter only shrinks
+
+    def test_next_delay_stops_at_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        assert policy.next_delay(1) is not None
+        assert policy.next_delay(2) is not None
+        assert policy.next_delay(3) is None
+
+    def test_next_delay_refuses_exhausted_budget(self):
+        policy = RetryPolicy(
+            max_attempts=5, min_remaining_s=0.01, jitter=0.0
+        )
+        assert policy.next_delay(1, remaining_s=0.005) is None
+        assert policy.next_delay(1, remaining_s=-1.0) is None
+
+    def test_next_delay_clamps_to_remaining_budget(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=10.0, max_delay_s=10.0,
+            jitter=0.0, min_remaining_s=0.01,
+        )
+        delay = policy.next_delay(1, remaining_s=0.5)
+        assert delay == pytest.approx(0.49)
+
+    def test_no_budget_means_no_clamp(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.0, base_delay_s=0.2)
+        assert policy.next_delay(1) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError):
+            DEFAULT_RETRY_POLICY.backoff_s(0)
+
+    def test_policies_are_picklable(self):
+        for policy in (DEFAULT_RETRY_POLICY, CLIENT_RETRY_POLICY):
+            assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("failure_threshold", 2)
+    kwargs.setdefault("cooldown_s", 10.0)
+    breaker = CircuitBreaker(time_source=clock, **kwargs)
+    return breaker, clock
+
+
+def fail_once(breaker: CircuitBreaker) -> bool:
+    return breaker.record_failure(breaker.decide())
+
+
+class TestCircuitBreaker:
+    def test_healthy_breaker_stays_on_preferred_backend(self):
+        breaker, _clock = make_breaker()
+        decision = breaker.decide()
+        assert decision.backend == "processes"
+        assert not decision.probe
+        assert not breaker.tripped
+        assert breaker.snapshot()["state"] == "closed"
+
+    def test_consecutive_failures_trip_one_level(self):
+        breaker, _clock = make_breaker()
+        assert not fail_once(breaker)
+        assert fail_once(breaker)  # threshold 2 -> trip
+        assert breaker.tripped
+        assert breaker.backend == "threads"
+        assert breaker.trips == 1
+        assert breaker.snapshot()["state"] == "open"
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _clock = make_breaker()
+        fail_once(breaker)
+        breaker.record_success(breaker.decide())
+        fail_once(breaker)  # count restarted: still closed
+        assert not breaker.tripped
+
+    def test_probe_appears_only_after_cooldown(self):
+        breaker, clock = make_breaker()
+        fail_once(breaker)
+        fail_once(breaker)
+        assert not breaker.decide().probe  # cooldown not elapsed
+        clock.advance(10.0)
+        decision = breaker.decide()
+        assert decision.probe
+        assert decision.backend == "processes"
+        # Only one probe is outstanding at a time.
+        assert not breaker.decide().probe
+        assert breaker.snapshot()["state"] == "half_open"
+
+    def test_successful_probe_recovers_one_level(self):
+        breaker, clock = make_breaker()
+        fail_once(breaker)
+        fail_once(breaker)
+        clock.advance(10.0)
+        probe = breaker.decide()
+        assert breaker.record_success(probe)
+        assert not breaker.tripped
+        assert breaker.backend == "processes"
+        assert breaker.recoveries == 1
+
+    def test_failed_probe_restarts_cooldown(self):
+        breaker, clock = make_breaker()
+        fail_once(breaker)
+        fail_once(breaker)
+        clock.advance(10.0)
+        breaker.record_failure(breaker.decide())  # probe fails
+        assert breaker.backend == "threads"
+        clock.advance(5.0)  # cooldown restarted, not elapsed
+        assert not breaker.decide().probe
+        clock.advance(5.0)
+        assert breaker.decide().probe
+
+    def test_repeated_probe_failures_trip_deeper(self):
+        breaker, clock = make_breaker()
+        fail_once(breaker)
+        fail_once(breaker)  # -> threads
+        for _ in range(2):  # threshold failed probes -> inline
+            clock.advance(10.0)
+            breaker.record_failure(breaker.decide())
+        assert breaker.backend == "inline"
+        assert breaker.trips == 2
+
+    def test_bottom_of_ladder_never_goes_deeper(self):
+        breaker, clock = make_breaker(ladder=("processes", "inline"))
+        for _ in range(8):
+            fail_once(breaker)
+        assert breaker.backend == "inline"
+        assert breaker.level == 1
+
+    def test_stale_failure_reports_are_ignored(self):
+        breaker, _clock = make_breaker()
+        stale = breaker.decide()  # taken while closed
+        fail_once(breaker)
+        fail_once(breaker)  # tripped to level 1
+        assert not breaker.record_failure(stale)  # level 0 report: stale
+        assert breaker.level == 1
+        assert breaker.trips == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(())
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Chaos harness
+# ----------------------------------------------------------------------
+class TestChaosConfig:
+    def test_defaults_are_disabled(self):
+        assert not ChaosConfig().enabled
+
+    def test_any_probability_enables(self):
+        assert ChaosConfig(kill_prob=0.1).enabled
+        assert ChaosConfig(drop_prob=0.1).enabled
+
+    def test_max_faults_zero_disables(self):
+        assert not ChaosConfig(kill_prob=1.0, max_faults=0).enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(kill_prob=1.5)
+        with pytest.raises(ValueError):
+            ChaosConfig(kill_prob=0.6, error_prob=0.6)  # sum > 1
+        with pytest.raises(ValueError):
+            ChaosConfig(slow_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ChaosConfig(max_faults=-1)
+
+
+class TestChaosInjector:
+    def test_same_seed_same_fault_sequence(self):
+        config = ChaosConfig(seed=7, kill_prob=0.3, error_prob=0.3)
+        draws_a = [ChaosInjector(config).draw_dispatch() for _ in [0]]
+        first = [ChaosInjector(config)]
+        second = [ChaosInjector(config)]
+        sequence_a = [first[0].draw_dispatch() for _ in range(50)]
+        sequence_b = [second[0].draw_dispatch() for _ in range(50)]
+        assert sequence_a == sequence_b
+        assert any(fault is not None for fault in sequence_a)
+        assert draws_a[0] == sequence_a[0]
+
+    def test_max_faults_caps_injection(self):
+        injector = ChaosInjector(
+            ChaosConfig(seed=1, kill_prob=1.0, max_faults=3)
+        )
+        faults = [injector.draw_dispatch() for _ in range(10)]
+        assert sum(fault is not None for fault in faults) == 3
+        assert injector.injected == 3
+
+    def test_drop_draws_are_counted_separately(self):
+        injector = ChaosInjector(ChaosConfig(seed=1, drop_prob=1.0))
+        assert injector.draw_drop()
+        assert injector.draw_dispatch() is None  # no dispatch faults
+        snapshot = injector.snapshot()
+        assert snapshot["by_kind"] == {"drop": 1}
+
+    def test_zero_probabilities_never_fire(self):
+        injector = ChaosInjector(ChaosConfig(seed=3))
+        assert all(
+            injector.draw_dispatch() is None for _ in range(100)
+        )
+        assert not injector.draw_drop()
+
+
+class TestApplyFault:
+    def test_no_fault_is_a_noop(self):
+        assert apply_fault(None) is None
+
+    def test_slow_fault_sleeps_then_proceeds(self):
+        assert apply_fault(Fault("slow", 0.0)) is None
+
+    def test_error_fault_raises_chaos_error(self):
+        with pytest.raises(ChaosError):
+            apply_fault(Fault("error"))
+
+    def test_pickle_fault_returns_unpicklable_poison(self):
+        poison = apply_fault(Fault("pickle"))
+        assert poison is not None
+        with pytest.raises(pickle.PicklingError):
+            pickle.dumps(poison)
+
+    def test_unknown_fault_kind_raises(self):
+        with pytest.raises(ValueError):
+            apply_fault(Fault("meteor"))
+
+
+class TestChaosSpec:
+    def test_short_names_and_field_names(self):
+        config = parse_chaos_spec(
+            "kill=0.2, drop=0.1, seed=7, max=5, slow_seconds=0.5"
+        )
+        assert config == ChaosConfig(
+            seed=7, kill_prob=0.2, drop_prob=0.1,
+            slow_seconds=0.5, max_faults=5,
+        )
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown chaos spec key"):
+            parse_chaos_spec("explode=1.0")
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_chaos_spec("kill")
+
+    def test_env_gating(self):
+        assert chaos_from_env({}) is None
+        assert chaos_from_env({CHAOS_ENV_VAR: "  "}) is None
+        # All-zero probabilities disable even when the variable is set.
+        assert chaos_from_env({CHAOS_ENV_VAR: "seed=9"}) is None
+        injector = chaos_from_env({CHAOS_ENV_VAR: "kill=0.5,seed=9"})
+        assert injector is not None
+        assert injector.config.seed == 9
+        assert injector.config.kill_prob == 0.5

@@ -1,0 +1,272 @@
+"""End-to-end recovery tests: real SIGKILLed workers, real respawns.
+
+The acceptance scenario of the resilience work: a process-backend batch
+under a 20% worker-SIGKILL rate completes with zero client-visible
+errors and every result bitwise-equal to the fault-free run, because
+the pool strips injected faults on re-dispatch and the executor rebuild
+is invisible above the :class:`WorkerPool` API.
+
+These tests spawn worker processes (honoring the ``--workers`` pytest
+option) and so carry the ``parallel`` marker like the other pool tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.request import OptimizationRequest
+from repro.core.preferences import Preferences
+from repro.core.service import OptimizerService
+from repro.cost.objectives import Objective
+from repro.exceptions import WorkerCrashError
+from repro.plans.serialize import result_to_dict
+from repro.resilience import (
+    ChaosConfig,
+    ChaosInjector,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from tests.conftest import TINY_CONFIG, make_chain_query, make_small_schema
+
+pytestmark = pytest.mark.parallel
+
+PREFS = Preferences.from_maps(
+    (Objective.TOTAL_TIME, Objective.TUPLE_LOSS),
+    weights={Objective.TOTAL_TIME: 1.0, Objective.TUPLE_LOSS: 2.0},
+)
+
+
+def make_request(alpha=1.5, tables=3, **kwargs) -> OptimizationRequest:
+    return OptimizationRequest(
+        query=make_chain_query(tables),
+        preferences=PREFS,
+        algorithm="rta",
+        alpha=alpha,
+        **kwargs,
+    )
+
+
+def make_batch(count: int) -> list[OptimizationRequest]:
+    """``count`` fingerprint-distinct requests (no cache/coalesce help)."""
+    return [
+        make_request(alpha=1.1 + 0.01 * index, tables=2 + index % 2)
+        for index in range(count)
+    ]
+
+
+def signature(result) -> dict:
+    """The deterministic part of a result (plan, costs, frontier).
+
+    Run metrics (wall times, worker pids) legitimately differ between
+    runs; everything else must be bitwise-identical whether or not a
+    worker died along the way.
+    """
+    payload = result_to_dict(result)
+    del payload["metrics"]
+    return payload
+
+
+def chaos_service(chaos: ChaosInjector | None = None, **kwargs):
+    kwargs.setdefault("cache_size", 0)
+    kwargs.setdefault("workers", 2)
+    return OptimizerService(
+        make_small_schema(),
+        config=TINY_CONFIG,
+        backend="processes",
+        chaos=chaos,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_signatures(parallel_workers):
+    """Fault-free reference results for the shared 100-request batch."""
+    with chaos_service(workers=parallel_workers) as service:
+        results = service.optimize_many(make_batch(100))
+    return [signature(result) for result in results]
+
+
+class TestKillRecovery:
+    def test_batch_survives_20_percent_worker_kills(
+        self, parallel_workers, clean_signatures
+    ):
+        """The acceptance criterion: 100 requests, kill_prob=0.2, zero
+        client-visible errors, results bitwise-equal to the clean run,
+        and the supervision counters prove recovery actually happened."""
+        chaos = ChaosInjector(ChaosConfig(seed=11, kill_prob=0.2))
+        with chaos_service(chaos, workers=parallel_workers) as service:
+            results = service.optimize_many(make_batch(100))
+            stats = service.resilience_snapshot()
+        assert chaos.injected > 0, "chaos never fired; test proves nothing"
+        assert len(results) == 100
+        for index, (result, clean) in enumerate(
+            zip(results, clean_signatures)
+        ):
+            if result.degraded:
+                # Permitted by the contract: flagged, never silent.
+                assert result.plan is not None
+                continue
+            assert signature(result) == clean, f"request {index} diverged"
+        snapshot = service.metrics.snapshot()
+        assert snapshot["respawns"] > 0
+        assert snapshot["retries"] > 0
+        assert snapshot["worker_failures"] > 0
+        assert stats["pool"]["respawns"] > 0
+
+    def test_single_submit_survives_a_worker_kill(self, parallel_workers):
+        request = make_request()
+        with chaos_service(workers=parallel_workers) as service:
+            clean = signature(service.submit(request))
+        chaos = ChaosInjector(
+            ChaosConfig(seed=3, kill_prob=1.0, max_faults=1)
+        )
+        with chaos_service(chaos, workers=parallel_workers) as service:
+            result = service.submit(request)
+            stats = service.worker_pool().stats()
+        assert chaos.injected == 1
+        assert not result.degraded
+        assert signature(result) == clean
+        assert stats["respawns"] >= 1
+        assert stats["worker_failures"] >= 1
+
+    @pytest.mark.parametrize("kind", ["error", "pickle"])
+    def test_nonfatal_faults_are_redispatched(self, parallel_workers, kind):
+        """Injected executor exceptions and unpicklable results recover
+        through re-dispatch without rebuilding the pool."""
+        request = make_request(alpha=1.7)
+        with chaos_service(workers=parallel_workers) as service:
+            clean = signature(service.submit(request))
+        chaos = ChaosInjector(
+            ChaosConfig(seed=5, max_faults=1, **{f"{kind}_prob": 1.0})
+        )
+        with chaos_service(chaos, workers=parallel_workers) as service:
+            result = signature(service.submit(request))
+            stats = service.worker_pool().stats()
+        assert chaos.injected == 1
+        assert result == clean
+        assert stats["redispatches"] >= 1
+
+    def test_heartbeat_catches_a_stuck_worker(self, parallel_workers):
+        """A worker sleeping past the heartbeat is treated as dead: the
+        pool respawns and the re-dispatch still produces the exact
+        fault-free result."""
+        request = make_request(alpha=1.9)
+        with chaos_service(workers=parallel_workers) as service:
+            clean = signature(service.submit(request))
+        chaos = ChaosInjector(
+            ChaosConfig(
+                seed=2, slow_prob=1.0, slow_seconds=30.0, max_faults=1
+            )
+        )
+        with chaos_service(
+            chaos, workers=parallel_workers, heartbeat_s=0.25
+        ) as service:
+            result = signature(service.submit(request))
+            stats = service.worker_pool().stats()
+        assert result == clean
+        assert stats["respawns"] >= 1
+
+
+class TestDegradationLadder:
+    def test_tripped_breaker_runs_in_process_with_identical_results(self):
+        """A breaker sitting at the ``threads`` rung must not change
+        results — only where they are computed (no pool is ever built)."""
+        requests = [make_request(alpha=a) for a in (1.2, 1.5, 2.0)]
+        with OptimizerService(
+            make_small_schema(), config=TINY_CONFIG, cache_size=0
+        ) as inline_service:
+            expected = [
+                signature(inline_service.submit(r)) for r in requests
+            ]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1e9)
+        breaker.record_failure(breaker.decide())  # trip: -> threads
+        assert breaker.tripped
+        with chaos_service(breaker=breaker) as service:
+            got = [signature(service.submit(r)) for r in requests]
+            batch = [
+                signature(r)
+                for r in service.optimize_many(requests)
+            ]
+            pool_started = service.resilience_snapshot()["pool"]
+        assert got == expected
+        assert batch == expected
+        assert pool_started is None, "tripped breaker must bypass the pool"
+
+    def test_exhausted_retries_degrade_to_flagged_fallback(
+        self, monkeypatch
+    ):
+        """When the pool keeps crashing, the caller gets the paper's
+        heuristic fallback plan flagged ``degraded=True`` — and it is
+        never cached."""
+        service = OptimizerService(
+            make_small_schema(),
+            config=TINY_CONFIG,
+            backend="processes",
+            cache_size=8,
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        monkeypatch.setattr(
+            service,
+            "_submit_to_pool",
+            lambda *args, **kwargs: (_ for _ in ()).throw(
+                WorkerCrashError("injected: pool is gone")
+            ),
+        )
+        request = make_request()
+        result = service.submit(request)
+        assert result.degraded
+        assert result.plan is not None
+        assert service.metrics.degraded == 1
+        assert service.metrics.worker_failures == 0  # counted by the pool
+        key = request.fingerprint(service.config)
+        assert service.cache.get(key) is None, "degraded results cached"
+        service.close()
+
+    def test_degraded_fallback_can_be_disabled(self, monkeypatch):
+        service = OptimizerService(
+            make_small_schema(),
+            config=TINY_CONFIG,
+            backend="processes",
+            cache_size=0,
+            retry_policy=RetryPolicy(max_attempts=1),
+            degraded_fallback=False,
+        )
+        monkeypatch.setattr(
+            service,
+            "_submit_to_pool",
+            lambda *args, **kwargs: (_ for _ in ()).throw(
+                WorkerCrashError("injected: pool is gone")
+            ),
+        )
+        with pytest.raises(WorkerCrashError):
+            service.submit(make_request())
+        service.close()
+
+    def test_repeated_crashes_trip_the_breaker(self, monkeypatch):
+        """Three consecutive infra failures step the service down the
+        ladder; subsequent requests run in-process and still succeed."""
+        service = OptimizerService(
+            make_small_schema(),
+            config=TINY_CONFIG,
+            backend="processes",
+            cache_size=0,
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=3, cooldown_s=1e9),
+        )
+        monkeypatch.setattr(
+            service,
+            "_submit_to_pool",
+            lambda *args, **kwargs: (_ for _ in ()).throw(
+                WorkerCrashError("injected: pool is gone")
+            ),
+        )
+        for _ in range(3):
+            assert service.submit(make_request()).degraded
+        assert service.breaker.tripped
+        assert service.breaker.backend == "threads"
+        assert service.metrics.breaker_trips == 1
+        # Tripped: requests bypass the (broken) pool and run locally.
+        result = service.submit(make_request(alpha=1.3))
+        assert not result.degraded
+        assert result.plan is not None
+        service.close()

@@ -187,6 +187,35 @@ class TestRequestCoalescer:
 
         asyncio.run(scenario())
 
+    def test_fail_with_stale_expected_future_is_a_noop(self):
+        """The leader done-callback race: between a leader resolving
+        and its done-callback running, a new leader for the same
+        fingerprint may register. The callback's ``expected=`` guard
+        must keep it from failing the successor's future."""
+
+        async def scenario():
+            coalescer = RequestCoalescer()
+            old = coalescer.register("fp")
+            coalescer.resolve("fp", "first")
+            successor = coalescer.register("fp")
+            # The old leader's safety net fires late: guarded, no-op.
+            coalescer.fail(
+                "fp", RuntimeError("leader died"), expected=old
+            )
+            assert coalescer.in_flight == 1
+            assert not successor.done()
+            coalescer.resolve("fp", "second")
+            assert await successor == "second"
+            # Unguarded (or correctly-matched) failures still work.
+            matched = coalescer.register("fp")
+            coalescer.fail(
+                "fp", RuntimeError("boom"), expected=matched
+            )
+            with pytest.raises(RuntimeError, match="boom"):
+                await matched
+
+        asyncio.run(scenario())
+
     def test_cancelled_follower_does_not_cancel_shared_work(self):
         """The cancellation-safety contract: a dropped client kills its
         own await, never the in-flight optimization."""

@@ -349,7 +349,7 @@ class TestHttpSurface:
 
         snapshot = asyncio.run(scenario())
         assert set(snapshot) == {
-            "serving", "admission", "coalescer", "service"
+            "serving", "admission", "coalescer", "service", "resilience"
         }
         assert snapshot["service"]["requests"] == 1
         assert snapshot["serving"]["responses_by_code"]["ok"] == 1
@@ -605,7 +605,7 @@ class TestObservability:
             assert series in text, f"missing {series!r} in exposition"
         assert "# TYPE repro_phase_ms_total counter" in helper_text
         assert set(snapshot) == {
-            "serving", "admission", "coalescer", "service"
+            "serving", "admission", "coalescer", "service", "resilience"
         }
 
     def test_trace_dir_records_phase_breakdown(self, tmp_path):
