@@ -1,0 +1,106 @@
+"""Extension — cost-model ground-truthing gate over workload families.
+
+The optimizer's estimates are only as useful as their agreement with
+executed work. This benchmark closes the loop on both workload families
+(TPC-H chains, JOB-style IMDB chains): calibrate per-predicate
+selectivities against generated data (:mod:`repro.workloads.calibrate`),
+then execute alternative join orders through the mini engine and score
+predicted-vs-actual rank agreement (:mod:`repro.workloads.validate`).
+
+The gate asserts that calibration measurably helps — median q-error can
+only improve, and the calibrated estimates must clear rank-agreement
+floors (Kendall tau, top-1 regret) on both families.
+"""
+
+from repro.bench.reporting import format_table
+from repro.cost.model import CostModel
+from repro.workloads import (
+    calibrate_family,
+    job_chain_family,
+    summarize,
+    tpch_chain_family,
+    validate_family,
+)
+
+#: Draws per family: enough to cover the per-draw filter variation
+#: while keeping each execution-backed validation run in seconds.
+COUNT = 4
+SAMPLE_SIZE = 256
+MAX_PLANS = 8
+
+FAMILIES = {
+    "tpch-chain": lambda: tpch_chain_family(extra_joins=3, seed=7),
+    "job-chain": lambda: job_chain_family(joins=4, seed=3),
+}
+
+
+def run_family(make_family):
+    family = make_family()
+    calibration = calibrate_family(
+        family, count=COUNT, sample_size=SAMPLE_SIZE
+    )
+    catalog = summarize(
+        validate_family(family, count=COUNT, max_plans=MAX_PLANS)
+    )
+    calibrated_model = CostModel(
+        family.schema, calibration=calibration.statistics
+    )
+    calibrated = summarize(
+        validate_family(
+            family, count=COUNT, cost_model=calibrated_model,
+            max_plans=MAX_PLANS,
+        )
+    )
+    return {
+        "predicates": len(calibration.reports),
+        "overridden": sum(r.overridden for r in calibration.reports),
+        "q_cat_median": calibration.median_q_error(False),
+        "q_cal_median": calibration.median_q_error(True),
+        "q_cat_max": calibration.max_q_error(False),
+        "q_cal_max": calibration.max_q_error(True),
+        "tau_cat": catalog["mean_kendall_tau"],
+        "tau_cal": calibrated["mean_kendall_tau"],
+        "regret_cat": catalog["max_top1_regret"],
+        "regret_cal": calibrated["max_top1_regret"],
+    }
+
+
+def run_families():
+    return {name: run_family(make) for name, make in FAMILIES.items()}
+
+
+def test_cost_accuracy_gate(benchmark, report):
+    results = benchmark.pedantic(run_families, rounds=1, iterations=1)
+    report(format_table(
+        f"Cost-model ground-truthing ({COUNT} draws/family, "
+        f"{SAMPLE_SIZE}-row samples, {MAX_PLANS} join orders/query)",
+        ["preds", "overridden", "med q cat", "med q cal", "max q cat",
+         "max q cal", "tau cat", "tau cal", "regret cat", "regret cal"],
+        [
+            (
+                name,
+                [
+                    data["predicates"], data["overridden"],
+                    data["q_cat_median"], data["q_cal_median"],
+                    data["q_cat_max"], data["q_cal_max"],
+                    data["tau_cat"], data["tau_cal"],
+                    data["regret_cat"], data["regret_cal"],
+                ],
+            )
+            for name, data in results.items()
+        ],
+    ))
+    for name, data in results.items():
+        # Calibration may only improve estimation accuracy: the
+        # significance gate keeps insignificant measurements from
+        # displacing already-exact catalog estimates.
+        assert data["q_cal_median"] <= data["q_cat_median"], name
+        assert data["q_cal_max"] <= data["q_cat_max"], name
+        # Rank-agreement floors for the calibrated estimates: executed
+        # work must follow the predicted ordering, and the plan the
+        # estimates pick must stay within 10% of the best measured one
+        # (measured: tau 0.79/0.97, regret 0.0 on both families).
+        assert data["tau_cal"] >= 0.6, name
+        assert data["regret_cal"] <= 0.10, name
+        # Calibration must not degrade plan choice.
+        assert data["regret_cal"] <= data["regret_cat"] + 1e-9, name

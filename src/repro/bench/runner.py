@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence, Union
 
 from repro.core.optimizer import MultiObjectiveOptimizer
+from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
 from repro.core.service import OptimizerService
 from repro.workload import TestCase
@@ -85,6 +86,62 @@ class RunRecord:
             weighted_cost=result.weighted_cost,
             respects_bounds=result.respects_bounds,
         )
+
+
+@dataclass
+class RequestRecord:
+    """Metrics of one pre-built request (workload-family batches).
+
+    Family draws (:mod:`repro.workloads.families`) arrive as finished
+    :class:`OptimizationRequest` objects keyed by name and fingerprint
+    rather than TPC-H query numbers, so they get their own record type
+    instead of forcing fake numbers into :class:`RunRecord`.
+    """
+
+    query_name: str
+    fingerprint: str
+    algorithm: str
+    time_ms: float
+    memory_kb: float
+    pareto_plans: int
+    iterations: int
+    timed_out: bool
+    weighted_cost: float
+
+    @classmethod
+    def from_result(
+        cls, request: OptimizationRequest, result: OptimizationResult
+    ) -> "RequestRecord":
+        return cls(
+            query_name=request.query_name,
+            fingerprint=request.fingerprint(),
+            algorithm=request.algorithm,
+            time_ms=result.optimization_time_ms,
+            memory_kb=result.memory_kb,
+            pareto_plans=result.pareto_last_complete,
+            iterations=result.iterations,
+            timed_out=result.timed_out,
+            weighted_cost=result.weighted_cost,
+        )
+
+
+def run_requests(
+    engine: Engine, requests: Sequence[OptimizationRequest]
+) -> list[RequestRecord]:
+    """Execute pre-built requests (e.g. a family batch); keep order.
+
+    Services run the batch through :meth:`OptimizerService.optimize_many`
+    (plan cache, metrics hooks, batch backend); a bare optimizer
+    executes sequentially.
+    """
+    if isinstance(engine, OptimizerService):
+        results = engine.optimize_many(requests)
+    else:
+        results = [engine.execute(request) for request in requests]
+    return [
+        RequestRecord.from_result(request, result)
+        for request, result in zip(requests, results)
+    ]
 
 
 @dataclass

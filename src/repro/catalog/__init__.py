@@ -1,11 +1,13 @@
-"""Catalog substrate: schema, table/column/index statistics, TPC-H."""
+"""Catalog substrate: schema, table/column/index statistics, TPC-H, IMDB."""
 
 from repro.catalog.column import Column, DataType
+from repro.catalog.imdb import imdb_schema
 from repro.catalog.index import Index
 from repro.catalog.schema import Schema, build_schema
 from repro.catalog.statistics import (
     Histogram,
     equality_predicate,
+    histogram_from_rows,
     range_predicate,
 )
 from repro.catalog.table import PAGE_SIZE, Table
@@ -22,6 +24,8 @@ __all__ = [
     "Table",
     "build_schema",
     "equality_predicate",
+    "histogram_from_rows",
+    "imdb_schema",
     "range_predicate",
     "tpch_schema",
 ]

@@ -1,0 +1,169 @@
+"""IMDB schema (Join Order Benchmark subset) with scaled statistics.
+
+The Join Order Benchmark (JOB, Leis et al., "How Good Are Query
+Optimizers, Really?") runs over the IMDB dataset. This module models the
+subset of its tables that the 1..8-join chain families in
+:mod:`repro.workloads.families` touch: ``title`` and its satellite
+fact tables (``movie_companies``, ``cast_info``, ``movie_info``) plus
+the small dimension tables they reference.
+
+Cardinalities default to a deliberately tiny scale (~2.5k titles) so the
+mini executor in :mod:`repro.engine` can materialize whole join results
+for calibration and validation; ``row_scale`` grows the fact tables
+linearly (dimension tables like ``kind_type``/``role_type`` stay fixed,
+matching the real dataset where they are enumerations).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.column import Column, DataType
+from repro.catalog.index import Index
+from repro.catalog.schema import Schema
+from repro.catalog.table import Table
+
+#: Base-table cardinalities at ``row_scale=1`` (mini-IMDB).
+BASE_ROW_COUNTS = {
+    "kind_type": 7,
+    "company_type": 4,
+    "role_type": 12,
+    "company_name": 1_200,
+    "name": 2_000,
+    "title": 2_500,
+    "movie_companies": 4_000,
+    "cast_info": 6_000,
+    "movie_info": 5_000,
+}
+
+#: Enumeration-like dimension tables that do not grow with the data.
+FIXED_SIZE_TABLES = frozenset({"kind_type", "company_type", "role_type"})
+
+_INT = DataType.INTEGER
+_VAR = DataType.VARCHAR
+
+
+def _rows(table: str, row_scale: float) -> int:
+    base = BASE_ROW_COUNTS[table]
+    if table in FIXED_SIZE_TABLES:
+        return base
+    return max(1, int(base * row_scale))
+
+
+def imdb_schema(row_scale: float = 1.0) -> Schema:
+    """Build the mini-IMDB schema with statistics at ``row_scale``.
+
+    Every table gets a primary-key index plus indexes on all foreign-key
+    columns, mirroring the physical design JOB assumes.
+    """
+    if row_scale <= 0:
+        raise ValueError(f"row_scale must be > 0, got {row_scale}")
+
+    schema = Schema(name=f"imdb@x{row_scale:g}")
+    kind_type = _rows("kind_type", row_scale)
+    company_type = _rows("company_type", row_scale)
+    role_type = _rows("role_type", row_scale)
+    company_name = _rows("company_name", row_scale)
+    name = _rows("name", row_scale)
+    title = _rows("title", row_scale)
+    movie_companies = _rows("movie_companies", row_scale)
+    cast_info = _rows("cast_info", row_scale)
+    movie_info = _rows("movie_info", row_scale)
+
+    def col(name_: str, dtype: DataType, ndv: int, width: int = 0) -> Column:
+        return Column(name=name_, data_type=dtype, n_distinct=max(1, ndv),
+                      byte_width=width)
+
+    schema.add_table(Table("kind_type", (
+        col("id", _INT, kind_type),
+        col("kind", _VAR, kind_type, width=15),
+    ), row_count=kind_type))
+
+    schema.add_table(Table("company_type", (
+        col("id", _INT, company_type),
+        col("kind", _VAR, company_type, width=32),
+    ), row_count=company_type))
+
+    schema.add_table(Table("role_type", (
+        col("id", _INT, role_type),
+        col("role", _VAR, role_type, width=32),
+    ), row_count=role_type))
+
+    schema.add_table(Table("company_name", (
+        col("id", _INT, company_name),
+        col("name", _VAR, company_name, width=40),
+        col("country_code", _VAR, 60, width=6),
+    ), row_count=company_name))
+
+    schema.add_table(Table("name", (
+        col("id", _INT, name),
+        col("name", _VAR, name, width=40),
+        col("gender", _VAR, 3, width=1),
+    ), row_count=name))
+
+    schema.add_table(Table("title", (
+        col("id", _INT, title),
+        col("title", _VAR, title, width=60),
+        col("kind_id", _INT, kind_type),
+        col("production_year", _INT, 120),
+    ), row_count=title))
+
+    schema.add_table(Table("movie_companies", (
+        col("id", _INT, movie_companies),
+        col("movie_id", _INT, title),
+        col("company_id", _INT, company_name),
+        col("company_type_id", _INT, company_type),
+        col("note", _VAR, min(movie_companies, 800), width=40),
+    ), row_count=movie_companies))
+
+    schema.add_table(Table("cast_info", (
+        col("id", _INT, cast_info),
+        col("movie_id", _INT, title),
+        col("person_id", _INT, name),
+        col("role_id", _INT, role_type),
+        col("nr_order", _INT, 100),
+    ), row_count=cast_info))
+
+    schema.add_table(Table("movie_info", (
+        col("id", _INT, movie_info),
+        col("movie_id", _INT, title),
+        col("info_type_id", _INT, 110),
+        col("info", _VAR, min(movie_info, 3_000), width=40),
+    ), row_count=movie_info))
+
+    _add_indexes(schema)
+    return schema
+
+
+#: (index name, table, key column, unique) — primary keys and foreign keys.
+_INDEX_SPECS = (
+    ("kind_type_pkey", "kind_type", "id", True),
+    ("company_type_pkey", "company_type", "id", True),
+    ("role_type_pkey", "role_type", "id", True),
+    ("company_name_pkey", "company_name", "id", True),
+    ("name_pkey", "name", "id", True),
+    ("title_pkey", "title", "id", True),
+    ("title_kind_id_idx", "title", "kind_id", False),
+    ("movie_companies_pkey", "movie_companies", "id", True),
+    ("movie_companies_movie_id_idx", "movie_companies", "movie_id", False),
+    ("movie_companies_company_id_idx", "movie_companies", "company_id", False),
+    ("movie_companies_company_type_id_idx", "movie_companies",
+     "company_type_id", False),
+    ("cast_info_pkey", "cast_info", "id", True),
+    ("cast_info_movie_id_idx", "cast_info", "movie_id", False),
+    ("cast_info_person_id_idx", "cast_info", "person_id", False),
+    ("cast_info_role_id_idx", "cast_info", "role_id", False),
+    ("movie_info_pkey", "movie_info", "id", True),
+    ("movie_info_movie_id_idx", "movie_info", "movie_id", False),
+)
+
+
+def _add_indexes(schema: Schema) -> None:
+    for name, table_name, column, unique in _INDEX_SPECS:
+        schema.add_index(
+            Index(
+                name=name,
+                table_name=table_name,
+                column_names=(column,),
+                row_count=schema.table(table_name).row_count,
+                unique=unique,
+            )
+        )

@@ -138,6 +138,28 @@ class Histogram:
         return 1.0 / self.n_distinct
 
 
+def histogram_from_rows(
+    column_name: str,
+    rows: Sequence[dict],
+    buckets: int = DEFAULT_BUCKETS,
+) -> Histogram:
+    """Build an equi-depth histogram from generated table rows.
+
+    Convenience bridge between :class:`repro.engine.datagen.DataGenerator`
+    output (dict rows) and :meth:`Histogram.from_values` — the
+    ANALYZE-over-a-sample step of data-driven calibration.
+    """
+    if not rows:
+        raise CatalogError("cannot build a histogram from no rows")
+    try:
+        values = [row[column_name] for row in rows]
+    except KeyError:
+        raise CatalogError(
+            f"rows have no column {column_name!r}"
+        ) from None
+    return Histogram.from_values(column_name, values, buckets=buckets)
+
+
 def range_predicate(
     table: Table,
     alias: str,

@@ -17,6 +17,12 @@ Examples::
     # Serve with request tracing, then summarize the recorded traces:
     python -m repro.cli serve --port 8080 --fast --trace-dir traces/
     python -m repro.cli trace traces/trace-*.jsonl --chrome trace.json
+
+    # Draw a parameterized workload family, calibrate its selectivities
+    # against generated data, and validate predicted vs executed work:
+    python -m repro.cli workload --family tpch-chain --joins 3 \\
+        --count 4 --calibrate --validate
+    python -m repro.cli workload --family job-chain --joins 5 --optimize
 """
 
 from __future__ import annotations
@@ -361,6 +367,180 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def build_workload_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro workload",
+        description=(
+            "Draw parameterized query families (TPC-H chains, JOB-style "
+            "IMDB chains), calibrate cost-model selectivities against "
+            "generated data, and validate predicted vs executed work"
+        ),
+    )
+    parser.add_argument(
+        "--family", choices=("tpch-chain", "job-chain"), required=True,
+        help="workload family to draw from",
+    )
+    parser.add_argument(
+        "--joins", type=int, default=3, metavar="N",
+        help="join count: extra joins beyond lineitem for tpch-chain, "
+             "chain length 1..8 for job-chain (default: 3)",
+    )
+    parser.add_argument(
+        "--shape", choices=("chain", "star", "cycle"), default="chain",
+        help="tpch-chain join-graph shape (default: chain; cycle "
+             "requires --joins 4)",
+    )
+    parser.add_argument(
+        "--selectivity", type=float, default=0.3, metavar="S",
+        help="anchor-filter selectivity knob in (0, 1] (default: 0.3)",
+    )
+    parser.add_argument(
+        "--count", type=int, default=4, metavar="N",
+        help="number of requests to draw (default: 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="family seed (same seed => identical fingerprints)",
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=None, metavar="SF",
+        help="tpch-chain statistics scale (default: execution-scale "
+             "0.0002 so --calibrate/--validate stay fast)",
+    )
+    parser.add_argument(
+        "--row-scale", type=float, default=1.0, metavar="X",
+        help="job-chain fact-table scale (default: 1)",
+    )
+    parser.add_argument(
+        "--algorithm", choices=available_algorithms(), default="rta",
+        help="algorithm for the emitted requests (default: rta)",
+    )
+    parser.add_argument(
+        "--sample-size", type=int, default=512, metavar="N",
+        help="rows sampled per table for --calibrate (default: 512)",
+    )
+    parser.add_argument(
+        "--max-plans", type=int, default=12, metavar="N",
+        help="join orders executed per query for --validate (default: 12)",
+    )
+    parser.add_argument(
+        "--calibrate", action="store_true",
+        help="measure per-predicate selectivities from generated data "
+             "and report q-errors (feeds --validate/--optimize)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="execute alternative join orders and report rank agreement "
+             "between estimated and executed work",
+    )
+    parser.add_argument(
+        "--optimize", action="store_true",
+        help="run the drawn requests through OptimizerService "
+             "(optimize_many) and print one summary per request",
+    )
+    return parser
+
+
+def workload_main(argv: list[str]) -> int:
+    """Entry point of the ``workload`` subcommand."""
+    from repro.cost.model import CostModel
+    from repro.workloads import (
+        calibrate_family,
+        make_family,
+        summarize,
+        validate_family,
+    )
+
+    args = build_workload_parser().parse_args(argv)
+    try:
+        if args.family == "tpch-chain":
+            knobs = dict(
+                extra_joins=args.joins, shape=args.shape,
+                selectivity=args.selectivity,
+            )
+            if args.scale_factor is not None:
+                knobs["scale_factor"] = args.scale_factor
+        else:
+            knobs = dict(
+                joins=args.joins, selectivity=args.selectivity,
+                row_scale=args.row_scale,
+            )
+        family = make_family(
+            args.family, seed=args.seed, algorithm=args.algorithm, **knobs
+        )
+        requests = family.requests(args.count)
+    except Exception as error:  # bad knobs -> CLI error, no traceback
+        raise SystemExit(str(error))
+
+    print(f"family {family.knob_fingerprint()} seed={args.seed}")
+    for request in requests:
+        block = request.query.main_block
+        print(f"  {request.query_name}: {block.num_tables} tables, "
+              f"{len(block.joins)} joins, {len(block.filters)} filters, "
+              f"fingerprint {request.fingerprint()[:16]}")
+
+    calibration = None
+    if args.calibrate:
+        result = calibrate_family(
+            family, count=args.count, sample_size=args.sample_size
+        )
+        calibration = result.statistics
+        overridden = sum(r.overridden for r in result.reports)
+        print()
+        print(f"calibration over {len(result.reports)} predicates "
+              f"({result.sample_size} rows/table sample, "
+              f"{overridden} catalog estimates overridden):")
+        print(f"  median q-error  catalog={result.median_q_error(False):.3f} "
+              f"calibrated={result.median_q_error(True):.3f}")
+        print(f"  max q-error     catalog={result.max_q_error(False):.3f} "
+              f"calibrated={result.max_q_error(True):.3f}")
+        for report in result.reports:
+            marker = "*" if report.overridden else " "
+            print(f"  {marker} {report.kind:6s} {report.description:48s} "
+                  f"est {report.catalog:.4f} -> {report.calibrated:.4f} "
+                  f"actual {report.actual:.4f} "
+                  f"(q {report.q_error_catalog:.2f} -> "
+                  f"{report.q_error_calibrated:.2f})")
+
+    if args.validate:
+        cost_model = (
+            CostModel(family.schema, calibration=calibration)
+            if calibration is not None else None
+        )
+        reports = validate_family(
+            family, count=args.count, cost_model=cost_model,
+            max_plans=args.max_plans,
+        )
+        metrics = summarize(reports)
+        label = "calibrated" if calibration is not None else "catalog"
+        print()
+        print(f"validation ({label} estimates, "
+              f"{args.max_plans} join orders/query):")
+        for report in reports:
+            print(f"  {report.query_name}: {len(report.measurements)} of "
+                  f"{report.structures_total} orders executed, "
+                  f"tau={report.kendall_tau:+.3f} "
+                  f"top-1 regret={report.top1_regret:.1%}")
+        print(f"  mean tau={metrics['mean_kendall_tau']:+.3f} "
+              f"min tau={metrics['min_kendall_tau']:+.3f} "
+              f"max top-1 regret={metrics['max_top1_regret']:.1%}")
+
+    if args.optimize:
+        service = OptimizerService(
+            family.schema,
+            cost_model=CostModel(family.schema, calibration=calibration),
+        )
+        try:
+            results = service.optimize_many(requests)
+        finally:
+            service.close()
+        print()
+        print(f"optimized {len(results)} requests:")
+        for result in results:
+            print(f"  {result.summary()}")
+    return 0
+
+
 def _parse_assignments(pairs: list[str], label: str) -> dict[Objective, float]:
     parsed: dict[Objective, float] = {}
     for pair in pairs:
@@ -381,6 +561,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "workload":
+        return workload_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         objectives = tuple(

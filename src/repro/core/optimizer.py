@@ -69,10 +69,18 @@ class MultiObjectiveOptimizer:
         schema: Schema,
         config: OptimizerConfig = DEFAULT_CONFIG,
         params: CostParams = DEFAULT_PARAMS,
+        cost_model: CostModel | None = None,
     ) -> None:
         self.schema = schema
         self.config = config
-        self.cost_model = CostModel(schema, params)
+        # An injected cost model lets callers swap in calibrated
+        # statistics (CostModel(schema, calibration=...)) without
+        # touching the facade; by default a fresh catalog-only model is
+        # built.
+        self.cost_model = (
+            cost_model if cost_model is not None
+            else CostModel(schema, params)
+        )
 
     # ------------------------------------------------------------------
     def execute(self, request: OptimizationRequest) -> OptimizationResult:

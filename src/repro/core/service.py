@@ -52,6 +52,7 @@ from repro.core.instrumentation import RequestMetrics, ServiceMetrics
 from repro.core.optimizer import MultiObjectiveOptimizer
 from repro.core.request import OptimizationRequest
 from repro.core.result import OptimizationResult
+from repro.cost.model import CostModel
 from repro.cost.postgres_params import DEFAULT_PARAMS, CostParams
 from repro.exceptions import OptimizerError, WorkerCrashError
 from repro.obs.trace import active_tracer, current_context
@@ -135,12 +136,19 @@ class OptimizerService:
         heartbeat_s: float | None = None,
         chaos: ChaosInjector | None = None,
         degraded_fallback: bool = True,
+        cost_model: CostModel | None = None,
     ) -> None:
         if backend not in BACKENDS:
             raise OptimizerError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
-        self._optimizer = MultiObjectiveOptimizer(schema, config, params)
+        # An injected cost model (e.g. carrying a calibration overlay
+        # from repro.workloads.calibrate) drives the in-process
+        # optimizer; the process backend's workers rebuild their own
+        # models from (schema, config, params) and ignore it.
+        self._optimizer = MultiObjectiveOptimizer(
+            schema, config, params, cost_model=cost_model
+        )
         self._params = params
         self.cache = PlanCache(cache_size)
         self.metrics = metrics if metrics is not None else ServiceMetrics()

@@ -7,6 +7,14 @@ optimizer uses when only catalog statistics are available:
   histogram-derived estimates);
 * equality-join selectivity is ``1 / max(ndv_left, ndv_right)``;
 * predicates combine under the independence assumption (product).
+
+Every estimator accepts an optional ``overlay`` — any object with
+``filter_selectivity(predicate) -> float | None`` and
+``join_selectivity(predicate) -> float | None`` methods (see
+:class:`repro.workloads.calibrate.CalibratedStatistics`). A non-``None``
+overlay answer replaces the catalog estimate for that predicate;
+``None`` falls back to the rules above, so a partial overlay degrades
+gracefully.
 """
 
 from __future__ import annotations
@@ -19,22 +27,34 @@ from repro.query.predicate import FilterPredicate, JoinPredicate
 from repro.query.query import Query
 
 
-def filter_selectivity(filters: Iterable[FilterPredicate]) -> float:
+def filter_selectivity(
+    filters: Iterable[FilterPredicate], overlay=None
+) -> float:
     """Combined selectivity of filters under independence."""
     selectivity = 1.0
     for predicate in filters:
-        selectivity *= predicate.selectivity
+        estimate = None
+        if overlay is not None:
+            estimate = overlay.filter_selectivity(predicate)
+        if estimate is None:
+            estimate = predicate.selectivity
+        selectivity *= estimate
     return selectivity
 
 
 def join_predicate_selectivity(
-    schema: Schema, query: Query, predicate: JoinPredicate
+    schema: Schema, query: Query, predicate: JoinPredicate, overlay=None
 ) -> float:
     """Selectivity of one equality-join predicate.
 
-    Uses the explicit value when given, otherwise
-    ``1 / max(ndv_left, ndv_right)`` from catalog statistics.
+    A calibrated overlay answer wins, then the explicit value when
+    given, otherwise ``1 / max(ndv_left, ndv_right)`` from catalog
+    statistics.
     """
+    if overlay is not None:
+        estimate = overlay.join_selectivity(predicate)
+        if estimate is not None:
+            return estimate
     if predicate.selectivity is not None:
         return predicate.selectivity
     left_table = schema.table(query.table_name(predicate.left_alias))
@@ -45,12 +65,17 @@ def join_predicate_selectivity(
 
 
 def join_selectivity(
-    schema: Schema, query: Query, predicates: Iterable[JoinPredicate]
+    schema: Schema,
+    query: Query,
+    predicates: Iterable[JoinPredicate],
+    overlay=None,
 ) -> float:
     """Combined selectivity of a set of join predicates (independence)."""
     selectivity = 1.0
     for predicate in predicates:
-        selectivity *= join_predicate_selectivity(schema, query, predicate)
+        selectivity *= join_predicate_selectivity(
+            schema, query, predicate, overlay
+        )
     return selectivity
 
 
@@ -73,13 +98,16 @@ class SelectivityCache:
     the cache: every miss falls through to :func:`join_selectivity`.
     """
 
-    __slots__ = ("schema", "capacity", "hits", "misses", "_per_query")
+    __slots__ = ("schema", "capacity", "overlay", "hits", "misses",
+                 "_per_query")
 
-    def __init__(self, schema: Schema, capacity: int = 8) -> None:
+    def __init__(self, schema: Schema, capacity: int = 8,
+                 overlay=None) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.schema = schema
         self.capacity = capacity
+        self.overlay = overlay
         self.hits = 0
         self.misses = 0
         self._per_query: OrderedDict[
@@ -102,7 +130,8 @@ class SelectivityCache:
         memo = entry[1]
         selectivity = memo.get(predicates)
         if selectivity is None:
-            selectivity = join_selectivity(self.schema, query, predicates)
+            selectivity = join_selectivity(self.schema, query, predicates,
+                                           self.overlay)
             memo[predicates] = selectivity
             self.misses += 1
         else:
@@ -117,14 +146,17 @@ class SelectivityCache:
 
 
 def scan_output_rows(
-    row_count: int, sampling_rate: float, filters: Iterable[FilterPredicate]
+    row_count: int,
+    sampling_rate: float,
+    filters: Iterable[FilterPredicate],
+    overlay=None,
 ) -> float:
     """Output cardinality of a base-table scan.
 
     Sampling thins the table uniformly, so output cardinality scales by
     the sampling rate in addition to the filter selectivity.
     """
-    return row_count * sampling_rate * filter_selectivity(filters)
+    return row_count * sampling_rate * filter_selectivity(filters, overlay)
 
 
 def join_output_rows(

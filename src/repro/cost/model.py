@@ -59,14 +59,23 @@ _LOSS = 8
 class CostModel:
     """Builds cost-annotated plan nodes over a schema."""
 
-    def __init__(self, schema: Schema, params: CostParams = DEFAULT_PARAMS):
+    def __init__(self, schema: Schema, params: CostParams = DEFAULT_PARAMS,
+                 calibration=None):
         self.schema = schema
         self.params = params
+        #: Optional data-calibrated selectivity overlay (see
+        #: :mod:`repro.cost.cardinality` for the duck-typed protocol and
+        #: :class:`repro.workloads.calibrate.CalibratedStatistics` for
+        #: the shipped implementation). ``None`` means pure catalog
+        #: estimates.
+        self.calibration = calibration
         # Join-selectivity memo shared by every enumeration over this
         # cost model — the IRA re-enumerates the same splits each
         # refinement iteration and would otherwise recompute identical
         # estimates (see SelectivityCache).
-        self.selectivities = cardinality.SelectivityCache(schema)
+        self.selectivities = cardinality.SelectivityCache(
+            schema, overlay=calibration
+        )
 
     # ------------------------------------------------------------------
     # Scans
@@ -108,7 +117,8 @@ class CostModel:
             p.energy_per_cpu_unit * local_cpu + p.energy_per_page * pages_read,
             loss,
         )
-        rows = cardinality.scan_output_rows(table.row_count, rate, filters)
+        rows = cardinality.scan_output_rows(table.row_count, rate, filters,
+                                            self.calibration)
         return ScanPlan(alias, table.name, spec, rows, table.tuple_width,
                         cost, loss)
 
@@ -129,7 +139,7 @@ class CostModel:
                 f"index scan on {index.name!r} requires a filter on "
                 f"{index.leading_column!r}"
             )
-        index_sel = cardinality.filter_selectivity(leading)
+        index_sel = cardinality.filter_selectivity(leading, self.calibration)
         residual = [f for f in filters if f.column != index.leading_column]
         matched = table.row_count * index_sel
         heap_pages = min(float(table.pages), matched)
@@ -157,7 +167,8 @@ class CostModel:
             p.energy_per_cpu_unit * local_cpu + p.energy_per_page * io_pages,
             0.0,
         )
-        rows = cardinality.scan_output_rows(table.row_count, 1.0, filters)
+        rows = cardinality.scan_output_rows(table.row_count, 1.0, filters,
+                                            self.calibration)
         return ScanPlan(alias, table.name, spec, rows, table.tuple_width,
                         cost, 0.0)
 
@@ -187,7 +198,8 @@ class CostModel:
             residual_quals=len(filters),
         )
         spec = ScanSpec(method=ScanMethod.INDEX_PROBE, index_name=index_name)
-        rows = cardinality.scan_output_rows(table.row_count, 1.0, filters)
+        rows = cardinality.scan_output_rows(table.row_count, 1.0, filters,
+                                            self.calibration)
         zero = (0.0,) * 9
         return ScanPlan(alias, table.name, spec, rows, table.tuple_width,
                         zero, 0.0, probe_info=probe_info)
@@ -212,7 +224,7 @@ class CostModel:
         """
         if selectivity is None:
             selectivity = cardinality.join_selectivity(
-                self.schema, query, predicates
+                self.schema, query, predicates, self.calibration
             )
         out_rows = cardinality.join_output_rows(
             left.rows, right.rows, selectivity

@@ -1,6 +1,18 @@
 """Optional execution substrate: synthetic data + iterator executor."""
 
 from repro.engine.datagen import DataGenerator, Row
-from repro.engine.executor import ExecutionError, Executor
+from repro.engine.executor import (
+    ExecutionError,
+    Executor,
+    WorkCounters,
+    filter_passes,
+)
 
-__all__ = ["DataGenerator", "ExecutionError", "Executor", "Row"]
+__all__ = [
+    "DataGenerator",
+    "ExecutionError",
+    "Executor",
+    "Row",
+    "WorkCounters",
+    "filter_passes",
+]

@@ -40,20 +40,42 @@ class ExecutionError(ReproError):
     """Raised when a plan cannot be executed by the mini engine."""
 
 
+def filter_passes(
+    seed: int, alias: str, predicate: FilterPredicate, value: object
+) -> bool:
+    """Whether ``value`` passes a selectivity predicate's keyed draw.
+
+    This is the engine's filter semantics in one place: the draw is
+    keyed on the column *value*, so the same value passes or fails
+    consistently across scans of the same table — matching how a real
+    value-based predicate behaves. The calibration harness
+    (:mod:`repro.workloads.calibrate`) reuses this exact draw to measure
+    realized selectivities, so measured and executed filters agree by
+    construction.
+    """
+    rng = random.Random(f"{seed}:{alias}:{predicate.column}:{value}")
+    return rng.random() < predicate.selectivity
+
+
 class WorkCounters:
     """Actual work performed by one plan execution.
 
     ``rows_scanned`` counts base-table rows read, ``rows_joined`` the
-    operand rows flowing through join operators, ``rows_emitted`` the
-    final output size. Tests correlate these against the cost model's
-    estimates (higher estimated CPU should mean more executed work).
+    operand rows flowing through join operators (split into
+    ``rows_built`` for build/materialized inners and ``rows_probed``
+    for streamed outers), ``rows_emitted`` the final output size. Tests
+    correlate these against the cost model's estimates (higher estimated
+    CPU should mean more executed work).
     """
 
-    __slots__ = ("rows_scanned", "rows_joined", "rows_emitted")
+    __slots__ = ("rows_scanned", "rows_joined", "rows_built",
+                 "rows_probed", "rows_emitted")
 
     def __init__(self) -> None:
         self.rows_scanned = 0
         self.rows_joined = 0
+        self.rows_built = 0
+        self.rows_probed = 0
         self.rows_emitted = 0
 
     @property
@@ -125,11 +147,8 @@ class Executor:
         matching how a real value-based predicate behaves.
         """
         for predicate in filters:
-            rng = random.Random(
-                f"{self.seed}:{alias}:{predicate.column}:"
-                f"{row[predicate.column]}"
-            )
-            if rng.random() >= predicate.selectivity:
+            if not filter_passes(self.seed, alias, predicate,
+                                 row[predicate.column]):
                 return False
         return True
 
@@ -140,7 +159,11 @@ class Executor:
             right_rows = self._execute_scan(_probe_as_scan(plan.right))
         else:
             right_rows = self._execute(plan.right)
+        # The engine always builds on the right input and probes with
+        # the left one (see :func:`_hash_join`).
         self.last_work.rows_joined += len(left_rows) + len(right_rows)
+        self.last_work.rows_built += len(right_rows)
+        self.last_work.rows_probed += len(left_rows)
         predicates = self._predicates_for(plan)
         if not predicates:
             # Cartesian product.

@@ -106,15 +106,21 @@ def synthetic_query(
     num_tables: int,
     filter_selectivity: float | None = 0.3,
     seed: int = 0,
+    num_filters: int = 1,
 ) -> Query:
     """A query of the given shape over the synthetic schema's tables.
 
-    Joins connect each edge's ``key``/``ref`` columns; an optional
-    filter lands on the first table's payload column.
+    Joins connect each edge's ``key``/``ref`` columns; optional filters
+    land on the payload columns of the first ``num_filters`` tables
+    (clamped to the query size), all at ``filter_selectivity``.
     """
     if not 1 <= num_tables <= MAX_TABLES:
         raise QueryModelError(
             f"num_tables must be in 1..{MAX_TABLES}, got {num_tables}"
+        )
+    if num_filters < 0:
+        raise QueryModelError(
+            f"num_filters must be >= 0, got {num_filters}"
         )
     if shape is GraphShape.CHAIN and num_tables == 1:
         edges = []
@@ -132,10 +138,11 @@ def synthetic_query(
         for a, b in edges
     )
     filters = ()
-    if filter_selectivity is not None and num_tables >= 1:
-        filters = (
-            FilterPredicate("t0", "payload", filter_selectivity,
-                            "payload filter"),
+    if filter_selectivity is not None:
+        filters = tuple(
+            FilterPredicate(f"t{i}", "payload", filter_selectivity,
+                            "payload filter")
+            for i in range(min(num_filters, num_tables))
         )
     return Query(
         name=f"{shape.value}{num_tables}",

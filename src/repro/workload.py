@@ -90,10 +90,33 @@ class WorkloadGenerator:
     ) -> None:
         self.schema = schema
         self.config = config
+        self.seed = seed
         self.cost_model = CostModel(schema, params)
         self._rng = random.Random(seed)
         #: cache of per-(query, objective) minimal costs.
         self._minimums: dict[tuple[int, Objective], float] = {}
+
+    # ------------------------------------------------------------------
+    def family(self, name: str, **knobs):
+        """A parameterized query family sharing this generator's seed.
+
+        Dispatches to :func:`repro.workloads.families.make_family`; the
+        ``tpch-chain`` family defaults to this generator's schema (pass
+        ``schema=...`` to override; ``job-chain`` builds its own IMDB
+        schema). The family draws from its own per-index streams, so it
+        does not perturb this generator's TPC-H case sequence.
+        """
+        from repro.workloads.families import make_family
+
+        knobs.setdefault("seed", self.seed)
+        if name == "tpch-chain":
+            knobs.setdefault("schema", self.schema)
+        return make_family(name, **knobs)
+
+    def family_requests(self, name: str, count: int, **knobs):
+        """The first ``count`` requests of family ``name`` (see
+        :meth:`family`); ready for ``OptimizerService.optimize_many``."""
+        return self.family(name, **knobs).requests(count)
 
     # ------------------------------------------------------------------
     def weighted_case(

@@ -1,0 +1,66 @@
+"""Workload families + cost-model ground-truthing.
+
+Three pieces close the predict-vs-execute loop (ROADMAP item 3):
+
+* :mod:`repro.workloads.families` — seeded, parameterized TPC-H and
+  JOB-style request generators with stable fingerprints;
+* :mod:`repro.workloads.calibrate` — data-driven selectivity
+  calibration through :class:`~repro.engine.datagen.DataGenerator`,
+  producing a :class:`CalibratedStatistics` overlay the
+  :class:`~repro.cost.model.CostModel` consumes, with per-predicate
+  q-error reports;
+* :mod:`repro.workloads.validate` — executes optimizer-ranked join
+  orders through the mini engine's
+  :class:`~repro.engine.executor.WorkCounters` and scores rank
+  agreement (Kendall tau-b, top-1 regret).
+"""
+
+from repro.workloads.calibrate import (
+    CalibratedStatistics,
+    CalibrationResult,
+    Calibrator,
+    PredicateReport,
+    calibrate_family,
+    q_error,
+)
+from repro.workloads.families import (
+    FAMILIES,
+    Family,
+    job_chain_family,
+    make_family,
+    tpch_chain_family,
+)
+from repro.workloads.validate import (
+    PlanMeasurement,
+    ValidationReport,
+    build_plan,
+    enumerate_structures,
+    kendall_tau,
+    predicted_work,
+    summarize,
+    validate_family,
+    validate_query,
+)
+
+__all__ = [
+    "CalibratedStatistics",
+    "CalibrationResult",
+    "Calibrator",
+    "FAMILIES",
+    "Family",
+    "PlanMeasurement",
+    "PredicateReport",
+    "ValidationReport",
+    "build_plan",
+    "calibrate_family",
+    "enumerate_structures",
+    "job_chain_family",
+    "kendall_tau",
+    "make_family",
+    "predicted_work",
+    "q_error",
+    "summarize",
+    "tpch_chain_family",
+    "validate_family",
+    "validate_query",
+]

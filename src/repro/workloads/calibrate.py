@@ -1,0 +1,373 @@
+"""Data-driven selectivity calibration with q-error reporting.
+
+The catalog's selectivity estimates are *nominal*: filter predicates
+carry a spec-style fraction and equality joins use ``1 / max(ndv)``. The
+mini engine realizes filters as value-keyed Bernoulli draws
+(:func:`repro.engine.executor.filter_passes`), so on a low-ndv column
+the realized fraction can sit far from the nominal one — the classic
+estimate-vs-data gap a real optimizer closes with ANALYZE.
+
+This module closes the loop the same way: it samples generated rows
+through :class:`~repro.engine.datagen.DataGenerator`, *measures* each
+predicate's realized selectivity on the sample, and packs the
+measurements into a :class:`CalibratedStatistics` overlay that
+:class:`~repro.cost.model.CostModel` consumes (the duck-typed overlay
+protocol of :mod:`repro.cost.cardinality`). Accuracy is reported as
+**q-error** — ``max(est / act, act / est)`` — per predicate, against
+ground truth measured over the full generated tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.catalog.schema import Schema
+from repro.cost import cardinality
+from repro.engine.datagen import DataGenerator, Row
+from repro.engine.executor import filter_passes
+from repro.exceptions import OptimizerError
+from repro.query.predicate import FilterPredicate, JoinPredicate
+from repro.query.query import MultiBlockQuery, Query
+
+#: Default number of sampled rows per table for calibration.
+DEFAULT_SAMPLE_SIZE = 512
+
+#: Significance threshold (in standard deviations of the sampling
+#: distribution) a measurement must clear to override the catalog
+#: estimate. Below it the measurement is indistinguishable from the
+#: catalog value, so overriding would only inject sampling noise —
+#: this matters most for key/foreign-key joins, whose catalog
+#: ``1 / max(ndv)`` estimate is already essentially exact.
+SIGNIFICANCE_SIGMAS = 3.0
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The q-error ``max(est / act, act / est)`` (>= 1, 1 is exact)."""
+    if estimated <= 0.0 or actual <= 0.0:
+        return float("inf")
+    return max(estimated / actual, actual / estimated)
+
+
+@dataclass(frozen=True)
+class PredicateReport:
+    """Estimation accuracy of one predicate.
+
+    ``catalog`` is the uncalibrated estimate, ``calibrated`` the
+    sample-measured one, ``actual`` the full-data ground truth.
+    """
+
+    kind: str  # "filter" or "join"
+    description: str
+    catalog: float
+    calibrated: float
+    actual: float
+    #: Whether the sample measurement was significant enough to replace
+    #: the catalog estimate (False: calibrated == catalog).
+    overridden: bool = True
+
+    @property
+    def q_error_catalog(self) -> float:
+        """q-error of the uncalibrated (catalog) estimate."""
+        return q_error(self.catalog, self.actual)
+
+    @property
+    def q_error_calibrated(self) -> float:
+        """q-error of the sample-calibrated estimate."""
+        return q_error(self.calibrated, self.actual)
+
+
+class CalibratedStatistics:
+    """Measured selectivities keyed by predicate (cost-model overlay).
+
+    Implements the duck-typed overlay protocol of
+    :mod:`repro.cost.cardinality`: lookups answer ``None`` for
+    predicates that were never calibrated, so a partial overlay
+    gracefully falls back to catalog estimates.
+    """
+
+    def __init__(self) -> None:
+        self._filters: dict[FilterPredicate, float] = {}
+        self._joins: dict[JoinPredicate, float] = {}
+
+    # -- overlay protocol ------------------------------------------------
+    def filter_selectivity(self, predicate: FilterPredicate) -> float | None:
+        """Measured selectivity of ``predicate`` or ``None``."""
+        return self._filters.get(predicate)
+
+    def join_selectivity(self, predicate: JoinPredicate) -> float | None:
+        """Measured selectivity of ``predicate`` or ``None``."""
+        return self._joins.get(predicate)
+
+    # -- construction ----------------------------------------------------
+    def record_filter(self, predicate: FilterPredicate, value: float) -> None:
+        """Record a measured filter selectivity."""
+        self._filters[predicate] = value
+
+    def record_join(self, predicate: JoinPredicate, value: float) -> None:
+        """Record a measured join selectivity."""
+        self._joins[predicate] = value
+
+    def __len__(self) -> int:
+        return len(self._filters) + len(self._joins)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Overlay plus per-predicate accuracy reports."""
+
+    statistics: CalibratedStatistics
+    reports: tuple[PredicateReport, ...]
+    sample_size: int
+
+    def median_q_error(self, calibrated: bool) -> float:
+        """Median q-error across predicates (calibrated or catalog)."""
+        if not self.reports:
+            raise OptimizerError("no predicates were calibrated")
+        values = sorted(
+            r.q_error_calibrated if calibrated else r.q_error_catalog
+            for r in self.reports
+        )
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2.0
+
+    def max_q_error(self, calibrated: bool) -> float:
+        """Worst-case q-error across predicates."""
+        if not self.reports:
+            raise OptimizerError("no predicates were calibrated")
+        return max(
+            r.q_error_calibrated if calibrated else r.q_error_catalog
+            for r in self.reports
+        )
+
+
+class Calibrator:
+    """Measures predicate selectivities over generated data.
+
+    ``data_seed`` must match the :class:`DataGenerator` seed and
+    ``executor_seed`` the :class:`~repro.engine.executor.Executor` seed
+    used for any later execution, so measured filters reproduce the
+    engine's exact Bernoulli draws.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        data_seed: int = 0,
+        executor_seed: int = 0,
+        sample_size: int = DEFAULT_SAMPLE_SIZE,
+    ) -> None:
+        if sample_size < 1:
+            raise OptimizerError(
+                f"sample_size must be >= 1, got {sample_size}"
+            )
+        self.schema = schema
+        self.executor_seed = executor_seed
+        self.sample_size = sample_size
+        self.generator = DataGenerator(schema, seed=data_seed)
+        self._full_tables: dict[str, list[Row]] = {}
+        self._samples: dict[str, list[Row]] = {}
+
+    # ------------------------------------------------------------------
+    def _full(self, table_name: str) -> list[Row]:
+        rows = self._full_tables.get(table_name)
+        if rows is None:
+            rows = self.generator.materialize(table_name)
+            self._full_tables[table_name] = rows
+        return rows
+
+    def _sample(self, table_name: str) -> list[Row]:
+        rows = self._samples.get(table_name)
+        if rows is None:
+            rows = self._full(table_name)[: self.sample_size]
+            self._samples[table_name] = rows
+        return rows
+
+    # ------------------------------------------------------------------
+    def _count_filter(
+        self, predicate: FilterPredicate, rows: Sequence[Row]
+    ) -> int:
+        """Rows of ``rows`` passing the engine's exact value-keyed draw."""
+        return sum(
+            1
+            for row in rows
+            if filter_passes(self.executor_seed, predicate.alias, predicate,
+                             row[predicate.column])
+        )
+
+    def measure_filter(
+        self, predicate: FilterPredicate, rows: Sequence[Row]
+    ) -> float:
+        """Realized selectivity of a filter over ``rows``.
+
+        Replays the engine's exact value-keyed draw. Zero passes clamp
+        to half a row so downstream q-errors stay finite.
+        """
+        return max(self._count_filter(predicate, rows), 0.5) / len(rows)
+
+    @staticmethod
+    def _count_join_pairs(
+        predicate: JoinPredicate,
+        left_rows: Sequence[Row],
+        right_rows: Sequence[Row],
+    ) -> int:
+        """Matching pairs of an equality join over row sets.
+
+        Counts via value histograms (no quadratic pair loop).
+        """
+        left_counts = Counter(row[predicate.left_column] for row in left_rows)
+        right_counts = Counter(
+            row[predicate.right_column] for row in right_rows
+        )
+        return sum(
+            count * right_counts[value]
+            for value, count in left_counts.items()
+            if value in right_counts
+        )
+
+    def measure_join(
+        self,
+        predicate: JoinPredicate,
+        left_rows: Sequence[Row],
+        right_rows: Sequence[Row],
+    ) -> float:
+        """Realized selectivity of an equality join over row sets.
+
+        Normalizes matching pairs by ``|L| * |R|``; zero matches clamp
+        to half a pair so downstream q-errors stay finite.
+        """
+        pairs = self._count_join_pairs(predicate, left_rows, right_rows)
+        return max(pairs, 0.5) / (len(left_rows) * len(right_rows))
+
+    # ------------------------------------------------------------------
+    def calibrate(
+        self, queries: Iterable[Query | MultiBlockQuery]
+    ) -> CalibrationResult:
+        """Calibrate every distinct predicate of ``queries``.
+
+        Estimates come from the row *sample*; ground truth (for the
+        q-error reports) from the full generated tables. Duplicate
+        predicates across queries are measured once.
+        """
+        statistics = CalibratedStatistics()
+        reports: list[PredicateReport] = []
+        seen_filters: set[FilterPredicate] = set()
+        seen_joins: set[JoinPredicate] = set()
+        for item in queries:
+            blocks = item.blocks if isinstance(item, MultiBlockQuery) else (item,)
+            for block in blocks:
+                for predicate in block.filters:
+                    if predicate in seen_filters:
+                        continue
+                    seen_filters.add(predicate)
+                    reports.append(
+                        self._calibrate_filter(block, predicate, statistics)
+                    )
+                for predicate in block.joins:
+                    if predicate in seen_joins:
+                        continue
+                    seen_joins.add(predicate)
+                    reports.append(
+                        self._calibrate_join(block, predicate, statistics)
+                    )
+        return CalibrationResult(
+            statistics=statistics,
+            reports=tuple(reports),
+            sample_size=self.sample_size,
+        )
+
+    def _calibrate_filter(
+        self,
+        query: Query,
+        predicate: FilterPredicate,
+        statistics: CalibratedStatistics,
+    ) -> PredicateReport:
+        table_name = query.table_name(predicate.alias)
+        sample = self._sample(table_name)
+        passed = self._count_filter(predicate, sample)
+        measured = max(passed, 0.5) / len(sample)
+        actual = self.measure_filter(predicate, self._full(table_name))
+        # Binomial significance test: override the catalog estimate only
+        # when the measured pass count is inconsistent with it.
+        nominal = predicate.selectivity
+        sigma = (len(sample) * nominal * (1.0 - nominal)) ** 0.5
+        overridden = abs(passed - len(sample) * nominal) > (
+            SIGNIFICANCE_SIGMAS * max(sigma, 0.5)
+        )
+        if overridden:
+            statistics.record_filter(predicate, measured)
+        return PredicateReport(
+            kind="filter",
+            description=(
+                f"{predicate.alias}.{predicate.column} "
+                f"(nominal {predicate.selectivity:g})"
+            ),
+            catalog=nominal,
+            calibrated=measured if overridden else nominal,
+            actual=actual,
+            overridden=overridden,
+        )
+
+    def _calibrate_join(
+        self,
+        query: Query,
+        predicate: JoinPredicate,
+        statistics: CalibratedStatistics,
+    ) -> PredicateReport:
+        left_table = query.table_name(predicate.left_alias)
+        right_table = query.table_name(predicate.right_alias)
+        left_sample = self._sample(left_table)
+        right_sample = self._sample(right_table)
+        pairs = self._count_join_pairs(predicate, left_sample, right_sample)
+        total = len(left_sample) * len(right_sample)
+        measured = max(pairs, 0.5) / total
+        actual = self.measure_join(
+            predicate, self._full(left_table), self._full(right_table)
+        )
+        catalog = cardinality.join_predicate_selectivity(
+            self.schema, query, predicate
+        )
+        # Poisson significance test on the matching-pair count: the
+        # catalog's 1/max(ndv) rule is exact for the generator's dense
+        # keys, so only a clearly inconsistent measurement overrides it.
+        expected = catalog * total
+        overridden = abs(pairs - expected) > (
+            SIGNIFICANCE_SIGMAS * max(expected, 1.0) ** 0.5
+        )
+        if overridden:
+            statistics.record_join(predicate, measured)
+        return PredicateReport(
+            kind="join",
+            description=(
+                f"{predicate.left_alias}.{predicate.left_column} = "
+                f"{predicate.right_alias}.{predicate.right_column}"
+            ),
+            catalog=catalog,
+            calibrated=measured if overridden else catalog,
+            actual=actual,
+            overridden=overridden,
+        )
+
+
+def calibrate_family(
+    family,
+    count: int = 8,
+    data_seed: int = 0,
+    executor_seed: int = 0,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+) -> CalibrationResult:
+    """Calibrate all predicates drawn by the first ``count`` requests.
+
+    Convenience wrapper over :class:`Calibrator` for
+    :class:`~repro.workloads.families.Family` streams.
+    """
+    calibrator = Calibrator(
+        family.schema,
+        data_seed=data_seed,
+        executor_seed=executor_seed,
+        sample_size=sample_size,
+    )
+    return calibrator.calibrate(family.query(i) for i in range(count))

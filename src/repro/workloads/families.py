@@ -1,0 +1,387 @@
+"""Parameterized query families over TPC-H and IMDB (JOB-style).
+
+A *family* is a seeded, parameterized stream of
+:class:`~repro.core.request.OptimizationRequest`s. Two families ship:
+
+* ``tpch-chain`` — TPC-H join queries anchored on ``lineitem`` with a
+  controllable extra-join count and shape (``chain``/``star``/``cycle``),
+  following the Q01-with-extra-joins pattern of the vldb_experiments
+  harness;
+* ``job-chain`` — JOB-style 1..8-join chain queries over the mini-IMDB
+  schema (:mod:`repro.catalog.imdb`), following the
+  Learned-Optimizers-Benchmarking-Suite enumeration.
+
+Draws are reproducible and *position-independent*: request ``i`` is a
+pure function of (family knobs, seed, ``i``), so two processes with the
+same seed produce identical request fingerprints regardless of how many
+requests each one draws (spawn-safe — no shared RNG state).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.catalog.imdb import imdb_schema
+from repro.catalog.schema import Schema
+from repro.catalog.tpch import tpch_schema
+from repro.config import OptimizerConfig
+from repro.core.preferences import Preferences
+from repro.core.request import DEFAULT_ALPHA, OptimizationRequest
+from repro.cost.objectives import ALL_OBJECTIVES
+from repro.exceptions import OptimizerError
+from repro.query.predicate import FilterPredicate, JoinPredicate, TableRef
+from repro.query.query import Query
+
+#: Default tiny scale for execution-backed studies: the mini engine
+#: materializes whole join results, so calibration/validation runs use a
+#: lineitem of ~1200 rows instead of 6M.
+TPCH_EXECUTION_SCALE = 0.0002
+
+#: TPC-H chain from the anchor: (table, join edge added with it).
+#: The first four edges grow the order-side chain lineitem → orders →
+#: customer → nation → region; the last two grow the part-side chain
+#: lineitem → partsupp → part (lineitem becomes an interior node).
+_TPCH_CHAIN_STEPS = (
+    ("orders", JoinPredicate("lineitem", "l_orderkey", "orders", "o_orderkey")),
+    ("customer", JoinPredicate("orders", "o_custkey", "customer", "c_custkey")),
+    ("nation", JoinPredicate("customer", "c_nationkey", "nation", "n_nationkey")),
+    ("region", JoinPredicate("nation", "n_regionkey", "region", "r_regionkey")),
+    ("partsupp", JoinPredicate("lineitem", "l_partkey", "partsupp", "ps_partkey")),
+    ("part", JoinPredicate("partsupp", "ps_partkey", "part", "p_partkey")),
+)
+
+#: TPC-H star: every spoke joins the lineitem hub directly.
+_TPCH_STAR_STEPS = (
+    ("orders", JoinPredicate("lineitem", "l_orderkey", "orders", "o_orderkey")),
+    ("supplier", JoinPredicate("lineitem", "l_suppkey", "supplier", "s_suppkey")),
+    ("partsupp", JoinPredicate("lineitem", "l_partkey", "partsupp", "ps_partkey")),
+    ("part", JoinPredicate("lineitem", "l_partkey", "part", "p_partkey")),
+)
+
+#: TPC-H cycle: a genuine FK circuit closed back into lineitem
+#: (lineitem → orders → customer → nation ← supplier ← lineitem).
+_TPCH_CYCLE_STEPS = (
+    ("orders", JoinPredicate("lineitem", "l_orderkey", "orders", "o_orderkey")),
+    ("customer", JoinPredicate("orders", "o_custkey", "customer", "c_custkey")),
+    ("nation", JoinPredicate("customer", "c_nationkey", "nation", "n_nationkey")),
+    ("supplier", JoinPredicate("nation", "n_nationkey", "supplier", "s_nationkey")),
+)
+_TPCH_CYCLE_CLOSER = JoinPredicate("supplier", "s_suppkey",
+                                   "lineitem", "l_suppkey")
+
+#: Secondary TPC-H filter columns: low-ndv columns whose value-keyed
+#: Bernoulli realization deviates most from the nominal selectivity —
+#: exactly where data calibration has something to correct.
+_TPCH_EXTRA_FILTERS = {
+    "orders": "o_orderstatus",       # ndv 3
+    "customer": "c_mktsegment",      # ndv 5
+    "part": "p_brand",               # ndv 25
+}
+
+#: JOB chain: (new table alias, table name, join edge) per join count.
+_JOB_STEPS = (
+    ("cn", "company_name",
+     JoinPredicate("mc", "company_id", "cn", "id")),
+    ("t", "title",
+     JoinPredicate("mc", "movie_id", "t", "id")),
+    ("ct", "company_type",
+     JoinPredicate("mc", "company_type_id", "ct", "id")),
+    ("kt", "kind_type",
+     JoinPredicate("t", "kind_id", "kt", "id")),
+    ("ci", "cast_info",
+     JoinPredicate("t", "id", "ci", "movie_id")),
+    ("n", "name",
+     JoinPredicate("ci", "person_id", "n", "id")),
+    ("rt", "role_type",
+     JoinPredicate("ci", "role_id", "rt", "id")),
+    ("mi", "movie_info",
+     JoinPredicate("t", "id", "mi", "movie_id")),
+)
+
+#: Maximum JOB chain length (Snippet 3's 1..8-join enumeration).
+MAX_JOB_JOINS = len(_JOB_STEPS)
+
+_JOB_EXTRA_FILTERS = {
+    "t": "production_year",          # ndv 120
+    "ci": "role_id",                 # ndv 12
+    "cn": "country_code",            # ndv 60
+}
+
+
+class Family:
+    """A seeded, parameterized stream of optimization requests.
+
+    ``query_builder(index, rng)`` must be a pure function of its inputs;
+    the per-index RNG is derived from the family fingerprint so draws
+    are identical across processes and independent of draw order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        query_builder: Callable[[int, random.Random], Query],
+        seed: int = 0,
+        algorithm: str = "rta",
+        alpha: float = DEFAULT_ALPHA,
+        config: OptimizerConfig | None = None,
+        knobs: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.seed = seed
+        self.algorithm = algorithm
+        self.alpha = alpha
+        self.config = config
+        self.knobs = dict(knobs or {})
+        self._query_builder = query_builder
+
+    # ------------------------------------------------------------------
+    def knob_fingerprint(self) -> str:
+        """Canonical text form of the family's identity and knobs."""
+        knob_text = ",".join(
+            f"{key}={self.knobs[key]!r}" for key in sorted(self.knobs)
+        )
+        return f"{self.name}[{knob_text}]@{self.schema.name}"
+
+    def _rng(self, index: int) -> random.Random:
+        return random.Random(f"{self.knob_fingerprint()}:{self.seed}:{index}")
+
+    def _draw(self, index: int) -> tuple[Query, Preferences]:
+        """Query and preferences of draw ``index`` from one RNG stream.
+
+        Preferences follow the paper's setup: 2..4 objectives sampled
+        from the nine, weights uniform — drawn after the query's own
+        draws on the same per-index stream.
+        """
+        if index < 0:
+            raise OptimizerError(f"request index must be >= 0, got {index}")
+        rng = self._rng(index)
+        query = self._query_builder(index, rng)
+        count = rng.randint(2, 4)
+        objectives = tuple(sorted(rng.sample(ALL_OBJECTIVES, count),
+                                  key=lambda o: o.index))
+        weights = tuple(rng.uniform(0.1, 1.0) for _ in objectives)
+        return query, Preferences(objectives=objectives, weights=weights)
+
+    # ------------------------------------------------------------------
+    def query(self, index: int) -> Query:
+        """The ``index``-th query of the family (deterministic)."""
+        return self._draw(index)[0]
+
+    def preferences(self, index: int) -> Preferences:
+        """Seeded preferences for request ``index``."""
+        return self._draw(index)[1]
+
+    def request(self, index: int) -> OptimizationRequest:
+        """The ``index``-th request (stable fingerprint across processes)."""
+        query, preferences = self._draw(index)
+        return OptimizationRequest(
+            query=query,
+            preferences=preferences,
+            algorithm=self.algorithm,
+            alpha=self.alpha,
+            config=self.config,
+            tags=(f"family:{self.name}", f"draw{index}"),
+        )
+
+    def requests(self, count: int) -> list[OptimizationRequest]:
+        """The first ``count`` requests in draw order."""
+        if count < 0:
+            raise OptimizerError(f"count must be >= 0, got {count}")
+        return [self.request(i) for i in range(count)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Family({self.knob_fingerprint()}, seed={self.seed})"
+
+
+# ----------------------------------------------------------------------
+# TPC-H chain/star/cycle family
+# ----------------------------------------------------------------------
+def _tpch_steps(shape: str, extra_joins: int):
+    if shape == "chain":
+        limit = len(_TPCH_CHAIN_STEPS)
+        if not 1 <= extra_joins <= limit:
+            raise OptimizerError(
+                f"tpch-chain chain shape supports 1..{limit} extra joins, "
+                f"got {extra_joins}"
+            )
+        return _TPCH_CHAIN_STEPS[:extra_joins], None
+    if shape == "star":
+        limit = len(_TPCH_STAR_STEPS)
+        if not 1 <= extra_joins <= limit:
+            raise OptimizerError(
+                f"tpch-chain star shape supports 1..{limit} extra joins, "
+                f"got {extra_joins}"
+            )
+        return _TPCH_STAR_STEPS[:extra_joins], None
+    if shape == "cycle":
+        if extra_joins != len(_TPCH_CYCLE_STEPS):
+            raise OptimizerError(
+                f"tpch-chain cycle shape is a fixed 5-table circuit "
+                f"(extra_joins={len(_TPCH_CYCLE_STEPS)}), got {extra_joins}"
+            )
+        return _TPCH_CYCLE_STEPS, _TPCH_CYCLE_CLOSER
+    raise OptimizerError(
+        f"unknown tpch-chain shape {shape!r} (chain, star or cycle)"
+    )
+
+
+def tpch_chain_family(
+    schema: Schema | None = None,
+    extra_joins: int = 3,
+    shape: str = "chain",
+    selectivity: float = 0.3,
+    seed: int = 0,
+    scale_factor: float = TPCH_EXECUTION_SCALE,
+    algorithm: str = "rta",
+    alpha: float = DEFAULT_ALPHA,
+    config: OptimizerConfig | None = None,
+) -> Family:
+    """TPC-H family: ``lineitem`` plus ``extra_joins`` joined tables.
+
+    ``selectivity`` sets the anchor filter on ``lineitem.l_quantity``;
+    secondary filters on low-ndv columns of the joined tables draw their
+    selectivities per request from the seeded stream. ``schema``
+    overrides the default execution-scale TPC-H catalog.
+    """
+    if schema is None:
+        schema = tpch_schema(scale_factor)
+    if not 0.0 < selectivity <= 1.0:
+        raise OptimizerError(
+            f"selectivity must be in (0, 1], got {selectivity}"
+        )
+    steps, closer = _tpch_steps(shape, extra_joins)
+
+    def build(index: int, rng: random.Random) -> Query:
+        refs = [TableRef("lineitem", "lineitem")]
+        joins = []
+        filters = [
+            FilterPredicate("lineitem", "l_quantity", selectivity,
+                            "quantity filter"),
+        ]
+        for table, join in steps:
+            refs.append(TableRef(table, table))
+            joins.append(join)
+            column = _TPCH_EXTRA_FILTERS.get(table)
+            if column is not None:
+                filters.append(
+                    FilterPredicate(
+                        table, column,
+                        round(rng.uniform(0.2, 0.9), 4),
+                        f"{column} filter",
+                    )
+                )
+        if closer is not None:
+            joins.append(closer)
+        return Query(
+            name=f"tpch-{shape}-j{extra_joins}-d{index}",
+            table_refs=tuple(refs),
+            filters=tuple(filters),
+            joins=tuple(joins),
+        )
+
+    return Family(
+        name="tpch-chain",
+        schema=schema,
+        query_builder=build,
+        seed=seed,
+        algorithm=algorithm,
+        alpha=alpha,
+        config=config,
+        knobs={
+            "extra_joins": extra_joins,
+            "shape": shape,
+            "selectivity": selectivity,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# JOB-style chain family
+# ----------------------------------------------------------------------
+def job_chain_family(
+    schema: Schema | None = None,
+    joins: int = 4,
+    selectivity: float = 0.3,
+    seed: int = 0,
+    row_scale: float = 1.0,
+    algorithm: str = "rta",
+    alpha: float = DEFAULT_ALPHA,
+    config: OptimizerConfig | None = None,
+) -> Family:
+    """JOB-style family: ``movie_companies`` chains of 1..8 joins.
+
+    Join ``k`` adds table ``k`` of the fixed JOB traversal
+    (company_name, title, company_type, kind_type, cast_info, name,
+    role_type, movie_info). ``selectivity`` sets the anchor filter on
+    ``mc.company_type_id``; secondary filters draw per request.
+    """
+    if schema is None:
+        schema = imdb_schema(row_scale)
+    if not 1 <= joins <= MAX_JOB_JOINS:
+        raise OptimizerError(
+            f"job-chain supports 1..{MAX_JOB_JOINS} joins, got {joins}"
+        )
+    if not 0.0 < selectivity <= 1.0:
+        raise OptimizerError(
+            f"selectivity must be in (0, 1], got {selectivity}"
+        )
+    steps = _JOB_STEPS[:joins]
+
+    def build(index: int, rng: random.Random) -> Query:
+        refs = [TableRef("mc", "movie_companies")]
+        join_predicates = []
+        filters = [
+            FilterPredicate("mc", "company_type_id", selectivity,
+                            "company type filter"),
+        ]
+        for alias, table, join in steps:
+            refs.append(TableRef(alias, table))
+            join_predicates.append(join)
+            column = _JOB_EXTRA_FILTERS.get(alias)
+            if column is not None:
+                filters.append(
+                    FilterPredicate(
+                        alias, column,
+                        round(rng.uniform(0.2, 0.9), 4),
+                        f"{column} filter",
+                    )
+                )
+        return Query(
+            name=f"job-chain-j{joins}-d{index}",
+            table_refs=tuple(refs),
+            filters=tuple(filters),
+            joins=tuple(join_predicates),
+        )
+
+    return Family(
+        name="job-chain",
+        schema=schema,
+        query_builder=build,
+        seed=seed,
+        algorithm=algorithm,
+        alpha=alpha,
+        config=config,
+        knobs={"joins": joins, "selectivity": selectivity},
+    )
+
+
+#: Registry of family constructors by CLI name.
+FAMILIES: dict[str, Callable[..., Family]] = {
+    "tpch-chain": tpch_chain_family,
+    "job-chain": job_chain_family,
+}
+
+
+def make_family(name: str, **knobs) -> Family:
+    """Build a family by registry name (``tpch-chain`` / ``job-chain``)."""
+    try:
+        constructor = FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise OptimizerError(
+            f"unknown workload family {name!r} (known: {known})"
+        ) from None
+    return constructor(**knobs)

@@ -1,0 +1,316 @@
+"""Predicted-vs-actual validation: estimated cost against executed work.
+
+The optimizer ranks plans by estimated cardinalities; the mini engine
+(:mod:`repro.engine`) counts the work plans actually perform. This
+harness closes the loop for a query:
+
+1. enumerate alternative join orders over the query's join graph
+   (canonical physical shape: sequential scans, hash joins, DOP 1 — the
+   executor's work counters are invariant to operator choice, so join
+   *order* is exactly the dimension where estimates can misrank);
+2. predict each plan's executed work from the cost model's estimated
+   cardinalities, mirroring the executor's counter semantics;
+3. execute every plan over generated data and record
+   :class:`~repro.engine.executor.WorkCounters`;
+4. score rank agreement: Kendall tau-b between predicted and executed
+   work, and the top-1 regret (how much more work the predicted-best
+   plan does than the executed-best plan).
+
+Passing a calibrated cost model (``CostModel(schema, calibration=...)``)
+reruns the same harness with data-driven selectivities — the
+``benchmarks/test_cost_accuracy.py`` gate asserts this measurably helps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.catalog.schema import Schema
+from repro.cost.model import CostModel
+from repro.engine.datagen import DataGenerator
+from repro.engine.executor import Executor, WorkCounters
+from repro.exceptions import OptimizerError
+from repro.plans.operators import JoinMethod, JoinSpec, ScanMethod, ScanSpec
+from repro.plans.plan import JoinPlan, Plan, ScanPlan
+from repro.query.join_graph import JoinGraph
+from repro.query.query import MultiBlockQuery, Query
+
+#: Default cap on executed alternatives per query.
+DEFAULT_MAX_PLANS = 12
+
+
+def enumerate_structures(graph: JoinGraph) -> list:
+    """All unordered join-order structures of the query's join graph.
+
+    A structure is an alias bitmask for a single table or a nested
+    ``(left, right)`` pair; each unordered tree appears exactly once
+    (the split enumeration anchors the lowest bit on the left).
+
+    For connected queries every subtree is required to be a connected
+    subgraph — the csg-cmp restriction the optimizer itself enumerates
+    under. This both matches the plan space under test and keeps
+    execution tractable: a disconnected subtree forces a Cartesian
+    product whose materialization dwarfs every real join. Disconnected
+    queries fall back to unrestricted splits so enumeration stays
+    complete.
+    """
+    connected_only = graph.is_connected(graph.full_mask)
+    memo: dict[int, list] = {}
+
+    def recurse(mask: int) -> list:
+        cached = memo.get(mask)
+        if cached is not None:
+            return cached
+        if mask & (mask - 1) == 0:  # single bit: leaf
+            result = [mask]
+        elif connected_only and not graph.is_connected(mask):
+            result = []
+        else:
+            result = [
+                (left_structure, right_structure)
+                for left, right in graph.splits(mask)
+                for left_structure in recurse(left)
+                for right_structure in recurse(right)
+            ]
+        memo[mask] = result
+        return result
+
+    return recurse(graph.full_mask)
+
+
+def _structure_mask(structure) -> int:
+    if isinstance(structure, int):
+        return structure
+    return _structure_mask(structure[0]) | _structure_mask(structure[1])
+
+
+def build_plan(
+    cost_model: CostModel,
+    query: Query,
+    graph: JoinGraph,
+    structure,
+    sampling: Mapping[str, float] | None = None,
+) -> Plan:
+    """Materialize a structure as a canonical cost-annotated plan.
+
+    Scans are sequential (or Bernoulli-sampling at ``sampling[alias]``),
+    joins are hash joins at DOP 1 — the executor's counters only depend
+    on join order and sampling, so this canonical shape isolates exactly
+    the estimated quantities under test.
+    """
+    if isinstance(structure, int):
+        alias = next(iter(graph.aliases_of(structure)))
+        rate = (sampling or {}).get(alias)
+        if rate is None:
+            spec = ScanSpec(method=ScanMethod.SEQ)
+        else:
+            spec = ScanSpec(method=ScanMethod.SAMPLE, sampling_rate=rate)
+        return cost_model.scan_plan(query, alias, spec)
+    left = build_plan(cost_model, query, graph, structure[0], sampling)
+    right = build_plan(cost_model, query, graph, structure[1], sampling)
+    predicates = graph.predicates_between(
+        _structure_mask(structure[0]), _structure_mask(structure[1])
+    )
+    return cost_model.join_plan(
+        query, JoinSpec(method=JoinMethod.HASH, dop=1), left, right,
+        predicates,
+    )
+
+
+def predicted_work(cost_model: CostModel, plan: Plan) -> float:
+    """Estimated executed work, mirroring the WorkCounters semantics.
+
+    ``rows_scanned`` is the (sampled) base-table cardinality — exact by
+    construction; ``rows_joined`` sums both join operand cardinalities
+    and ``rows_emitted`` is the root cardinality — both taken from the
+    cost model's estimates, which is where selectivity errors surface.
+    """
+    if isinstance(plan, ScanPlan):
+        row_count = cost_model.schema.table(plan.table_name).row_count
+        return row_count * plan.spec.sampling_rate
+    if isinstance(plan, JoinPlan):
+        return (
+            predicted_work(cost_model, plan.left)
+            + predicted_work(cost_model, plan.right)
+            + plan.left.rows
+            + plan.right.rows
+        )
+    raise OptimizerError(f"unsupported plan node: {type(plan).__name__}")
+
+
+def kendall_tau(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Kendall tau-b rank correlation (tie-corrected, in [-1, 1])."""
+    if len(xs) != len(ys):
+        raise OptimizerError("kendall_tau needs equal-length sequences")
+    concordant = discordant = ties_x = ties_y = 0
+    for i in range(len(xs)):
+        for j in range(i + 1, len(xs)):
+            dx = xs[i] - xs[j]
+            dy = ys[i] - ys[j]
+            if dx == 0.0 and dy == 0.0:
+                continue
+            if dx == 0.0:
+                ties_x += 1
+            elif dy == 0.0:
+                ties_y += 1
+            elif (dx > 0.0) == (dy > 0.0):
+                concordant += 1
+            else:
+                discordant += 1
+    denominator = (
+        (concordant + discordant + ties_x)
+        * (concordant + discordant + ties_y)
+    ) ** 0.5
+    if denominator == 0.0:
+        return 0.0
+    return (concordant - discordant) / denominator
+
+
+@dataclass(frozen=True)
+class PlanMeasurement:
+    """One executed alternative: its plan, prediction and actual work."""
+
+    plan: Plan
+    predicted: float
+    counters: WorkCounters
+
+    @property
+    def executed(self) -> int:
+        """Actual work units (WorkCounters.total)."""
+        return self.counters.total
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Rank agreement between estimated and executed work for one query."""
+
+    query_name: str
+    measurements: tuple[PlanMeasurement, ...]
+    structures_total: int
+
+    @property
+    def predicted(self) -> tuple[float, ...]:
+        return tuple(m.predicted for m in self.measurements)
+
+    @property
+    def executed(self) -> tuple[int, ...]:
+        return tuple(m.executed for m in self.measurements)
+
+    @property
+    def kendall_tau(self) -> float:
+        """Tau-b between predicted and executed work over alternatives."""
+        return kendall_tau(self.predicted, self.executed)
+
+    @property
+    def best_executed(self) -> int:
+        """Least executed work over all measured alternatives."""
+        return min(self.executed)
+
+    @property
+    def predicted_best(self) -> PlanMeasurement:
+        """The alternative the estimates rank first."""
+        return min(self.measurements, key=lambda m: m.predicted)
+
+    @property
+    def top1_regret(self) -> float:
+        """Excess work ratio of the predicted-best plan (0 = optimal).
+
+        ``executed(predicted-best) / min(executed) - 1`` — e.g. 0.25
+        means the estimate-chosen order did 25% more work than the best
+        measured order.
+        """
+        best = self.best_executed
+        if best == 0:
+            return 0.0
+        return self.predicted_best.executed / best - 1.0
+
+
+def validate_query(
+    schema: Schema,
+    query: Query | MultiBlockQuery,
+    cost_model: CostModel | None = None,
+    data_seed: int = 0,
+    executor_seed: int = 0,
+    max_plans: int = DEFAULT_MAX_PLANS,
+    sample_seed: int = 0,
+) -> ValidationReport:
+    """Execute alternative join orders of ``query`` and score agreement.
+
+    When the structure count exceeds ``max_plans``, a seeded sample is
+    executed (deterministic across runs and processes). A calibrated
+    ``cost_model`` reruns predictions with data-driven selectivities.
+    """
+    if isinstance(query, MultiBlockQuery):
+        if query.has_subqueries:
+            raise OptimizerError(
+                "validation runs over single-block queries"
+            )
+        query = query.main_block
+    if max_plans < 1:
+        raise OptimizerError(f"max_plans must be >= 1, got {max_plans}")
+    if cost_model is None:
+        cost_model = CostModel(schema)
+    graph = JoinGraph(query)
+    structures = enumerate_structures(graph)
+    total = len(structures)
+    if total > max_plans:
+        structures = random.Random(
+            f"validate:{query.name}:{sample_seed}"
+        ).sample(structures, max_plans)
+    generator = DataGenerator(schema, seed=data_seed)
+    executor = Executor(generator, query, seed=executor_seed)
+    measurements = []
+    for structure in structures:
+        plan = build_plan(cost_model, query, graph, structure)
+        executor.execute(plan)
+        measurements.append(
+            PlanMeasurement(
+                plan=plan,
+                predicted=predicted_work(cost_model, plan),
+                counters=executor.last_work,
+            )
+        )
+    return ValidationReport(
+        query_name=query.name,
+        measurements=tuple(measurements),
+        structures_total=total,
+    )
+
+
+def validate_family(
+    family,
+    count: int = 4,
+    cost_model: CostModel | None = None,
+    data_seed: int = 0,
+    executor_seed: int = 0,
+    max_plans: int = DEFAULT_MAX_PLANS,
+) -> list[ValidationReport]:
+    """Validation reports for the first ``count`` draws of a family."""
+    return [
+        validate_query(
+            family.schema,
+            family.query(i),
+            cost_model=cost_model,
+            data_seed=data_seed,
+            executor_seed=executor_seed,
+            max_plans=max_plans,
+        )
+        for i in range(count)
+    ]
+
+
+def summarize(reports: Sequence[ValidationReport]) -> dict[str, float]:
+    """Aggregate rank-agreement metrics over a batch of reports."""
+    if not reports:
+        raise OptimizerError("no validation reports to summarize")
+    taus = sorted(r.kendall_tau for r in reports)
+    regrets = sorted(r.top1_regret for r in reports)
+    return {
+        "queries": float(len(reports)),
+        "mean_kendall_tau": sum(taus) / len(taus),
+        "min_kendall_tau": taus[0],
+        "median_top1_regret": regrets[len(regrets) // 2],
+        "max_top1_regret": regrets[-1],
+    }

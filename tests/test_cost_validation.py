@@ -13,6 +13,18 @@ from repro import Objective, Preferences
 from repro.cost.model import CostModel
 from repro.engine import DataGenerator, Executor
 from repro.engine.executor import WorkCounters
+from repro.query.join_graph import JoinGraph
+from repro.query.synthetic import (
+    GraphShape,
+    synthetic_query,
+    synthetic_schema,
+)
+from repro.workloads import (
+    build_plan,
+    enumerate_structures,
+    kendall_tau,
+    validate_query,
+)
 
 from tests.conftest import TINY_CONFIG, make_chain_query, make_small_schema
 from tests.helpers import enumerate_all_plans
@@ -95,3 +107,121 @@ class TestCpuEstimatePredictsWork:
         cheap = [work for _, work in measured[:third]]
         expensive = [work for _, work in measured[-third:]]
         assert sum(cheap) / len(cheap) <= sum(expensive) / len(expensive) * 1.5
+
+
+# Seeded random join graphs for the harness property tests: shapes x
+# sizes (2..6 joins) x seeds, with tiny tables so executing several
+# join orders per query stays cheap.
+SHAPE_CASES = [
+    (shape, num_tables, seed)
+    for shape in (GraphShape.CHAIN, GraphShape.STAR, GraphShape.CYCLE)
+    for num_tables in (3, 5, 7)
+    for seed in (0, 1)
+]
+
+
+def _case_id(case):
+    shape, num_tables, seed = case
+    return f"{shape.value}-n{num_tables}-s{seed}"
+
+
+@pytest.fixture(scope="module")
+def shape_reports():
+    """One validation report per random (shape, size, seed) instance."""
+    reports = []
+    for shape, num_tables, seed in SHAPE_CASES:
+        schema = synthetic_schema(
+            num_tables, base_rows=60, growth=1.3, seed=seed
+        )
+        query = synthetic_query(shape, num_tables, seed=seed, num_filters=2)
+        reports.append(
+            validate_query(
+                schema, query, max_plans=6, sample_seed=seed
+            )
+        )
+    return dict(zip(SHAPE_CASES, reports))
+
+
+class TestValidationHarnessProperties:
+    """Property tests of the predicted-vs-actual harness over seeded
+    random join graphs (chain/star/cycle, 2-6 joins)."""
+
+    @pytest.mark.parametrize(
+        "case", SHAPE_CASES, ids=[_case_id(c) for c in SHAPE_CASES]
+    )
+    def test_join_order_invariants(self, shape_reports, case):
+        report = shape_reports[case]
+        assert 2 <= len(report.measurements) <= 6
+        assert report.structures_total >= len(report.measurements)
+        # Inner equality joins: every join order must produce the same
+        # result set, so emitted counts agree exactly across plans.
+        emitted = {m.counters.rows_emitted for m in report.measurements}
+        assert len(emitted) == 1
+        for m in report.measurements:
+            assert m.predicted > 0.0
+            assert m.executed >= m.counters.rows_scanned > 0
+
+    @pytest.mark.parametrize(
+        "case", SHAPE_CASES, ids=[_case_id(c) for c in SHAPE_CASES]
+    )
+    def test_predicted_best_never_catastrophic(self, shape_reports, case):
+        """The estimate-chosen order must not do dramatically more work
+        than the best measured order (here: at most 2x)."""
+        report = shape_reports[case]
+        assert 0.0 <= report.top1_regret <= 1.0
+        assert -1.0 <= report.kendall_tau <= 1.0
+
+    def test_rank_agreement_positive_in_aggregate(self, shape_reports):
+        """Single instances are noisy (near-tied plans on tiny data) but
+        estimates must rank executed work positively across the suite."""
+        taus = [r.kendall_tau for r in shape_reports.values()]
+        assert sum(taus) / len(taus) > 0.3
+
+    def test_structures_respect_connectivity(self):
+        query = synthetic_query(GraphShape.CHAIN, 5, seed=0)
+        graph = JoinGraph(query)
+        structures = enumerate_structures(graph)
+
+        def masks(structure):
+            if isinstance(structure, int):
+                return [structure]
+            combined = []
+            for side in structure:
+                combined.extend(masks(side))
+            left, right = structure
+            combined.append(_mask(left) | _mask(right))
+            return combined
+
+        def _mask(structure):
+            if isinstance(structure, int):
+                return structure
+            return _mask(structure[0]) | _mask(structure[1])
+
+        for structure in structures:
+            for mask in masks(structure):
+                assert graph.is_connected(mask)
+
+    def test_sampling_savings_materialize_in_counters(self):
+        """A sampled scan must cut executed work, as its estimate says."""
+        schema = synthetic_schema(4, base_rows=60, growth=1.3, seed=3)
+        query = synthetic_query(GraphShape.CHAIN, 4, seed=3)
+        graph = JoinGraph(query)
+        structure = enumerate_structures(graph)[0]
+        model = CostModel(schema)
+        generator = DataGenerator(schema, seed=0)
+        executor = Executor(generator, query, seed=0)
+
+        executor.execute(build_plan(model, query, graph, structure))
+        full_work = executor.last_work.total
+        sampled_plan = build_plan(
+            model, query, graph, structure, sampling={"t3": 0.05}
+        )
+        executor.execute(sampled_plan)
+        assert executor.last_work.total < full_work
+
+    def test_kendall_tau_basics(self):
+        assert kendall_tau([1, 2, 3], [10, 20, 30]) == 1.0
+        assert kendall_tau([1, 2, 3], [30, 20, 10]) == -1.0
+        assert kendall_tau([1, 1, 1], [1, 2, 3]) == 0.0
+        with pytest.raises(Exception):
+            kendall_tau([1, 2], [1])

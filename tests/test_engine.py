@@ -185,3 +185,108 @@ class TestExecutor:
         executor = Executor(generator, query, seed=7)
         with pytest.raises(ExecutionError):
             executor.execute(object())
+
+
+class TestExecutorEdgeCases:
+    @staticmethod
+    def _hash_join_plan(model, query, predicates=None):
+        from repro.plans.operators import (
+            JoinMethod,
+            JoinSpec,
+            ScanMethod,
+            ScanSpec,
+        )
+
+        left = model.scan_plan(query, "users",
+                               ScanSpec(method=ScanMethod.SEQ))
+        right = model.scan_plan(query, "orders",
+                                ScanSpec(method=ScanMethod.SEQ))
+        return model.join_plan(
+            query, JoinSpec(JoinMethod.HASH, dop=1), left, right,
+            query.joins if predicates is None else predicates,
+        )
+
+    def test_empty_scan_propagates_through_joins(self, schema, generator):
+        """A filter that passes nothing must yield an empty join result
+        with consistent counters, not an error."""
+        from repro import FilterPredicate, JoinPredicate, Query, TableRef
+        from repro.cost.model import CostModel
+
+        query = Query(
+            "empty_q",
+            (TableRef("users", "users"), TableRef("orders", "orders")),
+            filters=(
+                # Value-keyed Bernoulli draw at 1e-12: no value passes.
+                FilterPredicate("users", "country", 1e-12, "impossible"),
+            ),
+            joins=(JoinPredicate("users", "user_id", "orders", "user_id"),),
+        )
+        executor = Executor(generator, query, seed=7)
+        rows = executor.execute(
+            self._hash_join_plan(CostModel(schema), query)
+        )
+        work = executor.last_work
+        assert rows == []
+        assert work.rows_emitted == 0
+        # Both inputs were still scanned and fed to the join.
+        assert work.rows_scanned == 1200
+        assert work.rows_joined == work.rows_built + work.rows_probed
+
+    def test_cycle_closing_predicate_applied(self, generator):
+        """When one join carries several predicates (a cycle's closing
+        edge lands on the last join), all of them must filter."""
+        from repro.engine import DataGenerator
+        from repro.cost.model import CostModel
+        from repro.query.synthetic import (
+            GraphShape,
+            synthetic_query,
+            synthetic_schema,
+        )
+        from repro.workloads import build_plan, enumerate_structures
+        from repro.query.join_graph import JoinGraph
+
+        cycle_schema = synthetic_schema(3, base_rows=50, growth=1.2, seed=2)
+        query = synthetic_query(GraphShape.CYCLE, 3, seed=2,
+                                filter_selectivity=None)
+        assert len(query.joins) == 3  # chain edges + closing edge
+        graph = JoinGraph(query)
+        model = CostModel(cycle_schema)
+        cycle_generator = DataGenerator(cycle_schema, seed=5)
+        executor = Executor(cycle_generator, query, seed=5)
+        structure = enumerate_structures(graph)[0]
+        plan = build_plan(model, query, graph, structure)
+        rows = executor.execute(plan)
+        for row in rows:
+            for join in query.joins:
+                assert (
+                    row[f"{join.left_alias}.{join.left_column}"]
+                    == row[f"{join.right_alias}.{join.right_column}"]
+                )
+
+    def test_build_probe_sides_accounted(self, schema, generator):
+        """rows_joined decomposes into build (right) + probe (left)."""
+        from repro.cost.model import CostModel
+
+        query = make_chain_query(2, with_filters=False)
+        executor = Executor(generator, query, seed=7)
+        executor.execute(self._hash_join_plan(CostModel(schema), query))
+        work = executor.last_work
+        assert work.rows_probed == 200   # users (left, probe side)
+        assert work.rows_built == 1000   # orders (right, build side)
+        assert work.rows_joined == work.rows_built + work.rows_probed
+        assert work.total == (
+            work.rows_scanned + work.rows_joined + work.rows_emitted
+        )
+
+    def test_counters_reset_covers_new_fields(self, schema, generator):
+        from repro.cost.model import CostModel
+
+        query = make_chain_query(2, with_filters=False)
+        executor = Executor(generator, query, seed=7)
+        plan = self._hash_join_plan(CostModel(schema), query)
+        executor.execute(plan)
+        first = (executor.last_work.rows_built, executor.last_work.rows_probed)
+        executor.execute(plan)
+        assert (
+            executor.last_work.rows_built, executor.last_work.rows_probed
+        ) == first

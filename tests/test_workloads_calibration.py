@@ -1,0 +1,166 @@
+"""Calibration: measurement, significance gating, cost-model overlay."""
+
+import pytest
+
+from repro.cost import cardinality
+from repro.cost.model import CostModel
+from repro.plans.operators import ScanMethod, ScanSpec
+from repro.query.predicate import FilterPredicate, JoinPredicate
+from repro.workloads import (
+    CalibratedStatistics,
+    Calibrator,
+    calibrate_family,
+    q_error,
+    tpch_chain_family,
+)
+
+from tests.conftest import make_chain_query, make_small_schema
+
+
+class TestQError:
+    def test_exact_estimate(self):
+        assert q_error(0.3, 0.3) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(0.1, 0.4) == q_error(0.4, 0.1) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("est,act", [(0.0, 0.5), (0.5, 0.0), (-1.0, 0.5)])
+    def test_nonpositive_is_infinite(self, est, act):
+        assert q_error(est, act) == float("inf")
+
+
+class TestCalibratedStatistics:
+    def test_unknown_predicates_answer_none(self):
+        overlay = CalibratedStatistics()
+        f = FilterPredicate("users", "country", 0.3, "f")
+        j = JoinPredicate("users", "user_id", "orders", "user_id")
+        assert overlay.filter_selectivity(f) is None
+        assert overlay.join_selectivity(j) is None
+        assert len(overlay) == 0
+
+    def test_recorded_values_round_trip(self):
+        overlay = CalibratedStatistics()
+        f = FilterPredicate("users", "country", 0.3, "f")
+        j = JoinPredicate("users", "user_id", "orders", "user_id")
+        overlay.record_filter(f, 0.12)
+        overlay.record_join(j, 0.004)
+        assert overlay.filter_selectivity(f) == 0.12
+        assert overlay.join_selectivity(j) == 0.004
+        assert len(overlay) == 2
+
+
+class TestOverlayConsumption:
+    """The overlay must actually steer cardinality estimation."""
+
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return make_small_schema()
+
+    def test_filter_selectivity_prefers_overlay(self, schema):
+        predicate = FilterPredicate("users", "country", 0.3, "f")
+        overlay = CalibratedStatistics()
+        overlay.record_filter(predicate, 0.05)
+        assert cardinality.filter_selectivity((predicate,)) == 0.3
+        assert cardinality.filter_selectivity((predicate,), overlay) == 0.05
+
+    def test_join_selectivity_prefers_overlay(self, schema):
+        query = make_chain_query(2)
+        predicate = query.joins[0]
+        overlay = CalibratedStatistics()
+        overlay.record_join(predicate, 0.125)
+        assert cardinality.join_predicate_selectivity(
+            schema, query, predicate, overlay
+        ) == 0.125
+
+    def test_selectivity_cache_consults_overlay(self, schema):
+        query = make_chain_query(2)
+        overlay = CalibratedStatistics()
+        overlay.record_join(query.joins[0], 0.125)
+        cache = cardinality.SelectivityCache(schema, overlay=overlay)
+        assert cache.join_selectivity(query, (query.joins[0],)) == 0.125
+
+    def test_cost_model_scan_rows_follow_calibration(self, schema):
+        query = make_chain_query(1)  # users with country filter 0.3
+        overlay = CalibratedStatistics()
+        overlay.record_filter(query.filters[0], 0.05)
+        spec = ScanSpec(method=ScanMethod.SEQ)
+        plain = CostModel(schema).scan_plan(query, "users", spec)
+        calibrated = CostModel(schema, calibration=overlay).scan_plan(
+            query, "users", spec
+        )
+        assert plain.rows == pytest.approx(200 * 0.3)
+        assert calibrated.rows == pytest.approx(200 * 0.05)
+
+    def test_partial_overlay_falls_back_to_catalog(self, schema):
+        query = make_chain_query(2)  # users+orders, filters on both
+        overlay = CalibratedStatistics()
+        overlay.record_filter(query.filters[0], 0.05)
+        model = CostModel(schema, calibration=overlay)
+        spec = ScanSpec(method=ScanMethod.SEQ)
+        orders = model.scan_plan(query, "orders", spec)
+        # orders' filter was never calibrated -> nominal selectivity.
+        assert orders.rows == pytest.approx(
+            1000 * query.filters[1].selectivity
+        )
+
+
+class TestCalibratorOnFamily:
+    @pytest.fixture(scope="class")
+    def result(self):
+        family = tpch_chain_family(extra_joins=3, seed=0)
+        return calibrate_family(family, count=2, sample_size=256)
+
+    def test_covers_all_distinct_predicates(self, result):
+        # 2 draws x (3 filters + 3 joins), anchor filter and joins
+        # deduplicate across draws: 1 + 2*2 + 3 = 8 reports.
+        assert len(result.reports) == 8
+        kinds = {r.kind for r in result.reports}
+        assert kinds == {"filter", "join"}
+
+    def test_key_joins_not_overridden(self, result):
+        """FK joins: catalog 1/max(ndv) is exact for dense generated
+        keys, so the sample measurement must not displace it."""
+        joins = [r for r in result.reports if r.kind == "join"]
+        assert joins and all(not r.overridden for r in joins)
+        assert all(r.calibrated == r.catalog for r in joins)
+
+    def test_low_ndv_filters_overridden(self, result):
+        """o_orderstatus (ndv 3): the value-keyed Bernoulli realization
+        sits far from the nominal fraction — calibration must catch it."""
+        status = [
+            r for r in result.reports if "o_orderstatus" in r.description
+        ]
+        assert status and all(r.overridden for r in status)
+        for r in status:
+            assert r.q_error_calibrated < r.q_error_catalog
+
+    def test_calibration_never_hurts_in_aggregate(self, result):
+        assert result.median_q_error(True) <= result.median_q_error(False)
+        assert result.max_q_error(True) <= result.max_q_error(False)
+
+    def test_overlay_contains_only_overridden(self, result):
+        overridden = sum(r.overridden for r in result.reports)
+        assert len(result.statistics) == overridden > 0
+
+
+class TestCalibratorMeasurements:
+    @pytest.fixture(scope="class")
+    def calibrator(self):
+        return Calibrator(make_small_schema(), sample_size=100)
+
+    def test_certain_filter_passes_everything(self, calibrator):
+        predicate = FilterPredicate("users", "country", 1.0, "f")
+        rows = calibrator.generator.materialize("users")
+        assert calibrator.measure_filter(predicate, rows) == 1.0
+
+    def test_fk_join_matches_catalog_rule(self, calibrator):
+        predicate = JoinPredicate("users", "user_id", "orders", "user_id")
+        users = calibrator.generator.materialize("users")
+        orders = calibrator.generator.materialize("orders")
+        measured = calibrator.measure_join(predicate, users, orders)
+        # Dense user keys: every order matches exactly one user.
+        assert measured == pytest.approx(1.0 / 200)
+
+    def test_sample_size_validated(self):
+        with pytest.raises(Exception):
+            Calibrator(make_small_schema(), sample_size=0)

@@ -1,0 +1,199 @@
+"""Workload families: topology, knob validation, spawn-safe determinism."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.service import OptimizerService
+from repro.exceptions import OptimizerError
+from repro.workloads import (
+    FAMILIES,
+    job_chain_family,
+    make_family,
+    tpch_chain_family,
+)
+
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+class TestTpchChainTopology:
+    def test_chain_shape(self):
+        family = tpch_chain_family(extra_joins=3)
+        query = family.query(0)
+        assert query.num_tables == 4
+        assert len(query.joins) == 3
+        aliases = {ref.alias for ref in query.table_refs}
+        assert aliases == {"lineitem", "orders", "customer", "nation"}
+
+    def test_star_shape_hubs_on_lineitem(self):
+        family = tpch_chain_family(extra_joins=4, shape="star")
+        query = family.query(0)
+        assert query.num_tables == 5
+        assert all(join.left_alias == "lineitem" for join in query.joins)
+
+    def test_cycle_shape_closes_circuit(self):
+        family = tpch_chain_family(extra_joins=4, shape="cycle")
+        query = family.query(0)
+        # 5 tables and 5 edges: a genuine cycle, not a tree.
+        assert query.num_tables == 5
+        assert len(query.joins) == 5
+        closer = query.joins[-1]
+        assert (closer.left_alias, closer.right_alias) == (
+            "supplier", "lineitem"
+        )
+
+    def test_anchor_filter_uses_selectivity_knob(self):
+        family = tpch_chain_family(extra_joins=2, selectivity=0.17)
+        anchor = family.query(0).filters[0]
+        assert anchor.alias == "lineitem"
+        assert anchor.selectivity == 0.17
+
+    def test_secondary_filters_vary_per_draw(self):
+        family = tpch_chain_family(extra_joins=2)
+        first = family.query(0).filters[1:]
+        second = family.query(1).filters[1:]
+        assert first != second
+
+    def test_query_names_index_the_draw(self):
+        family = tpch_chain_family(extra_joins=3)
+        assert family.query(5).name == "tpch-chain-j3-d5"
+
+
+class TestJobChainTopology:
+    def test_chain_lengths(self):
+        assert job_chain_family(joins=1).query(0).num_tables == 2
+        assert job_chain_family(joins=8).query(0).num_tables == 9
+
+    def test_joins_follow_fixed_traversal(self):
+        query = job_chain_family(joins=4).query(0)
+        assert [j.right_alias for j in query.joins] == ["cn", "t", "ct", "kt"]
+
+    def test_anchor_filter_on_movie_companies(self):
+        anchor = job_chain_family(joins=2, selectivity=0.4).query(0).filters[0]
+        assert (anchor.alias, anchor.column) == ("mc", "company_type_id")
+        assert anchor.selectivity == 0.4
+
+    def test_schema_is_mini_imdb(self):
+        family = job_chain_family(joins=8)
+        assert family.schema.name.startswith("imdb")
+        assert family.schema.table("title").row_count > 0
+
+
+class TestKnobValidation:
+    @pytest.mark.parametrize("extra_joins", [0, 7])
+    def test_chain_join_range(self, extra_joins):
+        with pytest.raises(OptimizerError):
+            tpch_chain_family(extra_joins=extra_joins)
+
+    def test_star_join_range(self):
+        with pytest.raises(OptimizerError):
+            tpch_chain_family(extra_joins=5, shape="star")
+
+    def test_cycle_requires_full_circuit(self):
+        with pytest.raises(OptimizerError):
+            tpch_chain_family(extra_joins=3, shape="cycle")
+
+    def test_unknown_shape(self):
+        with pytest.raises(OptimizerError):
+            tpch_chain_family(shape="lattice")
+
+    @pytest.mark.parametrize("selectivity", [0.0, 1.5])
+    def test_selectivity_domain(self, selectivity):
+        with pytest.raises(OptimizerError):
+            tpch_chain_family(selectivity=selectivity)
+        with pytest.raises(OptimizerError):
+            job_chain_family(selectivity=selectivity)
+
+    @pytest.mark.parametrize("joins", [0, 9])
+    def test_job_join_range(self, joins):
+        with pytest.raises(OptimizerError):
+            job_chain_family(joins=joins)
+
+    def test_unknown_family_name(self):
+        with pytest.raises(OptimizerError, match="unknown workload family"):
+            make_family("tpch-snowflake")
+
+    def test_registry_names(self):
+        assert set(FAMILIES) == {"tpch-chain", "job-chain"}
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(OptimizerError):
+            tpch_chain_family().request(-1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(OptimizerError):
+            tpch_chain_family().requests(-1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_fingerprints(self):
+        a = tpch_chain_family(extra_joins=3, seed=42)
+        b = tpch_chain_family(extra_joins=3, seed=42)
+        assert [r.fingerprint() for r in a.requests(3)] == [
+            r.fingerprint() for r in b.requests(3)
+        ]
+
+    def test_draws_are_position_independent(self):
+        # Request i must not depend on how many requests were drawn
+        # before it (no shared RNG state to advance).
+        family = tpch_chain_family(extra_joins=2, seed=9)
+        direct = family.request(2).fingerprint()
+        batch = family.requests(3)[2].fingerprint()
+        assert direct == batch
+
+    def test_distinct_seeds_distinct_draws(self):
+        a = job_chain_family(joins=3, seed=1)
+        b = job_chain_family(joins=3, seed=2)
+        assert a.request(0).fingerprint() != b.request(0).fingerprint()
+
+    def test_distinct_knobs_distinct_draws(self):
+        a = tpch_chain_family(extra_joins=2, selectivity=0.3, seed=5)
+        b = tpch_chain_family(extra_joins=2, selectivity=0.4, seed=5)
+        assert a.request(0).fingerprint() != b.request(0).fingerprint()
+
+    def test_preferences_follow_paper_setup(self):
+        family = job_chain_family(joins=2, seed=3)
+        for index in range(6):
+            preferences = family.preferences(index)
+            assert 2 <= preferences.num_objectives <= 4
+            assert all(0.1 <= w <= 1.0 for w in preferences.weights)
+
+    def test_fingerprints_stable_across_processes(self):
+        """Spawn-safety: a fresh interpreter reproduces the exact draws."""
+        family = tpch_chain_family(extra_joins=2, seed=42)
+        expected = [r.fingerprint() for r in family.requests(3)]
+        code = (
+            "from repro.workloads import tpch_chain_family\n"
+            "family = tpch_chain_family(extra_joins=2, seed=42)\n"
+            "for request in family.requests(3):\n"
+            "    print(request.fingerprint())\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(SRC_DIR))
+        output = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env, capture_output=True, text=True, check=True, timeout=60,
+        ).stdout
+        assert output.split() == expected
+
+
+class TestServiceIntegration:
+    def test_family_batch_through_optimize_many(self):
+        family = tpch_chain_family(extra_joins=2, seed=7)
+        requests = family.requests(3)
+        service = OptimizerService(family.schema)
+        try:
+            results = service.optimize_many(requests)
+        finally:
+            service.close()
+        assert len(results) == 3
+        assert all(r.plan is not None and not r.degraded for r in results)
+        assert [r.query_name for r in results] == [
+            r.query_name for r in requests
+        ]
+
+    def test_request_tags_identify_family_and_draw(self):
+        request = job_chain_family(joins=2).request(4)
+        assert request.tags == ("family:job-chain", "draw4")
