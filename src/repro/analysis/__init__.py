@@ -1,0 +1,63 @@
+"""Static analysis: executable invariants for the reproduction's contracts.
+
+The repo's correctness rests on contracts no type checker knows about:
+bitwise-deterministic frontiers, fingerprint-complete cache keys,
+lock-disciplined metrics, spawn-safe picklability, non-blocking event
+loops, and a plan cache that never stores degraded results. Each was
+originally tribal knowledge enforced by review; each has had (or nearly
+had) a real bug. This package turns them into AST-checked rules:
+
+========  ==============================================================
+REP001    determinism — unseeded RNG, wall-clock reads, unordered set
+          iteration in result-affecting modules
+REP002    lock discipline — ``# guarded-by: <lock>`` attributes touched
+          outside a ``with self.<lock>`` block
+REP003    spawn safety — lambdas/closures submitted to process pools
+REP004    async hygiene — blocking calls inside ``async def`` bodies
+REP005    fingerprint completeness — dataclass fields invisible to
+          ``fingerprint()`` and absent from ``_FINGERPRINT_EXCLUDED``
+REP006    cache purity — plan-cache stores unguarded by
+          ``timed_out``/``deadline_hit`` checks
+========  ==============================================================
+
+Run it as ``repro lint [paths...]`` (exit 0 clean, 1 violations,
+2 analyzer error). Suppress a finding with a mandatory reason::
+
+    deadline = time.perf_counter() + 5  # lint-allow: REP001 budget clock
+
+or for a whole file with ``# lint-allow-file: REP00X <reason>``.
+A suppression without a reason is itself a violation (LINT000).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.engine import (
+    AnalysisReport,
+    Analyzer,
+    AnalyzerError,
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    register_rule,
+)
+from repro.analysis.report import render_json, render_text
+
+# Importing the rules package registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401  (registration)
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "AnalyzerError",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "register_rule",
+    "load_baseline",
+    "write_baseline",
+    "render_json",
+    "render_text",
+]

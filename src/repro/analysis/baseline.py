@@ -1,0 +1,77 @@
+"""Committed-baseline support: grandfather known findings, gate new ones.
+
+A baseline file records the findings that existed when the gate was
+introduced so CI can fail only on *new* violations. Entries are keyed
+on ``(rule, path, message)`` — deliberately line-insensitive so code
+motion neither resurrects grandfathered findings nor orphans entries.
+
+For this repo the committed ``lint-baseline.json`` is empty by policy:
+every real finding was either fixed or suppressed inline with a
+reason. The mechanism exists for downstream forks adopting the gate on
+a dirty tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import AnalysisReport, AnalyzerError, Violation
+
+#: Schema version stamped into baseline files.
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file into a set of violation keys."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise AnalyzerError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise AnalyzerError(
+            f"baseline {path} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise AnalyzerError(
+            f"baseline {path} has no 'entries' list"
+        )
+    entries = payload["entries"]
+    if not isinstance(entries, list):
+        raise AnalyzerError(f"baseline {path} 'entries' is not a list")
+    keys: set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise AnalyzerError(f"baseline {path} has a non-object entry")
+        try:
+            keys.add(f"{entry['rule']}|{entry['path']}|{entry['message']}")
+        except KeyError as error:
+            raise AnalyzerError(
+                f"baseline {path} entry missing key {error}"
+            ) from error
+    return keys
+
+
+def write_baseline(path: str | Path, violations: list[Violation]) -> None:
+    """Serialize current findings as the new baseline."""
+    entries = [
+        {"rule": v.rule, "path": v.path, "message": v.message}
+        for v in sorted(violations, key=lambda v: v.baseline_key())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(report: AnalysisReport, keys: set[str]) -> AnalysisReport:
+    """Drop baselined findings from a report (counts them as baselined)."""
+    kept: list[Violation] = []
+    for violation in report.violations:
+        if violation.baseline_key() in keys:
+            report.baselined += 1
+        else:
+            kept.append(violation)
+    report.violations = kept
+    return report

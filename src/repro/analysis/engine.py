@@ -1,0 +1,312 @@
+"""Analyzer engine: file contexts, the rule registry, the driver.
+
+The engine is deliberately stdlib-only (``ast`` + ``tokenize``): rules
+receive a :class:`FileContext` with the parsed tree (parent links
+attached), the comment map, an import-alias resolver for qualified
+names, and the file's suppression state. The :class:`Analyzer` walks a
+set of paths, applies every registered rule, filters suppressed
+findings, and folds malformed suppressions in as ``LINT000``
+violations (which themselves cannot be suppressed).
+
+Error model: anything that prevents analysis from *running* — missing
+paths, unreadable or syntactically invalid files, a rule crashing —
+raises :class:`AnalyzerError`. The CLI maps that to exit code 2,
+distinct from exit code 1 (violations found), so a red CI job is
+immediately diagnosable as "the tree is dirty" vs "the linter broke".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.suppressions import (
+    Suppressions,
+    collect_comments,
+    parse_suppressions,
+)
+
+#: Rule id used for malformed/reason-less suppression comments.
+SUPPRESSION_RULE_ID = "LINT000"
+
+
+class AnalyzerError(Exception):
+    """Analysis could not run (distinct from "violations were found")."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def baseline_key(self) -> str:
+        """Identity used by the committed baseline.
+
+        Deliberately line-insensitive (rule + file + message): unrelated
+        edits that shift line numbers must not resurrect baselined
+        findings or orphan baseline entries.
+        """
+        return f"{self.rule}|{self.path}|{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """Everything a rule may want to know about one source file."""
+
+    def __init__(self, path: Path, display_path: str, source: str,
+                 tree: ast.Module) -> None:
+        self.path = path
+        #: Path as reported in findings (posix separators).
+        self.display_path = display_path
+        self.source = source
+        self.tree = tree
+        self.comments: dict[int, str] = collect_comments(source)
+        self.suppressions: Suppressions = parse_suppressions(self.comments)
+        self._aliases = self._collect_import_aliases(tree)
+        self._attach_parents(tree)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _attach_parents(tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                child._repro_parent = node  # type: ignore[attr-defined]
+
+    @staticmethod
+    def parent(node: ast.AST) -> ast.AST | None:
+        return getattr(node, "_repro_parent", None)
+
+    @classmethod
+    def ancestors(cls, node: ast.AST) -> Iterator[ast.AST]:
+        current = cls.parent(node)
+        while current is not None:
+            yield current
+            current = cls.parent(current)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_import_aliases(tree: ast.Module) -> dict[str, str]:
+        """Map local names to the dotted names they import.
+
+        ``import time as _time`` -> ``{"_time": "time"}``;
+        ``from concurrent.futures import ProcessPoolExecutor as PPE`` ->
+        ``{"PPE": "concurrent.futures.ProcessPoolExecutor"}``.
+        """
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    local = item.asname or item.name.split(".")[0]
+                    target = item.name if item.asname else local
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative imports stay unresolved
+                    continue
+                for item in node.names:
+                    local = item.asname or item.name
+                    aliases[local] = f"{node.module}.{item.name}"
+        return aliases
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Literal dotted form of a Name/Attribute chain, if it is one.
+
+        ``self.cache.put`` -> ``"self.cache.put"``; anything rooted in a
+        call or subscript returns ``None``.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def qualified_name(self, node: ast.AST) -> str | None:
+        """Import-resolved dotted name of a Name/Attribute chain.
+
+        With ``import time as _time``, ``_time.perf_counter`` resolves
+        to ``"time.perf_counter"``; unresolvable roots fall back to the
+        literal dotted name.
+        """
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        resolved = self._aliases.get(root, root)
+        return f"{resolved}.{rest}" if rest else resolved
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analyzer run."""
+
+    files_checked: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+class Rule:
+    """Base class for invariant rules.
+
+    Subclasses set ``rule_id``/``name``/``description`` and implement
+    :meth:`check`. ``path_markers`` (optional) restricts the rule to
+    files whose display path contains any of the markers — rules
+    encoding module-specific contracts (determinism, async hygiene)
+    scope themselves this way while staying testable on fixture trees
+    that mimic the layout.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    #: Substrings of the display path this rule applies to; empty means
+    #: every file.
+    path_markers: tuple[str, ...] = ()
+
+    def __init__(self, path_markers: tuple[str, ...] | None = None) -> None:
+        if path_markers is not None:
+            self.path_markers = tuple(path_markers)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not self.path_markers:
+            return True
+        return any(marker in ctx.display_path for marker in self.path_markers)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(
+            rule=self.rule_id,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the default registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule class {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, id-ordered."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def registered_rule_classes() -> dict[str, type[Rule]]:
+    return dict(_REGISTRY)
+
+
+class Analyzer:
+    """Run a set of rules over a set of paths."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules: list[Rule] = (
+            list(rules) if rules is not None else all_rules()
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if not path.exists():
+                raise AnalyzerError(f"no such file or directory: {path}")
+            if path.is_file():
+                candidates = [path]
+            else:
+                candidates = sorted(path.rglob("*.py"))
+            for candidate in candidates:
+                if "__pycache__" in candidate.parts:
+                    continue
+                resolved = candidate.resolve()
+                if resolved in seen:
+                    continue
+                seen.add(resolved)
+                yield candidate
+
+    def _load(self, path: Path) -> FileContext:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise AnalyzerError(f"cannot read {path}: {error}") from error
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            raise AnalyzerError(
+                f"cannot parse {path}: {error.msg} (line {error.lineno})"
+            ) from error
+        return FileContext(path, path.as_posix(), source, tree)
+
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[str | Path]) -> AnalysisReport:
+        """Analyze every ``.py`` file under ``paths``.
+
+        Raises :class:`AnalyzerError` for anything that prevents the
+        analysis itself (missing path, unparseable file, crashing rule);
+        returns a report otherwise — finding violations is a *normal*
+        outcome, not an error.
+        """
+        report = AnalysisReport()
+        for path in self._iter_python_files(paths):
+            ctx = self._load(path)
+            report.files_checked += 1
+            for line, message in ctx.suppressions.malformed:
+                report.violations.append(
+                    Violation(
+                        rule=SUPPRESSION_RULE_ID,
+                        path=ctx.display_path,
+                        line=line,
+                        col=0,
+                        message=message,
+                    )
+                )
+            for rule in self.rules:
+                if not rule.applies_to(ctx):
+                    continue
+                try:
+                    findings = list(rule.check(ctx))
+                except AnalyzerError:
+                    raise
+                except Exception as error:
+                    raise AnalyzerError(
+                        f"rule {rule.rule_id} crashed on {path}: "
+                        f"{type(error).__name__}: {error}"
+                    ) from error
+                for finding in findings:
+                    if ctx.suppressions.silences(finding.rule, finding.line):
+                        report.suppressed += 1
+                    else:
+                        report.violations.append(finding)
+        report.violations.sort(
+            key=lambda v: (v.path, v.line, v.col, v.rule)
+        )
+        return report

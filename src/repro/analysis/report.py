@@ -1,0 +1,56 @@
+"""Reporters: human-readable text and machine-parseable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisReport, Rule
+
+#: Bumped when the JSON shape changes incompatibly.
+REPORT_VERSION = 1
+
+
+def render_text(report: AnalysisReport) -> str:
+    """One ``path:line:col: RULE message`` line per finding + summary."""
+    lines = [violation.render() for violation in report.violations]
+    noun = "violation" if len(report.violations) == 1 else "violations"
+    summary = (
+        f"{len(report.violations)} {noun} "
+        f"({report.suppressed} suppressed, {report.baselined} baselined) "
+        f"in {report.files_checked} files"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, rules: list[Rule]) -> str:
+    """Full report as a JSON document (stable schema, see tests)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "tool": "repro-lint",
+        "files_checked": report.files_checked,
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "description": rule.description,
+            }
+            for rule in rules
+        ],
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "counts": {
+            "violations": len(report.violations),
+            "suppressed": report.suppressed,
+            "baselined": report.baselined,
+        },
+    }
+    return json.dumps(payload, indent=2)

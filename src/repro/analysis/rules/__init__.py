@@ -1,0 +1,21 @@
+"""Built-in rules. Importing this package registers all of them."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effect)
+    async_hygiene,
+    cache_purity,
+    determinism,
+    fingerprint,
+    locks,
+    spawn,
+)
+
+__all__ = [
+    "async_hygiene",
+    "cache_purity",
+    "determinism",
+    "fingerprint",
+    "locks",
+    "spawn",
+]

@@ -1,0 +1,78 @@
+"""REP004: async hygiene — nothing blocking inside ``async def``.
+
+The serving layer runs a single asyncio event loop; one blocking call
+inside a coroutine stalls every in-flight connection (and defeats the
+deadline-shedding logic, which assumes the loop keeps turning).
+Blocking work belongs behind ``loop.run_in_executor(...)`` — which is
+how the server already routes ``service.submit``.
+
+Flagged, when called directly in an ``async def`` body under
+``serving/``: ``time.sleep`` (use ``asyncio.sleep``), builtin
+``open``/sync ``socket.*`` constructors, and ``.submit`` on a service
+object (the long DP optimization itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Rule, Violation, register_rule
+
+_BLOCKING_CALLS = {
+    "time.sleep": "use 'await asyncio.sleep(...)' instead",
+    "open": "use run_in_executor for file I/O",
+    "socket.socket": "use asyncio streams or run_in_executor",
+    "socket.create_connection": "use asyncio.open_connection",
+}
+
+
+@register_rule
+class AsyncHygieneRule(Rule):
+    rule_id = "REP004"
+    name = "async-hygiene"
+    description = (
+        "no blocking calls (time.sleep, sync I/O, service.submit) "
+        "directly inside async def bodies"
+    )
+    path_markers = ("/serving/",)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node)
+
+    def _check_coroutine(self, ctx: FileContext,
+                         coro: ast.AsyncFunctionDef) -> Iterable[Violation]:
+        for node in ast.walk(coro):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._nearest_function(ctx, node) is not coro:
+                continue  # belongs to a nested def, not this coroutine
+            qualified = ctx.qualified_name(node.func)
+            if qualified in _BLOCKING_CALLS:
+                yield self.violation(
+                    ctx, node,
+                    f"blocking call '{qualified}()' inside async def "
+                    f"'{coro.name}' stalls the event loop; "
+                    f"{_BLOCKING_CALLS[qualified]}",
+                )
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "submit":
+                receiver = ctx.dotted_name(func.value) or ""
+                if "service" in receiver.lower():
+                    yield self.violation(
+                        ctx, node,
+                        f"synchronous '{receiver}.submit(...)' inside "
+                        f"async def '{coro.name}' blocks the event loop "
+                        "for the whole optimization; wrap it in "
+                        "loop.run_in_executor",
+                    )
+
+    @staticmethod
+    def _nearest_function(ctx: FileContext, node: ast.AST) -> ast.AST | None:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None

@@ -1,0 +1,70 @@
+"""REP006: cache purity — degraded results never enter the plan cache.
+
+PR 2 and PR 8 established the contract: results that timed out, hit
+their deadline, were rerouted, or came back degraded are *partial*
+frontiers and must never be cached — a cached partial frontier poisons
+every later request with the same fingerprint. Every ``cache.put``
+call site must therefore sit inside an ``if`` whose condition tests
+both ``timed_out`` and ``deadline_hit`` (the canonical shape is
+``if not result.timed_out and not result.deadline_hit: cache.put(...)``).
+
+The check is lexical: the names ``timed_out`` and ``deadline_hit``
+must both appear in the tests of the ``if`` statements enclosing the
+store. Guarding via early-return does not satisfy the rule by design —
+keeping the guard adjacent to the store is the reviewable pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Rule, Violation, register_rule
+
+_REQUIRED_GUARDS = {"timed_out", "deadline_hit"}
+
+
+@register_rule
+class CachePurityRule(Rule):
+    rule_id = "REP006"
+    name = "cache-purity"
+    description = (
+        "plan-cache stores must be guarded by timed_out/deadline_hit "
+        "checks"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "put"):
+                continue
+            receiver = ctx.dotted_name(func.value) or ""
+            if "cache" not in receiver.lower():
+                continue
+            guards = self._enclosing_if_identifiers(ctx, node)
+            missing = sorted(_REQUIRED_GUARDS - guards)
+            if missing:
+                yield self.violation(
+                    ctx, node,
+                    f"'{receiver}.put(...)' is not guarded by "
+                    f"{' and '.join(missing)} checks; degraded/partial "
+                    "results must never enter the plan cache",
+                )
+
+    @staticmethod
+    def _enclosing_if_identifiers(ctx: FileContext,
+                                  node: ast.AST) -> set[str]:
+        """Every identifier appearing in enclosing ``if`` conditions."""
+        identifiers: set[str] = set()
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break  # guards outside the function don't count
+            if isinstance(ancestor, ast.If):
+                for sub in ast.walk(ancestor.test):
+                    if isinstance(sub, ast.Name):
+                        identifiers.add(sub.id)
+                    elif isinstance(sub, ast.Attribute):
+                        identifiers.add(sub.attr)
+        return identifiers

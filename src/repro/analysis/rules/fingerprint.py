@@ -1,0 +1,109 @@
+"""REP005: fingerprint completeness — no field invisible to the cache key.
+
+The plan cache is keyed on ``fingerprint()``. A dataclass field that
+changes optimizer behaviour but is not folded into the fingerprint
+makes two semantically different requests collide on one cache entry —
+the worst kind of wrong-answer bug, because every individual layer
+looks correct. This rule closes the loop structurally: for any class
+defining ``fingerprint()``, every public field must either be
+(transitively) read by ``fingerprint()`` or listed in an explicit
+``_FINGERPRINT_EXCLUDED`` allowlist — so excluding a field from the
+key is always a visible, reviewable decision.
+
+The reachability walk follows ``self.<method>()`` calls, so helpers
+like ``cache_payload()`` or ``canonical_items()`` count as consumption.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Rule, Violation, register_rule
+
+_ALLOWLIST_NAME = "_FINGERPRINT_EXCLUDED"
+
+
+@register_rule
+class FingerprintCompletenessRule(Rule):
+    rule_id = "REP005"
+    name = "fingerprint-completeness"
+    description = (
+        "every field of a fingerprint()-bearing class must feed "
+        "fingerprint() or appear in _FINGERPRINT_EXCLUDED"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: FileContext,
+                     classdef: ast.ClassDef) -> Iterable[Violation]:
+        methods = {
+            stmt.name: stmt
+            for stmt in classdef.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if "fingerprint" not in methods:
+            return
+        fields: dict[str, ast.AnnAssign] = {}
+        excluded: set[str] | None = None
+        for stmt in classdef.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                if name.startswith("_"):
+                    continue
+                if "ClassVar" in ast.dump(stmt.annotation):
+                    continue
+                fields[name] = stmt
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id == _ALLOWLIST_NAME:
+                        excluded = {
+                            sub.value
+                            for sub in ast.walk(stmt.value)
+                            if isinstance(sub, ast.Constant)
+                            and isinstance(sub.value, str)
+                        }
+        if not fields:
+            return
+        consumed = self._reachable_attrs(methods)
+        for name in sorted(set(fields) - consumed - (excluded or set())):
+            hint = (
+                f"add it to {_ALLOWLIST_NAME}"
+                if excluded is not None
+                else f"declare {_ALLOWLIST_NAME} = frozenset({{...}}) "
+                     "naming it"
+            )
+            yield self.violation(
+                ctx, fields[name],
+                f"field '{name}' of '{classdef.name}' is invisible to "
+                f"fingerprint(): fold it into the fingerprint or {hint} "
+                "to record the exclusion explicitly",
+            )
+
+    @staticmethod
+    def _reachable_attrs(methods: dict[str, ast.AST]) -> set[str]:
+        """All ``self.<attr>`` names transitively read from fingerprint()."""
+        consumed: set[str] = set()
+        queue = ["fingerprint"]
+        visited: set[str] = set()
+        while queue:
+            name = queue.pop()
+            if name in visited:
+                continue
+            visited.add(name)
+            method = methods.get(name)
+            if method is None:
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Attribute) \
+                        and isinstance(node.value, ast.Name) \
+                        and node.value.id == "self":
+                    consumed.add(node.attr)
+                    if node.attr in methods:
+                        queue.append(node.attr)
+        return consumed

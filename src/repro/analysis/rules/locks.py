@@ -1,0 +1,138 @@
+"""REP002: lock discipline — guarded attributes stay under their lock.
+
+PR 7 shipped a real torn-snapshot race: ``ServingMetrics`` updated a
+counter under ``self._lock`` but appended the latency sample outside
+it, so a concurrent ``snapshot()`` could observe the count without the
+sample. This rule makes the convention checkable:
+
+* Declare the invariant where the attribute is born::
+
+      self.requests = 0  # guarded-by: _lock
+
+  or on a class-level (dataclass) field::
+
+      requests: int = 0  # guarded-by: _lock
+
+* Every other ``self.<attr>`` access inside the class must then sit
+  lexically inside ``with self.<lock>:``.
+
+Exemptions: ``__init__``/``__post_init__`` (construction precedes
+sharing); methods whose name ends in ``_locked`` (caller holds the
+lock, matching the existing ``_percentile_locked`` idiom); methods
+carrying ``# holds-lock: <lock>`` on their ``def`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Rule, Violation, register_rule
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_]\w*)")
+_HOLDS_RE = re.compile(r"#\s*holds-lock:\s*(?P<lock>[A-Za-z_]\w*)")
+
+_EXEMPT_METHODS = {"__init__", "__post_init__"}
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    rule_id = "REP002"
+    name = "lock-discipline"
+    description = (
+        "attributes annotated '# guarded-by: <lock>' must only be "
+        "accessed inside 'with self.<lock>'"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, ctx: FileContext,
+                     classdef: ast.ClassDef) -> Iterable[Violation]:
+        guarded, declaration_lines = self._collect_guarded(ctx, classdef)
+        if not guarded:
+            return
+        for node in ast.walk(classdef):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in guarded):
+                continue
+            if node.lineno in declaration_lines:
+                continue
+            lock = guarded[node.attr]
+            if self._is_exempt(ctx, node, lock):
+                continue
+            yield self.violation(
+                ctx, node,
+                f"'{node.attr}' is guarded-by '{lock}' but accessed "
+                f"outside 'with self.{lock}'",
+            )
+
+    def _collect_guarded(
+        self, ctx: FileContext, classdef: ast.ClassDef
+    ) -> tuple[dict[str, str], set[int]]:
+        """Attribute -> lock name, plus the declaration lines to skip."""
+        guarded: dict[str, str] = {}
+        declaration_lines: set[int] = set()
+        # Class-level (dataclass) fields annotated on their own line.
+        for stmt in classdef.body:
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                match = _GUARDED_RE.search(ctx.comments.get(stmt.lineno, ""))
+                if match:
+                    guarded[stmt.target.id] = match.group("lock")
+                    declaration_lines.add(stmt.lineno)
+        # ``self.x = ...`` declarations (conventionally in __init__).
+        for node in ast.walk(classdef):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                targets = [node.target]
+            else:
+                continue
+            match = _GUARDED_RE.search(ctx.comments.get(node.lineno, ""))
+            if not match:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    guarded[target.attr] = match.group("lock")
+                    declaration_lines.add(node.lineno)
+        return guarded, declaration_lines
+
+    def _is_exempt(self, ctx: FileContext, node: ast.Attribute,
+                   lock: str) -> bool:
+        enclosing = None
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)) \
+                    and self._with_holds(ancestor, lock):
+                return True
+            if enclosing is None and isinstance(
+                    ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = ancestor
+        if enclosing is None:
+            return True  # class-body access; construction-time
+        if enclosing.name in _EXEMPT_METHODS:
+            return True
+        if enclosing.name.endswith("_locked"):
+            return True
+        holds = _HOLDS_RE.search(ctx.comments.get(enclosing.lineno, ""))
+        if holds and holds.group("lock") == lock:
+            return True
+        return False
+
+    @staticmethod
+    def _with_holds(node: ast.With | ast.AsyncWith, lock: str) -> bool:
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Attribute) and expr.attr == lock \
+                    and isinstance(expr.value, ast.Name) \
+                    and expr.value.id == "self":
+                return True
+        return False

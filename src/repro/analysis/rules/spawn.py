@@ -1,0 +1,102 @@
+"""REP003: spawn safety — only picklable callables cross process pools.
+
+The worker pool uses the ``spawn`` start method; everything submitted
+must survive pickling in the parent and unpickling in a fresh
+interpreter. Lambdas and nested (closure) functions do not — they fail
+at submit time on some platforms and, worse, only at *dispatch* time
+on others. PR 9 hit this with ``filter_passes`` and had to hoist it to
+module level; this rule catches the pattern at author time.
+
+Flagged: a lambda (anywhere in the argument expression, including
+inside ``functools.partial``) or a nested ``def`` passed to a process
+pool submission site. Submission sites are ``.submit``/``.map``/
+``.apply_async`` on receivers whose name says process pool
+(``executor``, ``worker_pool``, ``process_pool``), plus
+``WorkerPool``/``ProcessPoolExecutor`` constructor arguments such as
+``initializer=``. Thread-pool receivers (named ``pool``/``tpool`` in
+this repo) are deliberately out of scope — closures are fine across
+threads.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.engine import FileContext, Rule, Violation, register_rule
+
+_SUBMIT_METHODS = {"submit", "map", "apply_async"}
+_RECEIVER_RE = re.compile(r"(executor|worker_pool|process_pool)$")
+_POOL_CONSTRUCTORS = {"WorkerPool", "ProcessPoolExecutor"}
+
+
+@register_rule
+class SpawnSafetyRule(Rule):
+    rule_id = "REP003"
+    name = "spawn-safety"
+    description = (
+        "no lambdas/closures/nested callables submitted to process pools"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        nested_defs = self._nested_function_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and func.attr in _SUBMIT_METHODS \
+                    and self._is_pool_receiver(ctx, func.value):
+                if node.args:
+                    yield from self._check_callable(
+                        ctx, node.args[0], nested_defs,
+                        f"'{func.attr}' on a process pool",
+                    )
+            else:
+                qualified = ctx.qualified_name(func) or ""
+                if qualified.rsplit(".", 1)[-1] in _POOL_CONSTRUCTORS:
+                    for arg in list(node.args) + [
+                            kw.value for kw in node.keywords]:
+                        yield from self._check_callable(
+                            ctx, arg, nested_defs,
+                            f"'{qualified.rsplit('.', 1)[-1]}(...)' "
+                            "constructor argument",
+                        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _nested_function_names(ctx: FileContext) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                       for a in ctx.ancestors(node)):
+                    names.add(node.name)
+        return names
+
+    def _is_pool_receiver(self, ctx: FileContext,
+                          receiver: ast.AST) -> bool:
+        dotted = ctx.dotted_name(receiver)
+        if dotted is None:
+            return False
+        return bool(_RECEIVER_RE.search(dotted.rsplit(".", 1)[-1]))
+
+    def _check_callable(self, ctx: FileContext, expr: ast.AST,
+                        nested_defs: set[str],
+                        where: str) -> Iterable[Violation]:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Lambda):
+                yield self.violation(
+                    ctx, sub,
+                    f"lambda passed to {where} cannot be pickled under "
+                    "spawn; hoist to a module-level function",
+                )
+                return
+        if isinstance(expr, ast.Name) and expr.id in nested_defs:
+            yield self.violation(
+                ctx, expr,
+                f"nested function '{expr.id}' passed to {where} is a "
+                "closure and cannot be pickled under spawn; hoist it to "
+                "module level",
+            )

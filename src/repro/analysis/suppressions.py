@@ -1,0 +1,105 @@
+"""Suppression comments: per-line and per-file, with mandatory reasons.
+
+Two forms are recognized, both requiring a non-empty reason string so
+every silenced finding documents *why* it is safe:
+
+* ``# lint-allow: REP001 <reason>`` — silences the named rule(s) for
+  findings reported on that physical line (the first line of the
+  flagged statement). Multiple ids separate with commas:
+  ``# lint-allow: REP001,REP004 <reason>``.
+* ``# lint-allow-file: REP002 <reason>`` — silences the rule for the
+  whole file; conventionally placed near the top.
+
+A suppression whose reason is missing (or whose rule list is
+malformed) does not silence anything — it is reported as a ``LINT000``
+violation instead, so a hollow suppression can never sneak a real
+finding past CI.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+#: Rule-id shape accepted in suppression comments (REP001, LINT000...).
+_RULE_ID = r"[A-Z]{3,8}\d{3}"
+
+_LINE_RE = re.compile(
+    rf"#\s*lint-allow:\s*(?P<rules>{_RULE_ID}(?:\s*,\s*{_RULE_ID})*)"
+    r"(?P<reason>.*)$"
+)
+_FILE_RE = re.compile(
+    rf"#\s*lint-allow-file:\s*(?P<rules>{_RULE_ID}(?:\s*,\s*{_RULE_ID})*)"
+    r"(?P<reason>.*)$"
+)
+#: A suppression-looking comment that matched neither form exactly
+#: (e.g. a typo'd rule id) — flagged rather than silently ignored.
+_NEARLY_RE = re.compile(r"#\s*lint-allow(-file)?\b")
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one file."""
+
+    #: line -> {rule_id: reason}
+    by_line: dict[int, dict[str, str]] = field(default_factory=dict)
+    #: rule_id -> reason (file-wide)
+    by_file: dict[str, str] = field(default_factory=dict)
+    #: (line, message) pairs for malformed/reason-less suppressions.
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def silences(self, rule_id: str, line: int) -> bool:
+        """Whether a well-formed suppression covers this finding."""
+        if rule_id in self.by_file:
+            return True
+        return rule_id in self.by_line.get(line, {})
+
+
+def collect_comments(source: str) -> dict[int, str]:
+    """Map line number -> comment text (``#`` included) for one file.
+
+    Tokenizing (rather than string-splitting) means ``#`` inside string
+    literals is never mistaken for a comment. Tokenization errors in
+    otherwise-parseable files are impossible; callers parse first.
+    """
+    comments: dict[int, str] = {}
+    reader = io.StringIO(source).readline
+    for token in tokenize.generate_tokens(reader):
+        if token.type == tokenize.COMMENT:
+            comments[token.start[0]] = token.string
+    return comments
+
+
+def parse_suppressions(comments: dict[int, str]) -> Suppressions:
+    """Extract line/file suppressions (and malformed ones) from comments."""
+    parsed = Suppressions()
+    for line, comment in comments.items():
+        file_match = _FILE_RE.search(comment)
+        line_match = None if file_match else _LINE_RE.search(comment)
+        match = file_match or line_match
+        if match is None:
+            if _NEARLY_RE.search(comment):
+                parsed.malformed.append(
+                    (line, f"unparseable suppression comment {comment!r}")
+                )
+            continue
+        reason = match.group("reason").strip().lstrip("-").strip()
+        rules = [r.strip() for r in match.group("rules").split(",")]
+        if not reason:
+            parsed.malformed.append(
+                (
+                    line,
+                    "suppression for "
+                    + ",".join(rules)
+                    + " is missing its mandatory reason string",
+                )
+            )
+            continue
+        for rule_id in rules:
+            if file_match is not None:
+                parsed.by_file[rule_id] = reason
+            else:
+                parsed.by_line.setdefault(line, {})[rule_id] = reason
+    return parsed

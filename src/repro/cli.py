@@ -23,6 +23,9 @@ Examples::
     python -m repro.cli workload --family tpch-chain --joins 3 \\
         --count 4 --calibrate --validate
     python -m repro.cli workload --family job-chain --joins 5 --optimize
+
+    # Check the tree against the repo's static invariants (REP001-006):
+    python -m repro.cli lint src/repro examples --format json
 """
 
 from __future__ import annotations
@@ -541,6 +544,82 @@ def workload_main(argv: list[str]) -> int:
     return 0
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Static analysis over the repo's invariants: determinism "
+            "(REP001), lock discipline (REP002), spawn safety (REP003), "
+            "async hygiene (REP004), fingerprint completeness (REP005), "
+            "cache purity (REP006). Exit 0 = clean, 1 = violations, "
+            "2 = analyzer error."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro", "examples"],
+        metavar="PATH",
+        help="files or directories to analyze "
+             "(default: src/repro examples)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="ignore findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write current findings to FILE as the new baseline "
+             "and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def lint_main(argv: list[str]) -> int:
+    """Entry point of the ``lint`` subcommand."""
+    from repro.analysis import (
+        Analyzer,
+        AnalyzerError,
+        all_rules,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+    from repro.analysis.baseline import apply_baseline
+
+    args = build_lint_parser().parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name}: {rule.description}")
+        return 0
+    try:
+        report = Analyzer(rules).run(args.paths)
+        if args.baseline is not None:
+            report = apply_baseline(report, load_baseline(args.baseline))
+        if args.write_baseline is not None:
+            write_baseline(args.write_baseline, report.violations)
+            print(f"baseline with {len(report.violations)} entries "
+                  f"written to {args.write_baseline}")
+            return 0
+    except AnalyzerError as error:
+        print(f"repro lint: internal analyzer error: {error}",
+              file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report, rules))
+    else:
+        print(render_text(report))
+    return 0 if report.clean else 1
+
+
 def _parse_assignments(pairs: list[str], label: str) -> dict[Objective, float]:
     parsed: dict[Objective, float] = {}
     for pair in pairs:
@@ -563,6 +642,8 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "workload":
         return workload_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         objectives = tuple(

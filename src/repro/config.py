@@ -80,6 +80,15 @@ class OptimizerConfig:
     #: candidate batch; disable for the leanest possible hot path.
     phase_timers: bool = True
 
+    # Fields deliberately excluded from fingerprint() — REP005 enforces
+    # that every exclusion is listed here. Both flags change *how* the
+    # DP runs (batched vs scalar, timed vs untimed), never which plans
+    # come out, so cached results are valid across their settings.
+    _FINGERPRINT_EXCLUDED = frozenset({
+        "vectorized_enumeration",
+        "phase_timers",
+    })
+
     def __post_init__(self) -> None:
         if not self.dop_values:
             raise OptimizerError("dop_values must be non-empty")

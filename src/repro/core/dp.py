@@ -30,7 +30,11 @@ resulting plan sets — entry order included — are bit-for-bit identical
 to the scalar path's, which is what keeps the prefix-replay shard
 equality guarantees of :mod:`repro.parallel.sharding` intact. The
 property tests in ``tests/test_vectorized_equivalence.py`` enforce the
-contract.
+contract, and ``repro lint`` rule REP001 enforces its preconditions
+statically: no unseeded RNG, wall-clock reads, or unordered set
+iteration may feed results in this module (the deadline checks and
+phase timers below carry per-line ``lint-allow`` suppressions because
+they only gate *when* enumeration stops, never *which* plan wins).
 """
 
 from __future__ import annotations
@@ -99,7 +103,7 @@ def deadline_exceeded(deadline: float | None) -> bool:
     ``deadline_hit`` even when the enumeration's coarse periodic check
     (every ``timeout_check_interval`` candidates) never fired.
     """
-    return deadline is not None and _time.perf_counter() > deadline
+    return deadline is not None and _time.perf_counter() > deadline  # lint-allow: REP001 deadline check only; never feeds plan choice
 
 
 class DPRun:
@@ -185,7 +189,7 @@ class DPRun:
         counters.table_sets_total = len(masks)
         tracer = active_tracer()
         timers = self._phase_timers
-        run_start = _time.perf_counter() if timers else 0.0
+        run_start = _time.perf_counter() if timers else 0.0  # lint-allow: REP001 phase timer; measured, never decided on
         sub_phase_before = (
             counters.kernel_ms + counters.pruning_ms + counters.materialize_ms
         )
@@ -227,7 +231,7 @@ class DPRun:
             )
             level_span.finish()
         if timers:
-            wall_ms = (_time.perf_counter() - run_start) * 1000.0
+            wall_ms = (_time.perf_counter() - run_start) * 1000.0  # lint-allow: REP001 phase timer; measured, never decided on
             sub_phase_ms = (
                 counters.kernel_ms
                 + counters.pruning_ms
@@ -478,7 +482,7 @@ class DPRun:
                     if stop - start == n_outer
                     else outer_block.slice(start, stop)
                 )
-                kernel_start = _time.perf_counter() if timers else 0.0
+                kernel_start = _time.perf_counter() if timers else 0.0  # lint-allow: REP001 phase timer; measured, never decided on
                 out_rows = (
                     chunk.rows[:, None] * inner_block.rows[None, :]
                 ) * selectivity
@@ -487,7 +491,7 @@ class DPRun:
                 ).reshape(-1, 9)
                 if timers:
                     counters.kernel_ms += (
-                        _time.perf_counter() - kernel_start
+                        _time.perf_counter() - kernel_start  # lint-allow: REP001 phase timer; measured, never decided on
                     ) * 1000.0
                 if not self._insert_block(
                     target, spec, costs, out_rows.reshape(-1),
@@ -509,13 +513,13 @@ class DPRun:
                     outer_block.rows * probe.rows
                 ) * selectivity
                 for spec in self.plan_space.index_nl_specs:
-                    kernel_start = _time.perf_counter() if timers else 0.0
+                    kernel_start = _time.perf_counter() if timers else 0.0  # lint-allow: REP001 phase timer; measured, never decided on
                     costs = cost_model.index_nl_cost_block(
                         spec, outer_block, probe, probe_out_rows
                     )
                     if timers:
                         counters.kernel_ms += (
-                            _time.perf_counter() - kernel_start
+                            _time.perf_counter() - kernel_start  # lint-allow: REP001 phase timer; measured, never decided on
                         ) * 1000.0
                     if not self._insert_block(
                         target, spec, costs, probe_out_rows,
@@ -546,7 +550,7 @@ class DPRun:
         n_rows = costs.shape[0]
         counters.plans_considered += n_rows
         counters.candidates_vectorized += n_rows
-        prune_start = _time.perf_counter() if timers else 0.0
+        prune_start = _time.perf_counter() if timers else 0.0  # lint-allow: REP001 phase timer; measured, never decided on
         if self._full_projection:
             projected = costs
         else:
@@ -557,7 +561,7 @@ class DPRun:
                 )
         keep = target.block_accept(projected)
         if timers:
-            materialize_start = _time.perf_counter()
+            materialize_start = _time.perf_counter()  # lint-allow: REP001 phase timer; measured, never decided on
             counters.pruning_ms += (materialize_start - prune_start) * 1000.0
         for position in map(int, np.nonzero(keep)[0]):
             cost = tuple(costs[position].tolist())
@@ -574,7 +578,7 @@ class DPRun:
             target.force_insert(projected_tuple, plan)
         if timers:
             counters.materialize_ms += (
-                _time.perf_counter() - materialize_start
+                _time.perf_counter() - materialize_start  # lint-allow: REP001 phase timer; measured, never decided on
             ) * 1000.0
         self._since_check += n_rows
         if self._since_check >= self._check_interval:
@@ -611,7 +615,7 @@ class DPRun:
         if (
             not self._timed_out
             and self.deadline is not None
-            and _time.perf_counter() > self.deadline
+            and _time.perf_counter() > self.deadline  # lint-allow: REP001 deadline check only; never feeds plan choice
         ):
             self._timed_out = True
 

@@ -151,11 +151,11 @@ class LatencyHistogram:
         if max_samples < 1:
             raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.max_samples = max_samples
-        self._samples: list[float] = []
-        self._observed = 0
-        self._dropped = 0
-        self._total = 0.0
-        self._max = 0.0
+        self._samples: list[float] = []  # guarded-by: _lock
+        self._observed = 0  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
+        self._total = 0.0  # guarded-by: _lock
+        self._max = 0.0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def observe(self, value_ms: float) -> None:
@@ -289,28 +289,28 @@ class ServiceMetrics:
     both are counted here so one aggregate describes the whole server.
     """
 
-    requests: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    timeouts: int = 0
-    deadline_hits: int = 0
-    coalesce_hits: int = 0
-    sheds: int = 0
+    requests: int = 0  # guarded-by: _lock
+    cache_hits: int = 0  # guarded-by: _lock
+    cache_misses: int = 0  # guarded-by: _lock
+    timeouts: int = 0  # guarded-by: _lock
+    deadline_hits: int = 0  # guarded-by: _lock
+    coalesce_hits: int = 0  # guarded-by: _lock
+    sheds: int = 0  # guarded-by: _lock
     # Resilience counters (see repro.resilience): worker_failures counts
     # observed infrastructure faults, respawns counts pool rebuilds,
     # retries counts re-dispatches/backoff retries, breaker_trips and
     # breaker_recoveries track the degradation ladder, and degraded
     # counts requests answered by the heuristic fallback plan.
-    worker_failures: int = 0
-    respawns: int = 0
-    retries: int = 0
-    breaker_trips: int = 0
-    breaker_recoveries: int = 0
-    degraded: int = 0
-    total_optimization_ms: float = 0.0
-    by_algorithm: dict[str, int] = field(default_factory=dict)
-    by_worker: dict[str, int] = field(default_factory=dict)
-    phase_ms: dict[str, float] = field(default_factory=dict)
+    worker_failures: int = 0  # guarded-by: _lock
+    respawns: int = 0  # guarded-by: _lock
+    retries: int = 0  # guarded-by: _lock
+    breaker_trips: int = 0  # guarded-by: _lock
+    breaker_recoveries: int = 0  # guarded-by: _lock
+    degraded: int = 0  # guarded-by: _lock
+    total_optimization_ms: float = 0.0  # guarded-by: _lock
+    by_algorithm: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
+    by_worker: dict[str, int] = field(default_factory=dict)  # guarded-by: _lock
+    phase_ms: dict[str, float] = field(default_factory=dict)  # guarded-by: _lock
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -377,11 +377,22 @@ class ServiceMetrics:
 
     @property
     def hit_rate(self) -> float:
-        """Plan-cache hit rate over all requests (0 when none served)."""
-        return self.cache_hits / self.requests if self.requests else 0.0
+        """Plan-cache hit rate over all requests (0 when none served).
+
+        Takes the lock so the ratio is computed from one coherent
+        (hits, requests) pair; a torn read could report a rate > 1.
+        """
+        with self._lock:
+            return self.cache_hits / self.requests if self.requests else 0.0
 
     def snapshot(self) -> dict[str, object]:
-        """Point-in-time copy of the counters (safe to serialize)."""
+        """Point-in-time copy of the counters (safe to serialize).
+
+        The hit rate is recomputed inline from the locked reads rather
+        than via :attr:`hit_rate` — the property acquires the
+        (non-reentrant) lock itself, and the inline form also keeps the
+        rate consistent with the counters in the same snapshot.
+        """
         with self._lock:
             return {
                 "requests": self.requests,
@@ -401,5 +412,7 @@ class ServiceMetrics:
                 "by_algorithm": dict(self.by_algorithm),
                 "by_worker": dict(self.by_worker),
                 "phase_ms": dict(self.phase_ms),
-                "hit_rate": self.hit_rate,
+                "hit_rate": (
+                    self.cache_hits / self.requests if self.requests else 0.0
+                ),
             }

@@ -32,6 +32,12 @@ class Preferences:
     bounds: tuple[float, ...] = ()
     indices: tuple[int, ...] = field(init=False, compare=False)
 
+    # Fields deliberately excluded from fingerprint() — REP005 enforces
+    # that every exclusion is listed here. ``indices`` is derived from
+    # ``objectives`` in __post_init__, so it carries no information the
+    # fingerprint doesn't already cover.
+    _FINGERPRINT_EXCLUDED = frozenset({"indices"})
+
     def __post_init__(self) -> None:
         if not self.objectives:
             raise OptimizerError("at least one objective is required")

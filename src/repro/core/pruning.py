@@ -39,6 +39,10 @@ bit-for-bit identical to the scalar per-candidate loop.
 :class:`AggressivePlanSet` discards *approximately* dominated entries,
 which breaks that argument — it opts out via ``vectorizable = False``
 and always takes the scalar path.
+
+``repro lint`` rule REP001 statically enforces this module's side of
+the contract: no ambient entropy (unseeded RNG, clock reads, unordered
+set iteration) may influence which plans are kept.
 """
 
 from __future__ import annotations

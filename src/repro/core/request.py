@@ -46,6 +46,12 @@ class OptimizationRequest:
     timeout_seconds: float | None = None
     tags: tuple[str, ...] = ()
 
+    # Fields deliberately excluded from fingerprint() — REP005 enforces
+    # that every exclusion is listed here. Tags are observability-only
+    # labels; two requests differing only in tags must share a cache
+    # entry.
+    _FINGERPRINT_EXCLUDED = frozenset({"tags"})
+
     def __post_init__(self) -> None:
         if isinstance(self.query, Query):
             object.__setattr__(self, "query", single_block(self.query))

@@ -76,9 +76,9 @@ class PlanCache:
 
     def __init__(self, max_size: int = 256) -> None:
         self.max_size = max_size
-        self._entries: OrderedDict[str, OptimizationResult] = OrderedDict()
+        self._entries: OrderedDict[str, OptimizationResult] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.evictions = 0
+        self.evictions = 0  # guarded-by: _lock
 
     def get(self, key: str) -> OptimizationResult | None:
         with self._lock:
@@ -168,8 +168,11 @@ class OptimizerService:
         else:
             self.breaker = breaker
             self.chaos = chaos
-        self._pool = None
+        self._pool = None  # guarded-by: _pool_lock
         self._pool_lock = threading.Lock()
+        # _closed is deliberately NOT lock-annotated: writes happen under
+        # _pool_lock, but the hot-path reads are benign racy flag checks
+        # (a stale False only costs one extra pool round-trip).
         self._closed = False
 
     # ------------------------------------------------------------------

@@ -217,7 +217,7 @@ class Tracer:
     """
 
     def __init__(self) -> None:
-        self._finished: list[Span] = []
+        self._finished: list[Span] = []  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------

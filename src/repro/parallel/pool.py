@@ -164,12 +164,12 @@ class WorkerPool:
             extra_initializer=extra_initializer,
         )
         self._lock = threading.Lock()
-        self._generation = 0
-        self._executor = self._build_executor()
+        self._generation = 0  # guarded-by: _lock
+        self._executor = self._build_executor()  # guarded-by: _lock
         #: Lifetime supervision counters (read via :meth:`stats`).
-        self.respawns = 0
-        self.redispatches = 0
-        self.worker_failures = 0
+        self.respawns = 0  # guarded-by: _lock
+        self.redispatches = 0  # guarded-by: _lock
+        self.worker_failures = 0  # guarded-by: _lock
 
     def _build_executor(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -255,10 +255,10 @@ class WorkerPool:
             future = self._executor.submit(
                 submission.fn, *submission.clean_args
             )
+            self.redispatches += 1
         submission.future = future
         submission.generation = generation
         submission.redispatched = True
-        self.redispatches += 1
         self._emit("redispatch")
 
     def _await(self, submission: _Submission):
@@ -268,7 +268,8 @@ class WorkerPool:
             try:
                 return submission.future.result(timeout=self.heartbeat_s)
             except _TRANSIENT_EXCEPTIONS as exc:
-                self.worker_failures += 1
+                with self._lock:
+                    self.worker_failures += 1
                 self._emit("worker_failure")
                 if isinstance(exc, _RESPAWN_EXCEPTIONS):
                     self._respawn(submission.generation)

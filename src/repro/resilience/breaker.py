@@ -82,14 +82,14 @@ class CircuitBreaker:
         self.cooldown_s = cooldown_s
         self._now = time_source
         self._lock = threading.Lock()
-        self._level = 0
-        self._failures = 0
-        self._probe_failures = 0
-        self._opened_at: float | None = None
-        self._probe_outstanding = False
+        self._level = 0  # guarded-by: _lock
+        self._failures = 0  # guarded-by: _lock
+        self._probe_failures = 0  # guarded-by: _lock
+        self._opened_at: float | None = None  # guarded-by: _lock
+        self._probe_outstanding = False  # guarded-by: _lock
         #: Lifetime trip / recovery counters (for metrics snapshots).
-        self.trips = 0
-        self.recoveries = 0
+        self.trips = 0  # guarded-by: _lock
+        self.recoveries = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     @property

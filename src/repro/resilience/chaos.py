@@ -139,19 +139,19 @@ class ChaosInjector:
 
     def __init__(self, config: ChaosConfig) -> None:
         self.config = config
-        self._rng = random.Random(config.seed)
+        self._rng = random.Random(config.seed)  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._injected = 0
-        self.injected_by_kind: dict[str, int] = {}
+        self._injected = 0  # guarded-by: _lock
+        self.injected_by_kind: dict[str, int] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
-    def _budget_left(self) -> bool:
+    def _budget_left(self) -> bool:  # holds-lock: _lock
         return (
             self.config.max_faults is None
             or self._injected < self.config.max_faults
         )
 
-    def _record(self, kind: str) -> None:
+    def _record(self, kind: str) -> None:  # holds-lock: _lock
         self._injected += 1
         self.injected_by_kind[kind] = (
             self.injected_by_kind.get(kind, 0) + 1

@@ -31,19 +31,24 @@ class ServingMetrics:
         *,
         max_latency_samples: int = 65536,
     ) -> None:
-        self.latency = LatencyHistogram(max_samples=max_latency_samples)
+        # The histogram reference is immutable (it has its own internal
+        # lock), but observe/snapshot calls still happen under _lock so
+        # the sample count can never disagree with the counters — that
+        # torn-snapshot race shipped once already; REP002 now enforces
+        # the discipline on every attribute below.
+        self.latency = LatencyHistogram(max_samples=max_latency_samples)  # guarded-by: _lock
         self._service_metrics = service_metrics
         self._lock = threading.Lock()
-        self.connections = 0
-        self.requests = 0
-        self.responses_by_code: dict[str, int] = {}
-        self.coalesce_hits = 0
-        self.coalesce_leaders = 0
-        self.sheds = 0
-        self.deadline_sheds = 0
-        self.protocol_errors = 0
-        self.drain_rejects = 0
-        self.drops = 0
+        self.connections = 0  # guarded-by: _lock
+        self.requests = 0  # guarded-by: _lock
+        self.responses_by_code: dict[str, int] = {}  # guarded-by: _lock
+        self.coalesce_hits = 0  # guarded-by: _lock
+        self.coalesce_leaders = 0  # guarded-by: _lock
+        self.sheds = 0  # guarded-by: _lock
+        self.deadline_sheds = 0  # guarded-by: _lock
+        self.protocol_errors = 0  # guarded-by: _lock
+        self.drain_rejects = 0  # guarded-by: _lock
+        self.drops = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     def record_connection(self) -> None:

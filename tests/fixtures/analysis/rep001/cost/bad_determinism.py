@@ -1,0 +1,27 @@
+"""REP001 positive fixture: every ambient-entropy source the rule covers."""
+
+import random
+import time as _clock
+
+
+def cost_with_noise(base: float) -> float:
+    # Module-level random.* → shared unseeded global RNG.
+    return base * (1.0 + random.random())
+
+
+def jittered_estimate(rows: int) -> float:
+    rng = random.Random()  # unseeded instance
+    return rows * rng.uniform(0.9, 1.1)
+
+
+def stamp_result(result: dict) -> dict:
+    # Aliased import must still resolve: _clock.time -> time.time.
+    result["at"] = _clock.time()
+    return result
+
+
+def sum_selectivities(predicates: set) -> float:
+    total = 0.0
+    for predicate in set(predicates):  # hash-order iteration
+        total += predicate.selectivity
+    return total

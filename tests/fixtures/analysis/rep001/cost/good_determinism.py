@@ -1,0 +1,24 @@
+"""REP001 negative fixture: the deterministic counterparts."""
+
+import random
+import time
+
+
+def cost_with_noise(base: float, rng: random.Random) -> float:
+    # A threaded-through seeded RNG instance is fine.
+    return base * (1.0 + rng.random())
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)  # seeded
+
+
+def deadline_from_budget(budget_s: float) -> float:
+    return time.perf_counter() + budget_s  # lint-allow: REP001 deadline arithmetic only; never feeds plan choice
+
+
+def sum_selectivities(predicates: set) -> float:
+    total = 0.0
+    for predicate in sorted(predicates):  # order pinned
+        total += predicate
+    return total

@@ -1,0 +1,34 @@
+"""REP002 negative fixture: every exemption path the rule honors."""
+
+import threading
+
+
+class DisciplinedMetrics:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.responses = 0  # guarded-by: _lock
+        self.latency_samples: list = []  # guarded-by: _lock
+
+    def record_response(self, latency_ms: float) -> None:
+        with self._lock:
+            self.responses += 1
+            self.latency_samples.append(latency_ms)
+
+    def _percentile_locked(self, fraction: float) -> float:
+        # Caller holds the lock: exempt via the _locked name suffix.
+        if not self.latency_samples:
+            return 0.0
+        rank = int(fraction * (len(self.latency_samples) - 1))
+        return sorted(self.latency_samples)[rank]
+
+    def _tail_ms(self) -> float:  # holds-lock: _lock
+        # Caller holds the lock: exempt via the def-line annotation.
+        return self.latency_samples[-1] if self.latency_samples else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "responses": self.responses,
+                "p95_ms": self._percentile_locked(0.95),
+                "last_ms": self._tail_ms(),
+            }

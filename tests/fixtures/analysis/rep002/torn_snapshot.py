@@ -1,0 +1,27 @@
+"""REP002 positive fixture: the exact pre-PR-7 torn-snapshot race.
+
+``record_response`` bumps the response counter under ``self._lock``
+but appends the latency sample *outside* it — so a concurrent
+``snapshot()`` can observe a response count that disagrees with the
+histogram. This is the real ``ServingMetrics`` bug PR 7 fixed; the
+linter must flag the two unlocked accesses.
+"""
+
+import threading
+
+
+class TornMetrics:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.responses = 0  # guarded-by: _lock
+        self.latency_samples: list = []  # guarded-by: _lock
+
+    def record_response(self, latency_ms: float) -> None:
+        with self._lock:
+            self.responses += 1
+        self.latency_samples.append(latency_ms)  # the race
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            count = self.responses
+        return {"responses": count, "latency": list(self.latency_samples)}

@@ -1,0 +1,25 @@
+"""REP003 positive fixture: unpicklable callables into a process pool.
+
+This is the bug class PR 9 hit: under the spawn start method, lambdas
+and closures fail to pickle — sometimes at submit time, sometimes only
+when a worker finally dequeues them.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_batch(items):
+    executor = ProcessPoolExecutor(max_workers=2)
+    # A lambda submitted to the worker pool: must be flagged.
+    future = executor.submit(lambda item: item * 2, items[0])
+
+    def scale(item):  # nested def -> closure, not picklable under spawn
+        return item * 2
+
+    futures = [executor.submit(scale, item) for item in items]
+    return future, futures
+
+
+def build_pool():
+    # Lambda smuggled in through a constructor argument.
+    return ProcessPoolExecutor(max_workers=1, initializer=lambda: None)

@@ -1,0 +1,20 @@
+"""REP003 negative fixture: module-level callables and thread pools."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def double(item):
+    return item * 2
+
+
+def run_batch(items):
+    executor = ProcessPoolExecutor(max_workers=2)
+    # Module-level function: picklable, fine.
+    return [executor.submit(double, item) for item in items]
+
+
+def run_threaded(items):
+    tpool = ThreadPoolExecutor(max_workers=2)
+    # Thread pools never pickle — closures are fine there, and the
+    # rule keys on the receiver name, so ``tpool``/``pool`` pass.
+    return [tpool.submit(lambda item=item: item * 2) for item in items]

@@ -1,0 +1,17 @@
+"""REP004 positive fixture: blocking calls inside async def bodies."""
+
+import time
+
+
+class Handler:
+    def __init__(self, service):
+        self._service = service
+
+    async def handle(self, request):
+        time.sleep(0.1)  # blocks the event loop
+        result = self._service.submit(request)  # whole optimization inline
+        return result
+
+    async def read_config(self, path):
+        with open(path) as f:  # sync file I/O on the loop
+            return f.read()

@@ -1,0 +1,25 @@
+"""REP004 negative fixture: the non-blocking counterparts."""
+
+import asyncio
+import time
+from functools import partial
+
+
+class Handler:
+    def __init__(self, service):
+        self._service = service
+
+    async def handle(self, request):
+        await asyncio.sleep(0.1)  # yields, fine
+        loop = asyncio.get_running_loop()
+        # The blocking submit routed through an executor: fine. The
+        # partial only *references* submit, it does not call it here.
+        return await loop.run_in_executor(
+            None, partial(self._service.submit, request)
+        )
+
+    def retry_sync(self, request):
+        # Synchronous helper: time.sleep outside async def is fine
+        # (REP004) and this module is not REP001 territory.
+        time.sleep(0.01)
+        return self._service.submit(request)

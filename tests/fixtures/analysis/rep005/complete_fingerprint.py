@@ -1,0 +1,22 @@
+"""REP005 negative fixture: complete coverage, including transitively.
+
+``alpha`` is consumed through the ``payload()`` helper — the rule's
+reachability walk must follow ``self.payload()``.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RequestLike:
+    query: str
+    alpha: float = 1.5
+    tags: tuple = ()
+
+    _FINGERPRINT_EXCLUDED = frozenset({"tags"})
+
+    def payload(self) -> str:
+        return f"{self.query};{self.alpha}"
+
+    def fingerprint(self) -> str:
+        return f"req[{self.payload()}]"

@@ -1,0 +1,21 @@
+"""REP005 positive fixture: a field invisible to fingerprint().
+
+``use_heuristic`` changes optimizer behaviour but is neither folded
+into the fingerprint nor listed in ``_FINGERPRINT_EXCLUDED`` — two
+semantically different requests would share one cache entry.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RequestLike:
+    query: str
+    alpha: float = 1.5
+    use_heuristic: bool = False
+    tags: tuple = ()
+
+    _FINGERPRINT_EXCLUDED = frozenset({"tags"})
+
+    def fingerprint(self) -> str:
+        return f"req[{self.query};{self.alpha}]"

@@ -1,0 +1,13 @@
+"""REP006 negative fixture: the canonical cache-purity guard."""
+
+
+def finish(cache, key, result):
+    if not result.timed_out and not result.deadline_hit:
+        cache.put(key, result)
+
+
+def finish_split(plan_cache, key, result, rerouted):
+    # Nested ifs count: both names appear in enclosing conditions.
+    if not result.timed_out:
+        if not result.deadline_hit and not rerouted:
+            plan_cache.put(key, result)

@@ -1,0 +1,12 @@
+"""REP006 positive fixture: degraded results reaching the plan cache."""
+
+
+def finish(cache, key, result):
+    # No guard at all: a timed-out partial frontier would be cached.
+    cache.put(key, result)
+
+
+def finish_half_guarded(cache, key, result):
+    # Only half the contract: deadline_hit results still slip through.
+    if not result.timed_out:
+        cache.put(key, result)

@@ -1,0 +1,9 @@
+"""LINT000 fixture: hollow suppressions must not silence anything."""
+
+
+def cached_put(cache, key, result):
+    cache.put(key, result)  # lint-allow: REP006
+
+
+def typoed(cache, key, result):
+    cache.put(key, result)  # lint-allow REP006 forgot the colon

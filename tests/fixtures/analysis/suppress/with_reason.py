@@ -1,0 +1,8 @@
+"""Suppression fixture: a reasoned lint-allow silences the finding."""
+
+
+def seed_cache(cache, key, result):
+    cache.put(key, result)  # lint-allow: REP006 warmup seeding of known-complete results
+
+
+# lint-allow-file: REP003 this module documents the anti-pattern in prose only

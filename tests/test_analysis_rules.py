@@ -1,0 +1,315 @@
+"""Golden tests for the ``repro.analysis`` invariant linter.
+
+Each rule gets a positive fixture (must flag) and a negative fixture
+(must stay silent) under ``tests/fixtures/analysis/``; the notable
+committed failing fixtures are the pre-PR-7 torn-snapshot shape
+(REP002) and the lambda-into-worker-pool shape (REP003). On top of the
+per-rule goldens: suppression semantics (mandatory reasons, LINT000),
+baseline round-trips, the JSON report schema, the CLI exit-code
+contract (0 clean / 1 violations / 2 analyzer error), and the
+zero-violation gate over ``src/repro`` + ``examples`` itself.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    Analyzer,
+    AnalyzerError,
+    all_rules,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.baseline import apply_baseline
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analysis"
+
+
+def run_lint(*paths: Path | str) -> AnalysisReport:
+    return Analyzer().run([str(path) for path in paths])
+
+
+def by_rule(report: AnalysisReport, rule_id: str):
+    return [v for v in report.violations if v.rule == rule_id]
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+def test_all_six_rules_are_registered():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ids == sorted(ids)
+    for expected in ("REP001", "REP002", "REP003",
+                     "REP004", "REP005", "REP006"):
+        assert expected in ids
+
+
+# ----------------------------------------------------------------------
+# REP001 determinism
+# ----------------------------------------------------------------------
+def test_rep001_flags_every_entropy_source():
+    report = run_lint(FIXTURES / "rep001" / "cost" / "bad_determinism.py")
+    findings = by_rule(report, "REP001")
+    messages = "\n".join(v.message for v in findings)
+    assert len(findings) == 4
+    assert "random.random" in messages          # global RNG
+    assert "random.Random()" in messages        # unseeded instance
+    assert "time.time" in messages              # aliased _clock.time resolved
+    assert "unordered set" in messages          # hash-order iteration
+    assert report.violations == findings        # no other rule fires
+
+
+def test_rep001_accepts_deterministic_counterparts():
+    report = run_lint(FIXTURES / "rep001" / "cost" / "good_determinism.py")
+    assert report.violations == []
+    assert report.suppressed == 1  # the reasoned deadline clock read
+
+
+def test_rep001_is_scoped_to_result_affecting_paths():
+    # Identical entropy outside the scoped paths (no /cost/, /core/dp.py,
+    # ... marker) is not REP001's business.
+    report = run_lint(FIXTURES / "rep006" / "unguarded_put.py")
+    assert by_rule(report, "REP001") == []
+
+
+# ----------------------------------------------------------------------
+# REP002 lock discipline
+# ----------------------------------------------------------------------
+def test_rep002_flags_the_pre_pr7_torn_snapshot_shape():
+    report = run_lint(FIXTURES / "rep002" / "torn_snapshot.py")
+    findings = by_rule(report, "REP002")
+    # The unlocked append in record_response AND the unlocked read in
+    # snapshot — both halves of the real ServingMetrics race.
+    assert len(findings) == 2
+    assert all("latency_samples" in v.message for v in findings)
+    assert all("_lock" in v.message for v in findings)
+
+
+def test_rep002_honors_every_exemption():
+    # with self._lock, the _locked suffix, and # holds-lock annotations.
+    report = run_lint(FIXTURES / "rep002" / "locked_ok.py")
+    assert report.violations == []
+
+
+# ----------------------------------------------------------------------
+# REP003 spawn safety
+# ----------------------------------------------------------------------
+def test_rep003_flags_lambda_and_closure_submissions():
+    report = run_lint(FIXTURES / "rep003" / "lambda_pool.py")
+    findings = by_rule(report, "REP003")
+    messages = "\n".join(v.message for v in findings)
+    assert len(findings) == 3
+    assert "lambda" in messages
+    assert "scale" in messages       # the nested def by name
+    assert "constructor" in messages  # initializer=lambda
+
+
+def test_rep003_passes_module_level_functions_and_thread_pools():
+    report = run_lint(FIXTURES / "rep003" / "module_level_ok.py")
+    assert report.violations == []
+
+
+# ----------------------------------------------------------------------
+# REP004 async hygiene
+# ----------------------------------------------------------------------
+def test_rep004_flags_blocking_calls_in_async_bodies():
+    report = run_lint(
+        FIXTURES / "rep004" / "serving" / "blocking_async.py"
+    )
+    findings = by_rule(report, "REP004")
+    messages = "\n".join(v.message for v in findings)
+    assert len(findings) == 3
+    assert "time.sleep" in messages
+    assert "open" in messages
+    assert "submit" in messages
+
+
+def test_rep004_passes_awaited_and_executor_routed_work():
+    report = run_lint(
+        FIXTURES / "rep004" / "serving" / "nonblocking_ok.py"
+    )
+    assert report.violations == []
+
+
+# ----------------------------------------------------------------------
+# REP005 fingerprint completeness
+# ----------------------------------------------------------------------
+def test_rep005_flags_fields_invisible_to_fingerprint():
+    report = run_lint(FIXTURES / "rep005" / "incomplete_fingerprint.py")
+    findings = by_rule(report, "REP005")
+    assert len(findings) == 1
+    assert "use_heuristic" in findings[0].message
+    assert "_FINGERPRINT_EXCLUDED" in findings[0].message
+
+
+def test_rep005_follows_helper_methods_transitively():
+    report = run_lint(FIXTURES / "rep005" / "complete_fingerprint.py")
+    assert report.violations == []
+
+
+# ----------------------------------------------------------------------
+# REP006 cache purity
+# ----------------------------------------------------------------------
+def test_rep006_flags_unguarded_and_half_guarded_puts():
+    report = run_lint(FIXTURES / "rep006" / "unguarded_put.py")
+    findings = by_rule(report, "REP006")
+    assert len(findings) == 2
+    # Unguarded put misses both checks; half-guarded misses deadline_hit.
+    assert any("deadline_hit and timed_out" in v.message for v in findings)
+    assert any("deadline_hit checks" in v.message for v in findings)
+    assert all(v.message.startswith("'cache.put") for v in findings)
+
+
+def test_rep006_passes_the_canonical_guard_shapes():
+    report = run_lint(FIXTURES / "rep006" / "guarded_put.py")
+    assert report.violations == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions: mandatory reasons, LINT000
+# ----------------------------------------------------------------------
+def test_hollow_suppressions_become_lint000_and_silence_nothing():
+    report = run_lint(FIXTURES / "suppress" / "missing_reason.py")
+    assert len(by_rule(report, "LINT000")) == 2  # no reason + typo'd form
+    assert len(by_rule(report, "REP006")) == 2   # both findings survive
+    assert report.suppressed == 0
+
+
+def test_reasoned_suppressions_silence_their_findings():
+    report = run_lint(FIXTURES / "suppress" / "with_reason.py")
+    assert report.violations == []
+    assert report.suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_grandfathers_findings(tmp_path):
+    target = FIXTURES / "rep006" / "unguarded_put.py"
+    first = run_lint(target)
+    assert len(first.violations) == 2
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, first.violations)
+
+    second = apply_baseline(run_lint(target), load_baseline(baseline_file))
+    assert second.violations == []
+    assert second.baselined == 2
+
+
+def test_committed_baseline_is_empty():
+    # Policy: src/repro carries no grandfathered findings — everything
+    # was fixed or suppressed inline with a reason.
+    keys = load_baseline(REPO_ROOT / "lint-baseline.json")
+    assert keys == set()
+
+
+def test_malformed_baseline_is_an_analyzer_error(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("not json", encoding="utf-8")
+    with pytest.raises(AnalyzerError):
+        load_baseline(bad)
+
+
+# ----------------------------------------------------------------------
+# Analyzer error model + CLI exit codes
+# ----------------------------------------------------------------------
+def test_missing_path_raises_analyzer_error():
+    with pytest.raises(AnalyzerError):
+        run_lint(FIXTURES / "does-not-exist")
+
+
+def test_syntax_error_raises_analyzer_error(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n", encoding="utf-8")
+    with pytest.raises(AnalyzerError, match="cannot parse"):
+        run_lint(broken)
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    code = cli_main(
+        ["lint", str(FIXTURES / "rep006" / "guarded_put.py")]
+    )
+    assert code == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_violations(capsys):
+    code = cli_main(
+        ["lint", str(FIXTURES / "rep006" / "unguarded_put.py")]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REP006" in out
+    assert "unguarded_put.py" in out
+
+
+def test_cli_exit_two_on_analyzer_error(capsys):
+    code = cli_main(["lint", str(FIXTURES / "no-such-dir")])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "internal analyzer error" in captured.err
+    assert "REP" not in captured.out  # no half-report on errors
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("REP001", "REP002", "REP003",
+                    "REP004", "REP005", "REP006"):
+        assert rule_id in out
+
+
+def test_cli_write_baseline_then_gate_is_clean(tmp_path, capsys):
+    target = str(FIXTURES / "rep006" / "unguarded_put.py")
+    baseline = tmp_path / "baseline.json"
+    assert cli_main(
+        ["lint", target, "--write-baseline", str(baseline)]
+    ) == 0
+    capsys.readouterr()
+    assert cli_main(["lint", target, "--baseline", str(baseline)]) == 0
+    assert "2 baselined" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# End-to-end: JSON report schema
+# ----------------------------------------------------------------------
+def test_json_report_schema(capsys):
+    code = cli_main([
+        "lint", "--format", "json",
+        str(FIXTURES / "rep001" / "cost" / "bad_determinism.py"),
+    ])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["tool"] == "repro-lint"
+    assert payload["files_checked"] == 1
+    rule_ids = {rule["id"] for rule in payload["rules"]}
+    assert {"REP001", "REP002", "REP003",
+            "REP004", "REP005", "REP006"} <= rule_ids
+    for rule in payload["rules"]:
+        assert rule["name"] and rule["description"]
+    assert payload["counts"]["violations"] == len(payload["violations"])
+    for violation in payload["violations"]:
+        assert violation["rule"] == "REP001"
+        assert violation["path"].endswith("bad_determinism.py")
+        assert isinstance(violation["line"], int) and violation["line"] > 0
+        assert isinstance(violation["col"], int)
+        assert violation["message"]
+
+
+# ----------------------------------------------------------------------
+# The gate itself: the shipped tree is clean
+# ----------------------------------------------------------------------
+def test_src_repro_and_examples_are_clean():
+    report = run_lint(REPO_ROOT / "src" / "repro", REPO_ROOT / "examples")
+    assert report.violations == [], "\n".join(
+        v.render() for v in report.violations
+    )
+    assert report.files_checked > 90
